@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation: the loss-bound multiple n (the design choice behind
+ * every threshold in the paper). Larger n means a wider window --
+ * closer-to-ideal noise and fewer resamples -- but each boundary
+ * report may leak up to n*eps. This bench sweeps n and reports the
+ * exact thresholds, worst-case losses, resampling rates, and
+ * mean-query MAE, quantifying the privacy/utility/energy triangle.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/resampling_mechanism.h"
+#include "core/threshold_calc.h"
+#include "data/generators.h"
+#include "query/utility.h"
+
+int
+main()
+{
+    using namespace ulpdp;
+    bench::banner("Ablation: loss-bound multiple n",
+                  "Statlog heart data, eps = 0.5, resampling; "
+                  "n swept from 1.1 to 4.");
+
+    Dataset heart = makeStatlogHeart();
+    FxpMechanismParams p = bench::standardParams(heart, 0.5);
+    ThresholdCalculator calc(p);
+    UtilityEvaluator eval(60);
+
+    TextTable table;
+    table.setHeader({"n", "max loss (nats)", "window T",
+                     "window (mm Hg)", "resample rate",
+                     "mean MAE"});
+
+    for (double n : {1.1, 1.2, 1.5, 2.0, 3.0, 4.0}) {
+        int64_t t = calc.exactIndex(RangeControl::Resampling, n);
+        if (t < 0) {
+            table.addRow({TextTable::fmt(n, 1), "-", "none", "-",
+                          "-", "-"});
+            continue;
+        }
+        ResamplingMechanism mech(p, t);
+        UtilityResult r = eval.evaluate(heart.values, mech,
+                                        MeanQuery());
+        table.addRow({
+            TextTable::fmt(n, 1),
+            TextTable::fmt(calc.exactLossAt(RangeControl::Resampling,
+                                            t), 4),
+            std::to_string(t),
+            TextTable::fmt(static_cast<double>(t) *
+                           p.resolvedDelta(), 1),
+            TextTable::fmtPercent(r.avgSamplesPerReport() - 1.0, 3),
+            TextTable::fmt(r.mae, 3),
+        });
+    }
+    table.print(std::cout);
+
+    std::printf("\nReading: by n = 1.5 the window is already wide "
+                "enough that resampling is rare and utility matches "
+                "the ideal case; pushing n higher buys almost "
+                "nothing while linearly inflating the worst-case "
+                "leak -- the paper's implicit choice of small n "
+                "(1.5-2) is the right region.\n");
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Ablation (extends Section VI-C): how URNG width Bu and quantization
+ * step Delta drive the whole design. For each configuration we report
+ * the support size, the first interior gap, the exact 2*eps
+ * thresholds for both range controls, and the worst-case loss of the
+ * naive baseline -- the quantitative version of "increase Bu and the
+ * FxP RNG approaches the ideal one, but never reaches it".
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/threshold_calc.h"
+
+int
+main()
+{
+    using namespace ulpdp;
+    bench::banner("Ablation: RNG resolution (Bu, Delta) sweep",
+                  "Sensor range [0, 10], eps = 0.5, loss bound "
+                  "2*eps, exact searches.");
+
+    std::printf("\n(a) URNG width sweep (Delta = d/32):\n\n");
+    TextTable bu_table;
+    bu_table.setHeader({"Bu", "support bins", "first gap",
+                        "resamp T", "thresh T", "resample rate",
+                        "naive loss"});
+    for (int bu : {8, 9, 10, 12, 14, 17, 20}) {
+        FxpMechanismParams p;
+        p.range = SensorRange(0.0, 10.0);
+        p.epsilon = 0.5;
+        p.uniform_bits = bu;
+        p.output_bits = 14;
+        p.delta = 10.0 / 32.0;
+        ThresholdCalculator calc(p);
+        auto pmf = calc.pmf();
+
+        int64_t tr = calc.exactIndex(RangeControl::Resampling, 2.0);
+        int64_t tt = calc.exactIndex(RangeControl::Thresholding, 2.0);
+
+        std::string resample_rate = "-";
+        if (tr >= 0) {
+            ResamplingOutputModel model(pmf, calc.span(), tr);
+            double worst = 0.0;
+            for (int64_t i = 0; i <= calc.span(); ++i)
+                worst = std::max(worst,
+                                 1.0 - model.acceptProbability(i));
+            resample_rate = TextTable::fmtPercent(worst, 2);
+        }
+        bu_table.addRow({
+            std::to_string(bu),
+            std::to_string(pmf->maxIndex()),
+            std::to_string(pmf->firstInteriorGap()),
+            tr >= 0 ? std::to_string(tr) : "none",
+            tt >= 0 ? std::to_string(tt) : "none",
+            resample_rate,
+            "inf",
+        });
+    }
+    bu_table.print(std::cout);
+
+    std::printf("\n(b) Quantization step sweep (Bu = 17):\n\n");
+    TextTable d_table;
+    d_table.setHeader({"Delta", "span d/Delta", "support bins",
+                       "first gap", "resamp T (value)",
+                       "thresh T (value)"});
+    for (int denom : {8, 16, 32, 64, 128}) {
+        FxpMechanismParams p;
+        p.range = SensorRange(0.0, 10.0);
+        p.epsilon = 0.5;
+        p.uniform_bits = 17;
+        p.output_bits = 16;
+        p.delta = 10.0 / denom;
+        ThresholdCalculator calc(p);
+        auto pmf = calc.pmf();
+        int64_t tr = calc.exactIndex(RangeControl::Resampling, 2.0);
+        int64_t tt = calc.exactIndex(RangeControl::Thresholding, 2.0);
+        d_table.addRow({
+            "d/" + std::to_string(denom),
+            std::to_string(calc.span()),
+            std::to_string(pmf->maxIndex()),
+            std::to_string(pmf->firstInteriorGap()),
+            tr >= 0 ? TextTable::fmt(tr * p.delta, 1) : "none",
+            tt >= 0 ? TextTable::fmt(tt * p.delta, 1) : "none",
+        });
+    }
+    d_table.print(std::cout);
+
+    std::printf("\nExpected shape: thresholds grow with Bu (finer "
+                "tail probabilities hold the bound farther out) and "
+                "*shrink in value terms* as Delta gets finer (per-"
+                "bin URNG counts drop, so tail gaps appear earlier "
+                "in value units); around Bu ~ 8 resampling windows "
+                "become tiny and resample rates explode; the naive "
+                "baseline is never LDP at any resolution.\n");
+    return 0;
+}

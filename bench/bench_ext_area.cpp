@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Extension of the Section V variants table: a structural gate-count
+ * model of the DP-Box. Reproduces the *trends* of the paper's
+ * synthesis exploration (single-cycle CORDIC dominates area; relaxed
+ * designs shrink; budget logic costs ~10%) and lets a designer sweep
+ * word length / iterations without a synthesis flow.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "dpbox/area_model.h"
+
+int
+main()
+{
+    using namespace ulpdp;
+    bench::banner("Extension: structural area model of the DP-Box",
+                  "NAND2-equivalent estimates; paper synthesis "
+                  "reference: 10431 gates (default), +11% budget "
+                  "logic.");
+
+    DpBoxConfig base;
+    base.frac_bits = 6;
+    base.word_bits = 20;
+    base.uniform_bits = 17;
+    base.threshold_index = 400;
+    base.cordic_iterations = 32;
+
+    std::printf("\nDefault configuration breakdown "
+                "(20-bit word, 32 unrolled CORDIC stages):\n\n%s",
+                DpBoxAreaModel(base).breakdown().toString().c_str());
+    std::printf("(paper synthesis total: 10431 gates)\n");
+
+    std::printf("\nVariant sweep:\n\n");
+    TextTable table;
+    table.setHeader({"Variant", "Gates", "vs default",
+                     "Budget overhead"});
+    uint64_t def = DpBoxAreaModel(base).totalGates();
+
+    auto add = [&](const std::string &name, const DpBoxConfig &cfg,
+                   const AreaModelOptions &opt) {
+        DpBoxAreaModel m(cfg, opt);
+        table.addRow({
+            name,
+            std::to_string(m.totalGates()),
+            TextTable::fmtPercent(
+                static_cast<double>(m.totalGates()) /
+                    static_cast<double>(def) - 1.0, 1),
+            cfg.budget_enabled
+                ? TextTable::fmtPercent(m.budgetOverhead(), 1)
+                : "-",
+        });
+    };
+
+    add("default (unrolled x32)", base, AreaModelOptions());
+
+    DpBoxConfig few = base;
+    few.cordic_iterations = 20;
+    add("unrolled x20 CORDIC", few, AreaModelOptions());
+
+    AreaModelOptions iter;
+    iter.unrolled_cordic = false;
+    add("iterative CORDIC (32 cycles/log)", base, iter);
+
+    DpBoxConfig wide = base;
+    wide.word_bits = 24;
+    add("24-bit word", wide, AreaModelOptions());
+
+    DpBoxConfig narrow = base;
+    narrow.word_bits = 16;
+    add("16-bit word", narrow, AreaModelOptions());
+
+    DpBoxConfig budget = base;
+    budget.budget_enabled = true;
+    budget.segments = {BudgetSegment{0, 0.5},
+                       BudgetSegment{200, 0.8},
+                       BudgetSegment{400, 1.0}};
+    add("default + budget logic", budget, AreaModelOptions());
+
+    table.print(std::cout);
+
+    std::printf("\nReading: the single-cycle (unrolled) CORDIC is "
+                "the area story, exactly the 'higher area penalty' "
+                "the paper pays for 1-cycle logs; an iterative unit "
+                "trades ~%d cycles of latency for a fraction of the "
+                "area. Our minimal budget block prices at a few "
+                "percent; the paper's synthesized one cost 11%% "
+                "(likely a wider loss table and timers).\n",
+                base.cordic_iterations);
+    return 0;
+}

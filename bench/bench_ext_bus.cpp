@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Extension: end-to-end sampling latency in context. Section V
+ * argues the DP-Box critical path is adequate because sensors take
+ * tens of cycles to access over serial buses; this bench prices a
+ * full acquire-noise-release cycle (I2C read + DP-Box noising + host
+ * read) and shows noising is lost in the noise of bus time.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "sim/msp430_cost.h"
+#include "sim/sensor_bus.h"
+
+int
+main()
+{
+    using namespace ulpdp;
+    bench::banner("Extension: end-to-end sample latency context",
+                  "16 MHz core; I2C sensor bus; DP-Box noising = 2 "
+                  "cycles + 4 host cycles.");
+
+    Msp430CostModel cost;
+    TextTable table;
+    table.setHeader({"Bus", "sensor read (cycles)",
+                     "DP-Box noising", "SW noising (fixed point)",
+                     "noising share w/ DP-Box"});
+
+    for (double bus_khz : {100.0, 400.0, 1000.0, 3400.0}) {
+        SensorBus bus(16e6, bus_khz * 1e3);
+        uint64_t read = bus.sampleCycles(13);
+        uint64_t dpbox = 2 + cost.dpBoxHostCycles();
+        uint64_t sw = cost.fixedPointCycles();
+        table.addRow({
+            TextTable::fmt(bus_khz, 0) + " kHz I2C",
+            std::to_string(read),
+            std::to_string(dpbox),
+            std::to_string(sw),
+            TextTable::fmtPercent(
+                static_cast<double>(dpbox) /
+                    static_cast<double>(read + dpbox), 2),
+        });
+    }
+    table.print(std::cout);
+
+    std::printf("\nReading: even on the fastest bus, DP-Box noising "
+                "adds ~1%% to a sample's acquisition time, versus "
+                "multiplying it several-fold with software noising "
+                "-- the Section V argument, quantified.\n");
+    return 0;
+}

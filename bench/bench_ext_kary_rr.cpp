@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Extension of Fig. 14 / Section VI-E: k-ary (generalized)
+ * randomized response for multi-valued categorical sensors. Reports
+ * per-category frequency-estimation MAE versus population size and
+ * category count at fixed eps.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <random>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/kary_randomized_response.h"
+
+int
+main()
+{
+    using namespace ulpdp;
+    bench::banner("Extension: k-ary randomized response",
+                  "eps = 1; frequency-estimation MAE (fraction of "
+                  "population), 50 trials per cell.");
+
+    const double eps = 1.0;
+    const int kTrials = 50;
+
+    TextTable table;
+    table.setHeader({"k", "truth prob p", "exact loss", "n = 300",
+                     "n = 3000", "n = 30000"});
+
+    for (int k : {2, 4, 8, 16}) {
+        // Zipf-ish true distribution over k categories.
+        std::vector<double> truth(static_cast<size_t>(k));
+        double z = 0.0;
+        for (int c = 0; c < k; ++c) {
+            truth[static_cast<size_t>(c)] = 1.0 / (1.0 + c);
+            z += truth[static_cast<size_t>(c)];
+        }
+        for (auto &t : truth)
+            t /= z;
+
+        std::vector<std::string> row{
+            std::to_string(k),
+            TextTable::fmt(
+                KaryRandomizedResponse(k, eps).truthProbability(), 3),
+            TextTable::fmt(KaryRandomizedResponse(k, eps).exactLoss(),
+                           4),
+        };
+
+        for (size_t n : {300u, 3000u, 30000u}) {
+            KaryRandomizedResponse rr(k, eps, 20, 50 + n + k);
+            std::mt19937_64 gen(n * 13 + k);
+            std::discrete_distribution<int> draw(truth.begin(),
+                                                 truth.end());
+            double err_sum = 0.0;
+            for (int t = 0; t < kTrials; ++t) {
+                std::vector<uint64_t> observed(
+                    static_cast<size_t>(k), 0);
+                std::vector<double> true_counts(
+                    static_cast<size_t>(k), 0.0);
+                for (size_t i = 0; i < n; ++i) {
+                    int cat = draw(gen);
+                    true_counts[static_cast<size_t>(cat)] += 1.0;
+                    ++observed[static_cast<size_t>(
+                        rr.respond(cat))];
+                }
+                auto est = rr.estimateCounts(observed);
+                double mae = 0.0;
+                for (int c = 0; c < k; ++c)
+                    mae += std::abs(est[static_cast<size_t>(c)] -
+                                    true_counts[
+                                        static_cast<size_t>(c)]);
+                err_sum += mae / k / static_cast<double>(n);
+            }
+            row.push_back(TextTable::fmtPercent(err_sum / kTrials,
+                                                2));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    std::printf("\nReading: error shrinks ~1/sqrt(n) at every k; "
+                "more categories cost accuracy (truth probability "
+                "falls toward 1/k) -- the standard generalized-RR "
+                "trade-off, now measurable on the same harness as "
+                "the numeric mechanisms.\n");
+    return 0;
+}

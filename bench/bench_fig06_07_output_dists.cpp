@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces Figs. 6 and 7: the noised-output distributions of the
+ * resampling and thresholding mechanisms for inputs at both range
+ * endpoints, showing (6) the shared truncated support under
+ * resampling and (7) the boundary probability spikes under
+ * thresholding.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/histogram.h"
+#include "core/resampling_mechanism.h"
+#include "core/threshold_calc.h"
+#include "core/thresholding_mechanism.h"
+
+namespace {
+
+using namespace ulpdp;
+
+void
+plotMechanism(Mechanism &mech, const std::string &title, double lo,
+              double hi)
+{
+    std::printf("\n%s\n", title.c_str());
+    for (double x : {0.0, 10.0}) {
+        Histogram hist(lo, hi, 25);
+        for (int i = 0; i < 60000; ++i)
+            hist.add(mech.noise(x).value);
+        std::printf("\n  input x = %.0f  (underflow %llu, overflow "
+                    "%llu)\n%s",
+                    x,
+                    static_cast<unsigned long long>(hist.underflow()),
+                    static_cast<unsigned long long>(hist.overflow()),
+                    hist.toAscii(48).c_str());
+    }
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::banner("Figs. 6 & 7: noised output distributions with "
+                  "resampling / thresholding",
+                  "Sensor range [0, 10], eps = 0.5, loss bound "
+                  "2*eps, exact thresholds.");
+
+    FxpMechanismParams p;
+    p.range = SensorRange(0.0, 10.0);
+    p.epsilon = 0.5;
+    p.uniform_bits = 17;
+    p.output_bits = 12;
+    p.delta = 10.0 / 32.0;
+
+    ThresholdCalculator calc(p);
+    int64_t t_resamp = calc.exactIndex(RangeControl::Resampling, 2.0);
+    int64_t t_thresh = calc.exactIndex(RangeControl::Thresholding, 2.0);
+    double ext_r = static_cast<double>(t_resamp) * p.delta;
+    double ext_t = static_cast<double>(t_thresh) * p.delta;
+    std::printf("resampling threshold n_th1 = %lld bins (%.1f)\n",
+                static_cast<long long>(t_resamp), ext_r);
+    std::printf("thresholding threshold n_th2 = %lld bins (%.1f)\n",
+                static_cast<long long>(t_thresh), ext_t);
+
+    ResamplingMechanism resamp(p, t_resamp);
+    plotMechanism(resamp,
+                  "Fig. 6 -- resampling: outputs of every input share "
+                  "the window [m - n_th1, M + n_th1]",
+                  -ext_r - 1.0, 10.0 + ext_r + 1.0);
+    std::printf("\n  average samples per report: %.3f\n",
+                resamp.averageSamplesPerReport());
+
+    ThresholdingMechanism thresh(p, t_thresh);
+    plotMechanism(thresh,
+                  "Fig. 7 -- thresholding: out-of-window mass piles "
+                  "up at the two boundaries",
+                  -ext_t - 1.0, 10.0 + ext_t + 1.0);
+    std::printf("\n  clamped reports: %llu of %llu\n",
+                static_cast<unsigned long long>(
+                    thresh.clampedReports()),
+                static_cast<unsigned long long>(
+                    thresh.totalReports()));
+
+    std::printf("\nExpected shape (paper Figs. 6/7): identical "
+                "support for both inputs under both mechanisms; "
+                "visible spikes at the window edges only for "
+                "thresholding.\n");
+    return 0;
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Reproduces Fig. 12: DP-Box output histograms for two values from
+ * the Statlog heart-rate dataset, without range control. In the bulk
+ * the histograms overlap (privacy looks fine); zoomed into the tail
+ * there are outputs only one of the two values can generate --
+ * receiving such an output identifies the datum exactly, so privacy
+ * is NOT preserved. With resampling or thresholding the supports
+ * coincide and the distinguishing region disappears.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/fxp_mechanism.h"
+#include "core/output_model.h"
+#include "core/threshold_calc.h"
+#include "core/thresholding_mechanism.h"
+#include "data/generators.h"
+
+namespace {
+
+using namespace ulpdp;
+
+std::map<int64_t, uint64_t>
+histogramOf(Mechanism &mech, const FxpMechanismBase &grid, double x,
+            int trials)
+{
+    std::map<int64_t, uint64_t> counts;
+    for (int i = 0; i < trials; ++i)
+        ++counts[grid.toIndex(mech.noise(x).value)];
+    return counts;
+}
+
+/** Count output bins hit by exactly one of the two histograms. */
+uint64_t
+distinguishingBins(const std::map<int64_t, uint64_t> &a,
+                   const std::map<int64_t, uint64_t> &b)
+{
+    uint64_t n = 0;
+    for (const auto &[k, c] : a) {
+        if (c > 0 && b.count(k) == 0)
+            ++n;
+    }
+    for (const auto &[k, c] : b) {
+        if (c > 0 && a.count(k) == 0)
+            ++n;
+    }
+    return n;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::banner("Fig. 12: DP-Box output histograms for two Statlog "
+                  "heart values (eps = 1)",
+                  "Two blood pressures (110 and 180 mm Hg), 200000 "
+                  "noisings each, naive FxP noising vs "
+                  "thresholding.");
+
+    Dataset heart = makeStatlogHeart();
+    FxpMechanismParams p = bench::standardParams(heart, 1.0);
+    const double x1 = 110.0;
+    const double x2 = 180.0;
+    const int kTrials = 200000;
+
+    NaiveFxpMechanism naive1(p);
+    FxpMechanismParams p2 = p;
+    p2.seed = 2;
+    NaiveFxpMechanism naive2(p2);
+
+    auto h1 = histogramOf(naive1, naive1, x1, kTrials);
+    auto h2 = histogramOf(naive2, naive2, x2, kTrials);
+
+    std::printf("\n(a) Naive FxP noising -- bulk overlap:\n\n");
+    TextTable bulk;
+    bulk.setHeader({"output (mm Hg)", "count | x=110", "count | x=180"});
+    for (int64_t j = naive1.toIndex(60.0); j <= naive1.toIndex(230.0);
+         j += 8) {
+        bulk.addRow({
+            TextTable::fmt(naive1.toValue(j), 1),
+            std::to_string(h1.count(j) ? h1[j] : 0),
+            std::to_string(h2.count(j) ? h2[j] : 0),
+        });
+    }
+    bulk.print(std::cout);
+
+    uint64_t naive_dist = distinguishingBins(h1, h2);
+
+    // Exact (analytic) count of distinguishing outputs: bins in the
+    // support of one value's distribution but not the other's.
+    FxpLaplacePmf pmf(p.rngConfig());
+    int64_t i1 = naive1.toIndex(x1);
+    int64_t i2 = naive1.toIndex(x2);
+    uint64_t analytic_dist = 0;
+    for (int64_t j = i1 - pmf.maxIndex(); j <= i2 + pmf.maxIndex();
+         ++j) {
+        bool a = pmf.pmf(j - i1) > 0.0;
+        bool b = pmf.pmf(j - i2) > 0.0;
+        if (a != b)
+            ++analytic_dist;
+    }
+
+    std::printf("\n(b) Tail zoom: %llu distinguishing output bins "
+                "observed in %d noisings per value; the exact "
+                "analysis says %llu bins are producible by exactly "
+                "ONE of the two values. Reporting any of them "
+                "reveals the datum: privacy NOT preserved.\n",
+                static_cast<unsigned long long>(naive_dist), kTrials,
+                static_cast<unsigned long long>(analytic_dist));
+
+    // The fix: thresholding confines both supports to the same window.
+    ThresholdCalculator calc(p);
+    int64_t t = calc.exactIndex(RangeControl::Thresholding, 2.0);
+    ThresholdingMechanism fix1(p, t);
+    FxpMechanismParams p3 = p;
+    p3.seed = 5;
+    ThresholdingMechanism fix2(p3, t);
+    auto f1 = histogramOf(fix1, fix1, x1, kTrials);
+    auto f2 = histogramOf(fix2, fix2, x2, kTrials);
+    uint64_t fixed_dist = distinguishingBins(f1, f2);
+
+    // Exact support comparison under thresholding: zero bins may
+    // distinguish the two values.
+    auto pmf_shared = std::make_shared<FxpLaplacePmf>(p.rngConfig());
+    ThresholdingOutputModel model(pmf_shared,
+                                  fix1.hiIndex() - fix1.loIndex(), t);
+    uint64_t exact_fixed = 0;
+    int64_t r1 = i1 - fix1.loIndex();
+    int64_t r2 = i2 - fix1.loIndex();
+    for (int64_t j = model.outputLo(); j <= model.outputHi(); ++j) {
+        bool a = model.prob(j, r1) > 0.0;
+        bool b = model.prob(j, r2) > 0.0;
+        if (a != b)
+            ++exact_fixed;
+    }
+
+    std::printf("\n(c) Proposed DP-Box (thresholding, n_th2 = %lld "
+                "bins): the exact analysis finds %llu distinguishing "
+                "bins (the supports coincide); the %llu singletons "
+                "seen empirically are finite-sample noise in rare "
+                "shared bins.\n",
+                static_cast<long long>(t),
+                static_cast<unsigned long long>(exact_fixed),
+                static_cast<unsigned long long>(fixed_dist));
+    std::printf("\nExpected shape (paper Fig. 12): naive histograms "
+                "distinguishable in the tails; the proposed DP-Box "
+                "eliminates (essentially all) distinguishing "
+                "outputs.\n");
+    return 0;
+}

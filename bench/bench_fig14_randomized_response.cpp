@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Reproduces Fig. 14: the DP-Box reconfigured for randomized response
+ * (threshold zero) on the binary gender column of the Statlog heart
+ * dataset. MAE of the debiased male-population estimate versus the
+ * number of data entries: accuracy improves with population size
+ * while every individual's answer stays eps-LDP.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/randomized_response.h"
+#include "data/generators.h"
+
+int
+main()
+{
+    using namespace ulpdp;
+    bench::banner("Fig. 14: randomized response via DP-Box "
+                  "(threshold zero)",
+                  "Binary gender data, true male fraction 0.68, "
+                  "eps = 1; MAE of the debiased count over 200 "
+                  "trials.");
+
+    FxpMechanismParams p;
+    p.range = SensorRange(0.0, 1.0);
+    p.epsilon = 1.0;
+    p.uniform_bits = 17;
+    p.output_bits = 14;
+    p.delta = 1.0 / 32.0;
+
+    RandomizedResponse rr(p);
+    std::printf("\nflip probability q = %.4f, exact loss = %.4f "
+                "(<= eps = %.1f)\n\n",
+                rr.flipProbability(), rr.exactLoss(), p.epsilon);
+
+    const double male_fraction = 0.68;
+    const int kTrials = 200;
+
+    TextTable table;
+    table.setHeader({"entries", "MAE of male-count estimate",
+                     "MAE / entries"});
+    for (size_t n : {100u, 270u, 1000u, 3000u, 10000u, 30000u}) {
+        Dataset gender = makeStatlogGender(n, male_fraction,
+                                           1000 + n);
+        double true_count = 0.0;
+        for (double v : gender.values)
+            true_count += v;
+
+        double err_sum = 0.0;
+        for (int t = 0; t < kTrials; ++t) {
+            size_t hi = 0;
+            for (double v : gender.values) {
+                if (rr.noise(v).value == 1.0)
+                    ++hi;
+            }
+            double est = rr.estimateProportion(
+                             static_cast<double>(hi) /
+                             static_cast<double>(n)) *
+                         static_cast<double>(n);
+            err_sum += std::abs(est - true_count);
+        }
+        double mae = err_sum / kTrials;
+        table.addRow({
+            std::to_string(n),
+            TextTable::fmt(mae, 2),
+            TextTable::fmtPercent(mae / static_cast<double>(n), 2),
+        });
+    }
+    table.print(std::cout);
+
+    std::printf("\nExpected shape (paper Fig. 14): relative error of "
+                "the population count shrinks as ~1/sqrt(n) while "
+                "each individual's report stays private.\n");
+    return 0;
+}

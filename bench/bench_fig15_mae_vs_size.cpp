@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Reproduces Fig. 15: mean-query MAE versus the number of data
+ * entries for the four settings.
+ *
+ *  (a) With enough RNG resolution all four settings track the ideal
+ *      1/sqrt(N) decay toward zero error.
+ *  (b) With a coarse RNG the thresholds become tiny; the resulting
+ *      clamped/truncated noise is biased and the MAE flattens at a
+ *      floor no amount of data removes.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/ideal_laplace_mechanism.h"
+#include "core/fxp_mechanism.h"
+#include "core/resampling_mechanism.h"
+#include "core/thresholding_mechanism.h"
+#include "data/generators.h"
+#include "query/utility.h"
+
+namespace {
+
+using namespace ulpdp;
+
+void
+runPanel(const char *title, int uniform_bits, double loss_multiple)
+{
+    std::printf("\n%s (Bu = %d, loss bound %.1f*eps)\n\n", title,
+                uniform_bits, loss_multiple);
+
+    SensorRange range(0.0, 10.0);
+    const double eps = 0.5;
+
+    TextTable table;
+    table.setHeader({"entries", "Ideal", "FxP baseline", "Resampling",
+                     "Thresholding"});
+
+    for (size_t n : {100u, 300u, 1000u, 3000u, 10000u, 30000u}) {
+        // Gaussian-like data off the range center: the tiny windows
+        // of panel (b) clamp its noise asymmetrically, which is what
+        // produces the error floor.
+        auto values = gen::clippedGaussian(n, 6.5, 1.5, 0.0, 10.0,
+                                           900 + n);
+
+        FxpMechanismParams p;
+        p.range = range;
+        p.epsilon = eps;
+        p.uniform_bits = uniform_bits;
+        p.output_bits = 14;
+        p.delta = 10.0 / 32.0;
+
+        ThresholdCalculator calc(p);
+        int64_t t_r =
+            calc.exactIndex(RangeControl::Resampling, loss_multiple);
+        int64_t t_t =
+            calc.exactIndex(RangeControl::Thresholding, loss_multiple);
+        if (t_r < 0 || t_t < 0) {
+            std::printf("  (no valid threshold at Bu = %d)\n",
+                        uniform_bits);
+            return;
+        }
+
+        IdealLaplaceMechanism ideal(range, eps, 3);
+        NaiveFxpMechanism naive(p);
+        ResamplingMechanism resamp(p, t_r);
+        ThresholdingMechanism thresh(p, t_t);
+
+        int trials = n >= 10000 ? 20 : 60;
+        UtilityEvaluator eval(trials);
+        MeanQuery q;
+        table.addRow({
+            std::to_string(n),
+            TextTable::fmt(eval.evaluate(values, ideal, q).mae, 4),
+            TextTable::fmt(eval.evaluate(values, naive, q).mae, 4),
+            TextTable::fmt(eval.evaluate(values, resamp, q).mae, 4),
+            TextTable::fmt(eval.evaluate(values, thresh, q).mae, 4),
+        });
+    }
+    table.print(std::cout);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::banner("Fig. 15: mean-query MAE vs number of entries",
+                  "Sensor range [0, 10], eps = 0.5, data ~ clipped "
+                  "N(6.5, 1.5) (off-center, so clamp bias shows).");
+
+    runPanel("(a) sufficient RNG resolution", 17, 2.0);
+    runPanel("(b) low RNG resolution", 9, 1.5);
+
+    std::printf("\nExpected shape (paper Fig. 15): panel (a) all "
+                "settings decay toward zero together; panel (b) the "
+                "range-controlled settings flatten at an error floor "
+                "because the tiny thresholds distort the noise, while "
+                "the (non-private) baseline keeps improving.\n");
+    return 0;
+}

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Component micro-benchmarks (google-benchmark): throughput of the
+ * Tausworthe URNG, the CORDIC log, the fixed-point Laplace pipeline,
+ * each mechanism's noise() path and the exact privacy-loss analysis.
+ * These quantify host-simulation speed (how fast the model runs),
+ * not device latency (see bench_fig11 / bench_sec5 for cycles).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/ideal_laplace_mechanism.h"
+#include "core/privacy_loss.h"
+#include "core/resampling_mechanism.h"
+#include "core/threshold_calc.h"
+#include "core/thresholding_mechanism.h"
+#include "dpbox/driver.h"
+#include "query/histogram_query.h"
+#include "rng/cordic.h"
+#include "rng/fxp_inversion.h"
+#include "rng/fxp_laplace.h"
+#include "rng/tausworthe.h"
+
+namespace {
+
+using namespace ulpdp;
+
+FxpMechanismParams
+benchParams()
+{
+    FxpMechanismParams p;
+    p.range = SensorRange(0.0, 10.0);
+    p.epsilon = 0.5;
+    p.uniform_bits = 17;
+    p.output_bits = 12;
+    p.delta = 10.0 / 32.0;
+    return p;
+}
+
+void
+BM_Tausworthe(benchmark::State &state)
+{
+    Tausworthe rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next32());
+}
+BENCHMARK(BM_Tausworthe);
+
+void
+BM_CordicLog(benchmark::State &state)
+{
+    CordicLog cordic(static_cast<int>(state.range(0)));
+    uint64_t m = 1;
+    for (auto _ : state) {
+        m = (m % 131071) + 1;
+        benchmark::DoNotOptimize(cordic.lnUnitIndexRaw(m, 17));
+    }
+}
+BENCHMARK(BM_CordicLog)->Arg(16)->Arg(32)->Arg(48);
+
+void
+BM_FxpLaplaceSample(benchmark::State &state)
+{
+    FxpLaplaceConfig cfg;
+    cfg.uniform_bits = 17;
+    cfg.output_bits = 12;
+    cfg.delta = 10.0 / 32.0;
+    cfg.lambda = 20.0;
+    cfg.log_mode = state.range(0) == 0
+        ? FxpLaplaceConfig::LogMode::Reference
+        : FxpLaplaceConfig::LogMode::Cordic;
+    FxpLaplaceRng rng(cfg);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.sampleIndex());
+}
+BENCHMARK(BM_FxpLaplaceSample)->Arg(0)->Arg(1);
+
+void
+BM_IdealMechanism(benchmark::State &state)
+{
+    IdealLaplaceMechanism mech(SensorRange(0.0, 10.0), 0.5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mech.noise(5.0).value);
+}
+BENCHMARK(BM_IdealMechanism);
+
+void
+BM_ThresholdingMechanism(benchmark::State &state)
+{
+    ThresholdingMechanism mech(benchParams(), 418);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mech.noise(5.0).value);
+}
+BENCHMARK(BM_ThresholdingMechanism);
+
+void
+BM_ResamplingMechanism(benchmark::State &state)
+{
+    ResamplingMechanism mech(benchParams(),
+                             state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mech.noise(5.0).value);
+}
+BENCHMARK(BM_ResamplingMechanism)->Arg(60)->Arg(418);
+
+void
+BM_ExactLossAnalysis(benchmark::State &state)
+{
+    ThresholdCalculator calc(benchParams());
+    ThresholdingOutputModel model(calc.pmf(), calc.span(), 418);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            PrivacyLossAnalyzer::analyze(model).worst_case_loss);
+    }
+}
+BENCHMARK(BM_ExactLossAnalysis);
+
+void
+BM_ExactThresholdSearch(benchmark::State &state)
+{
+    ThresholdCalculator calc(benchParams());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            calc.exactIndex(RangeControl::Resampling, 2.0));
+    }
+}
+BENCHMARK(BM_ExactThresholdSearch);
+
+void
+BM_GenericGaussianSample(benchmark::State &state)
+{
+    FxpInversionConfig cfg;
+    cfg.uniform_bits = 17;
+    cfg.output_bits = 12;
+    cfg.delta = 10.0 / 32.0;
+    FxpInversionRng rng(cfg,
+                        std::make_shared<GaussianMagnitude>(20.0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.sampleIndex());
+}
+BENCHMARK(BM_GenericGaussianSample);
+
+void
+BM_GenericStaircaseSample(benchmark::State &state)
+{
+    FxpInversionConfig cfg;
+    cfg.uniform_bits = 17;
+    cfg.output_bits = 12;
+    cfg.delta = 10.0 / 32.0;
+    FxpInversionRng rng(
+        cfg, std::make_shared<StaircaseMagnitude>(
+                 10.0, 0.5, StaircaseMagnitude::optimalGamma(0.5)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.sampleIndex());
+}
+BENCHMARK(BM_GenericStaircaseSample);
+
+void
+BM_EnumeratePmf(benchmark::State &state)
+{
+    FxpLaplaceConfig cfg;
+    cfg.uniform_bits = static_cast<int>(state.range(0));
+    cfg.output_bits = 12;
+    cfg.delta = 10.0 / 32.0;
+    cfg.lambda = 20.0;
+    for (auto _ : state) {
+        FxpLaplacePmf pmf(cfg, FxpLaplacePmf::Mode::Enumerated);
+        benchmark::DoNotOptimize(pmf.maxIndex());
+    }
+}
+BENCHMARK(BM_EnumeratePmf)->Arg(12)->Arg(16)->Arg(20);
+
+void
+BM_HistogramDeconvolution(benchmark::State &state)
+{
+    auto pmf = std::make_shared<FxpLaplacePmf>(
+        benchParams().rngConfig());
+    ThresholdingOutputModel model(pmf, 32, 200);
+    HistogramEstimator est(model,
+                           static_cast<int>(state.range(0)));
+    std::vector<uint64_t> counts(est.numOutputs(), 3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(est.estimateFromCounts(counts));
+}
+BENCHMARK(BM_HistogramDeconvolution)->Arg(50)->Arg(300);
+
+void
+BM_DpBoxNoising(benchmark::State &state)
+{
+    DpBoxConfig cfg;
+    cfg.frac_bits = 5;
+    cfg.word_bits = 20;
+    cfg.uniform_bits = 17;
+    cfg.threshold_index = 418;
+    cfg.thresholding = true;
+    DpBoxDriver drv(cfg);
+    drv.initialize(1e12, 0);
+    drv.configure(0.5, SensorRange(0.0, 10.0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(drv.noise(5.0).value);
+}
+BENCHMARK(BM_DpBoxNoising);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reproduces the Section III-D comparison: software noising on an
+ * MSP430-class microcontroller versus the DP-Box hardware module, in
+ * cycles and in energy. The paper reports 4043 cycles (20-bit fixed
+ * point), 1436 cycles (half-precision float) and 4 host cycles with
+ * DP-Box, for energy ratios of 894x and 318x.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "sim/energy_model.h"
+#include "sim/msp430_cost.h"
+
+int
+main()
+{
+    using namespace ulpdp;
+    bench::banner("Section III-D: software vs hardware noising",
+                  "MSP430 instruction-cost model + 65 nm DP-Box "
+                  "synthesis constants (see DESIGN.md).");
+
+    Msp430CostModel soft_mul;
+    Msp430CostModel hw_mul(Msp430OpCosts(), true);
+    EnergyModel energy;
+
+    uint64_t fx = soft_mul.fixedPointCycles();
+    uint64_t hf = soft_mul.halfFloatCycles();
+    uint64_t host = soft_mul.dpBoxHostCycles();
+    const uint64_t device = 2; // DP-Box noising latency (Section V)
+
+    TextTable table;
+    table.setHeader({"Implementation", "Cycles", "Paper cycles",
+                     "Energy (nJ)", "Energy ratio vs DP-Box",
+                     "Paper ratio"});
+    double dpbox_energy = energy.dpboxEnergy(device, host);
+    table.addRow({
+        "software, 20-bit fixed point",
+        std::to_string(fx),
+        "4043",
+        TextTable::fmt(energy.softwareEnergy(fx) * 1e9, 1),
+        TextTable::fmt(energy.ratio(fx, device, host), 0) + "x",
+        "894x",
+    });
+    table.addRow({
+        "software, half-precision float",
+        std::to_string(hf),
+        "1436",
+        TextTable::fmt(energy.softwareEnergy(hf) * 1e9, 1),
+        TextTable::fmt(energy.ratio(hf, device, host), 0) + "x",
+        "318x",
+    });
+    table.addRow({
+        "DP-Box (2 device + 4 host cycles)",
+        std::to_string(device + host),
+        "4",
+        TextTable::fmt(dpbox_energy * 1e9, 3),
+        "1x",
+        "1x",
+    });
+    table.print(std::cout);
+
+    std::printf("\nWith the MSP430 MPY hardware multiplier, software "
+                "costs drop to %llu (fixed) / %llu (half-float) "
+                "cycles -- still orders of magnitude above DP-Box.\n",
+                static_cast<unsigned long long>(
+                    hw_mul.fixedPointCycles()),
+                static_cast<unsigned long long>(
+                    hw_mul.halfFloatCycles()));
+
+    std::printf("\nExpected shape (paper Section III-D): fixed-point "
+                "software slowest, half-float ~3x faster, DP-Box "
+                "~1000x faster; energy ratios in the hundreds.\n");
+    return 0;
+}

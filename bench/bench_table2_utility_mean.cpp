@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Reproduces Table II: mean absolute error of the mean query across
+ * the Table I datasets under the four evaluation settings.
+ */
+
+#include "utility_table.h"
+
+int
+main()
+{
+    using namespace ulpdp;
+    return bench::utilityTableMain(
+        "Table II", "mean",
+        [](const Dataset &) { return std::make_unique<MeanQuery>(); });
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Reproduces Table III: mean absolute error of the median query.
+ */
+
+#include "utility_table.h"
+
+int
+main()
+{
+    using namespace ulpdp;
+    return bench::utilityTableMain(
+        "Table III", "median", [](const Dataset &) {
+            return std::make_unique<MedianQuery>();
+        });
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Reproduces Table IV: mean absolute error of the variance query.
+ */
+
+#include "utility_table.h"
+
+int
+main()
+{
+    using namespace ulpdp;
+    return bench::utilityTableMain(
+        "Table IV", "variance", [](const Dataset &) {
+            return std::make_unique<VarianceQuery>();
+        });
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Reproduces Table V: mean absolute error of the counting query
+ * (entries at or above the dataset mean -- a representative
+ * population-count question like "patients with elevated blood
+ * pressure").
+ */
+
+#include "utility_table.h"
+
+int
+main()
+{
+    using namespace ulpdp;
+    return bench::utilityTableMain(
+        "Table V", "counting", [](const Dataset &d) {
+            return std::make_unique<CountAboveQuery>(d.mean());
+        });
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces Table VI: linear-SVM classification accuracy on a
+ * separable synthetic halfspace dataset when the training features
+ * are noised with local DP, as a function of training-set size and
+ * privacy parameter.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/ideal_laplace_mechanism.h"
+#include "ml/private_training.h"
+#include "ml/svm.h"
+
+int
+main()
+{
+    using namespace ulpdp;
+    bench::banner("Table VI: SVM accuracy vs training size and eps",
+                  "Separable halfspace in [-1, 1]^4, margin 0.1; "
+                  "per-feature Laplace noise; clean test set of "
+                  "2000 points.");
+
+    const size_t kDim = 4;
+    const double kMargin = 0.1;
+    LabelledData pool = makeHalfspaceData(7000, kDim, kMargin, 77);
+    LabelledData test;
+    for (size_t i = 5000; i < 7000; ++i) {
+        test.features.push_back(pool.features[i]);
+        test.labels.push_back(pool.labels[i]);
+    }
+
+    std::vector<size_t> sizes{1000, 2000, 3000, 4000, 5000};
+    std::vector<double> eps_values{0.5, 1.0, 2.0};
+
+    TextTable table;
+    std::vector<std::string> header{"Data Size"};
+    for (double eps : eps_values)
+        header.push_back("eps = " + TextTable::fmt(eps, 1));
+    header.push_back("No DP");
+    table.setHeader(header);
+
+    for (size_t n : sizes) {
+        LabelledData train;
+        for (size_t i = 0; i < n; ++i) {
+            train.features.push_back(pool.features[i]);
+            train.labels.push_back(pool.labels[i]);
+        }
+
+        // Training on heavily noised features is high-variance;
+        // average each cell over independent noise draws.
+        const int kRepeats = 7;
+        std::vector<std::string> row{std::to_string(n)};
+        for (double eps : eps_values) {
+            double acc_sum = 0.0;
+            for (int r = 0; r < kRepeats; ++r) {
+                IdealLaplaceMechanism mech(SensorRange(-1.0, 1.0),
+                                           eps, 100 + n + r);
+                LabelledData noised = noiseFeatures(train, mech);
+                SvmConfig cfg;
+                cfg.seed = 1 + r;
+                LinearSvm svm(cfg);
+                svm.train(noised);
+                acc_sum += svm.accuracy(test);
+            }
+            row.push_back(
+                TextTable::fmtPercent(acc_sum / kRepeats, 0));
+        }
+        LinearSvm clean;
+        clean.train(train);
+        row.push_back(TextTable::fmtPercent(clean.accuracy(test), 0));
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    std::printf("\nExpected shape (paper Table VI): accuracy rises "
+                "with training size in every column; smaller eps "
+                "needs more data for the same accuracy; No DP is the "
+                "upper envelope (paper: 69%%-82%% at eps = 0.5, "
+                "87%%-94%% at eps = 2, ~90-99%% without DP).\n");
+    return 0;
+}

@@ -1,0 +1,124 @@
+#include "bench_util.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "core/ideal_laplace_mechanism.h"
+#include "core/fxp_mechanism.h"
+#include "core/privacy_loss.h"
+#include "core/resampling_mechanism.h"
+#include "core/thresholding_mechanism.h"
+#include "data/generators.h"
+
+namespace ulpdp {
+namespace bench {
+
+void
+banner(const std::string &title, const std::string &what)
+{
+    // Benches snap many ranges onto coarse grids on purpose; the
+    // per-mechanism snap warnings would drown the tables.
+    setLoggingEnabled(false);
+
+    std::printf("======================================================"
+                "=====\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("%s\n", what.c_str());
+    std::printf("======================================================"
+                "=====\n");
+}
+
+FxpMechanismParams
+standardParams(const Dataset &data, double epsilon, uint64_t seed)
+{
+    FxpMechanismParams p;
+    p.range = data.range;
+    p.epsilon = epsilon;
+    p.uniform_bits = 17;
+    p.output_bits = 14;
+    p.delta = data.range.length() / 32.0;
+    p.seed = seed;
+    return p;
+}
+
+std::vector<SettingRow>
+runFourSettings(const Dataset &data, const Query &query, double epsilon,
+                double loss_multiple, int trials, uint64_t seed)
+{
+    FxpMechanismParams p = standardParams(data, epsilon, seed);
+    ThresholdCalculator calc(p);
+    auto pmf = calc.pmf();
+
+    int64_t t_resamp =
+        calc.exactIndex(RangeControl::Resampling, loss_multiple);
+    int64_t t_thresh =
+        calc.exactIndex(RangeControl::Thresholding, loss_multiple);
+    if (t_resamp < 0 || t_thresh < 0)
+        fatal("runFourSettings: no valid threshold for loss bound "
+              "%g * eps on dataset %s", loss_multiple,
+              data.name.c_str());
+
+    UtilityEvaluator eval(trials);
+    std::vector<SettingRow> rows;
+
+    double bound = loss_multiple * epsilon;
+
+    {
+        SettingRow row;
+        row.setting = "Ideal Local DP";
+        IdealLaplaceMechanism mech(p.range, epsilon, seed);
+        row.util = eval.evaluate(data.values, mech, query);
+        row.ldp = true;
+        row.worst_loss = epsilon;
+        rows.push_back(row);
+    }
+    {
+        SettingRow row;
+        row.setting = "FxP HW Baseline";
+        NaiveFxpMechanism mech(p);
+        row.util = eval.evaluate(data.values, mech, query);
+        NaiveOutputModel model(pmf, calc.span());
+        LossReport rep = PrivacyLossAnalyzer::analyze(model);
+        row.ldp = rep.bounded && rep.worst_case_loss <= bound + 1e-9;
+        row.worst_loss = rep.worst_case_loss;
+        rows.push_back(row);
+    }
+    {
+        SettingRow row;
+        row.setting = "Resampling";
+        ResamplingMechanism mech(p, t_resamp);
+        row.util = eval.evaluate(data.values, mech, query);
+        ResamplingOutputModel model(pmf, calc.span(), t_resamp);
+        LossReport rep = PrivacyLossAnalyzer::analyze(model);
+        row.ldp = rep.bounded && rep.worst_case_loss <= bound + 1e-9;
+        row.worst_loss = rep.worst_case_loss;
+        rows.push_back(row);
+    }
+    {
+        SettingRow row;
+        row.setting = "Thresholding";
+        ThresholdingMechanism mech(p, t_thresh);
+        row.util = eval.evaluate(data.values, mech, query);
+        ThresholdingOutputModel model(pmf, calc.span(), t_thresh);
+        LossReport rep = PrivacyLossAnalyzer::analyze(model);
+        row.ldp = rep.bounded && rep.worst_case_loss <= bound + 1e-9;
+        row.worst_loss = rep.worst_case_loss;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+std::vector<Dataset>
+benchDatasets(size_t max_entries)
+{
+    std::vector<Dataset> all = makeAllTableOneDatasets();
+    for (auto &d : all) {
+        if (d.size() > max_entries)
+            d = d.subsample(max_entries);
+    }
+    return all;
+}
+
+} // namespace bench
+} // namespace ulpdp

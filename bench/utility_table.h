@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shared driver for the Tables II-V utility benches: for every
+ * Table I dataset, run the four evaluation settings on one query and
+ * print the MAE +- std, relative error and LDP verdict rows exactly
+ * as the paper's tables are laid out.
+ */
+
+#ifndef ULPDP_BENCH_UTILITY_TABLE_H
+#define ULPDP_BENCH_UTILITY_TABLE_H
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "bench_util.h"
+#include "query/query.h"
+
+namespace ulpdp {
+namespace bench {
+
+/**
+ * Run one full utility table.
+ *
+ * @param table_name e.g. "Table II".
+ * @param query_name e.g. "mean".
+ * @param make_query Builds the query per dataset (the counting query
+ *        thresholds at the dataset mean, for example).
+ * @return Process exit code.
+ */
+int utilityTableMain(
+    const std::string &table_name, const std::string &query_name,
+    const std::function<std::unique_ptr<Query>(const Dataset &)>
+        &make_query);
+
+} // namespace bench
+} // namespace ulpdp
+
+#endif // ULPDP_BENCH_UTILITY_TABLE_H

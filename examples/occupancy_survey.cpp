@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Building occupancy survey with categorical privacy: badge readers
+ * ask each employee's presence sensor a yes/no question ("in the
+ * office?"). Each sensor answers through the DP-Box datapath in
+ * randomized-response mode (Section VI-E: threshold zero), so every
+ * individual answer is plausibly deniable, yet facilities can
+ * estimate the true occupancy accurately -- and more accurately the
+ * larger the building.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <random>
+
+#include "core/randomized_response.h"
+
+int
+main()
+{
+    using namespace ulpdp;
+
+    // Binary category encoded on [0, 1]; eps = 1 randomized response.
+    FxpMechanismParams params;
+    params.range = SensorRange(0.0, 1.0);
+    params.epsilon = 1.0;
+    params.uniform_bits = 17;
+    params.output_bits = 14;
+    params.delta = 1.0 / 32.0;
+
+    RandomizedResponse rr(params);
+    std::printf("randomized response via DP-Box, eps = %.1f\n",
+                params.epsilon);
+    std::printf("  probability of flipping an answer: %.4f\n",
+                rr.flipProbability());
+    std::printf("  exact privacy loss of one answer:  %.4f nats "
+                "(<= eps)\n\n", rr.exactLoss());
+
+    std::printf("%10s %12s %12s %12s %10s\n", "employees",
+                "truly in", "reported", "estimated", "error");
+
+    std::mt19937_64 rng(42);
+    for (size_t n : {50u, 200u, 1000u, 5000u, 20000u}) {
+        const double true_rate = 0.62;
+        std::bernoulli_distribution present(true_rate);
+
+        size_t truly_in = 0;
+        size_t reported_in = 0;
+        for (size_t i = 0; i < n; ++i) {
+            double truth = present(rng) ? 1.0 : 0.0;
+            truly_in += truth == 1.0;
+            // The only thing that leaves the sensor:
+            double answer = rr.noise(truth).value;
+            reported_in += answer == 1.0;
+        }
+
+        double est_rate = rr.estimateProportion(
+            static_cast<double>(reported_in) /
+            static_cast<double>(n));
+        double est_count = est_rate * static_cast<double>(n);
+        std::printf("%10zu %12zu %12zu %12.0f %9.1f%%\n", n,
+                    truly_in, reported_in, est_count,
+                    100.0 * std::abs(est_count -
+                                     static_cast<double>(truly_in)) /
+                        static_cast<double>(n));
+    }
+
+    std::printf("\nEvery individual can deny their answer (it flips "
+                "with probability %.0f%%), yet the aggregate "
+                "estimate tightens as 1/sqrt(n).\n",
+                100.0 * rr.flipProbability());
+    return 0;
+}

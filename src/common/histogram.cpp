@@ -1,0 +1,95 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+Histogram::Histogram(double lo, double hi, size_t num_bins)
+    : lo_(lo), hi_(hi)
+{
+    if (!(hi > lo))
+        fatal("Histogram: hi (%g) must exceed lo (%g)", hi, lo);
+    if (num_bins == 0)
+        fatal("Histogram: num_bins must be positive");
+    counts_.assign(num_bins, 0);
+    width_ = (hi - lo) / static_cast<double>(num_bins);
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x > hi_) {
+        ++overflow_;
+        return;
+    }
+    size_t bin = static_cast<size_t>((x - lo_) / width_);
+    // The upper edge belongs to the last bin.
+    bin = std::min(bin, counts_.size() - 1);
+    ++counts_[bin];
+}
+
+void
+Histogram::addAll(const std::vector<double> &xs)
+{
+    for (double x : xs)
+        add(x);
+}
+
+double
+Histogram::binCenter(size_t i) const
+{
+    ULPDP_ASSERT(i < counts_.size());
+    return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double
+Histogram::density(size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(count(i)) /
+           (static_cast<double>(total_) * width_);
+}
+
+double
+Histogram::mass(size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(count(i)) / static_cast<double>(total_);
+}
+
+std::string
+Histogram::toAscii(size_t max_width) const
+{
+    uint64_t peak = 0;
+    for (uint64_t c : counts_)
+        peak = std::max(peak, c);
+
+    std::ostringstream out;
+    char buf[64];
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        std::snprintf(buf, sizeof(buf), "%12.4f |", binCenter(i));
+        out << buf;
+        size_t bar = peak == 0
+            ? 0
+            : static_cast<size_t>(static_cast<double>(counts_[i]) *
+                                  static_cast<double>(max_width) /
+                                  static_cast<double>(peak));
+        out << std::string(bar, '#');
+        out << " " << counts_[i] << "\n";
+    }
+    return out.str();
+}
+
+} // namespace ulpdp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fixed-width binned histogram used by the distribution benches
+ * (Figs. 4, 6, 7, 12) and by distribution-shape tests.
+ */
+
+#ifndef ULPDP_COMMON_HISTOGRAM_H
+#define ULPDP_COMMON_HISTOGRAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ulpdp {
+
+/**
+ * Histogram over a closed interval [lo, hi] with a fixed number of
+ * equal-width bins. Samples outside the interval are counted in
+ * underflow/overflow buckets so no sample is silently dropped.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower edge of the binned range.
+     * @param hi Upper edge of the binned range; must exceed @p lo.
+     * @param num_bins Number of equal-width bins; must be positive.
+     */
+    Histogram(double lo, double hi, size_t num_bins);
+
+    /** Count one sample. */
+    void add(double x);
+
+    /** Count a whole vector of samples. */
+    void addAll(const std::vector<double> &xs);
+
+    /** Number of bins (excluding under/overflow). */
+    size_t numBins() const { return counts_.size(); }
+
+    /** Raw count in bin @p i. */
+    uint64_t count(size_t i) const { return counts_.at(i); }
+
+    /** Samples below the binned range. */
+    uint64_t underflow() const { return underflow_; }
+
+    /** Samples above the binned range. */
+    uint64_t overflow() const { return overflow_; }
+
+    /** Total samples seen, including under/overflow. */
+    uint64_t total() const { return total_; }
+
+    /** Center of bin @p i. */
+    double binCenter(size_t i) const;
+
+    /** Width of each bin. */
+    double binWidth() const { return width_; }
+
+    /**
+     * Empirical probability density in bin @p i: count normalised by
+     * (total * bin width), comparable against an analytic pdf.
+     */
+    double density(size_t i) const;
+
+    /** Empirical probability mass in bin @p i: count / total. */
+    double mass(size_t i) const;
+
+    /**
+     * Render an ASCII bar chart, one row per bin, to ease eyeballing
+     * distribution shapes in bench output.
+     *
+     * @param max_width Width in characters of the longest bar.
+     */
+    std::string toAscii(size_t max_width = 60) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<uint64_t> counts_;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_COMMON_HISTOGRAM_H

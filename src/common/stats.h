@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Streaming statistics accumulators used throughout the evaluation
+ * harness: running mean/variance (Welford), min/max, and a small helper
+ * for batch statistics (median, percentiles, MAE).
+ */
+
+#ifndef ULPDP_COMMON_STATS_H
+#define ULPDP_COMMON_STATS_H
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace ulpdp {
+
+/**
+ * Numerically stable streaming accumulator for count, mean, variance,
+ * min and max of a sequence of doubles (Welford's algorithm).
+ */
+class RunningStats
+{
+  public:
+    RunningStats() = default;
+
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (parallel Welford). */
+    void merge(const RunningStats &other);
+
+    /** Reset to the empty state. */
+    void reset();
+
+    /** Number of samples seen so far. */
+    size_t count() const { return count_; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Population variance (divide by N); 0 when fewer than 1 sample. */
+    double variance() const;
+
+    /** Sample variance (divide by N-1); 0 when fewer than 2 samples. */
+    double sampleVariance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest sample seen; -inf when empty. */
+    double max() const { return max_; }
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Batch statistics over a materialised vector of samples.
+ *
+ * The evaluation harness repeatedly needs order statistics (median,
+ * percentiles) which a streaming accumulator cannot provide.
+ */
+namespace batch {
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &v);
+
+/** Population variance; 0 for fewer than 1 element. */
+double variance(const std::vector<double> &v);
+
+/** Population standard deviation. */
+double stddev(const std::vector<double> &v);
+
+/**
+ * Median via nth_element (averages the two middle elements for even
+ * sizes). The input is copied; the original vector is not reordered.
+ */
+double median(std::vector<double> v);
+
+/**
+ * Linear-interpolated percentile, p in [0, 100]. The input is copied.
+ */
+double percentile(std::vector<double> v, double p);
+
+/** Mean absolute deviation between two equal-length vectors. */
+double meanAbsError(const std::vector<double> &a,
+                    const std::vector<double> &b);
+
+} // namespace batch
+
+} // namespace ulpdp
+
+#endif // ULPDP_COMMON_STATS_H

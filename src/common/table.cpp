@@ -1,0 +1,98 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (!header_.empty() && cells.size() > header_.size())
+        fatal("TextTable: row has %zu cells, header has %zu",
+              cells.size(), header_.size());
+    if (!header_.empty())
+        cells.resize(header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &out) const
+{
+    size_t cols = header_.size();
+    for (const auto &row : rows_)
+        cols = std::max(cols, row.size());
+
+    std::vector<size_t> widths(cols, 0);
+    auto widen = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto &row : rows_)
+        widen(row);
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < cols; ++i) {
+            std::string cell = i < row.size() ? row[i] : "";
+            out << cell << std::string(widths[i] - cell.size(), ' ');
+            if (i + 1 < cols)
+                out << "  ";
+        }
+        out << "\n";
+    };
+
+    if (!header_.empty()) {
+        print_row(header_);
+        size_t rule = 0;
+        for (size_t i = 0; i < cols; ++i)
+            rule += widths[i] + (i + 1 < cols ? 2 : 0);
+        out << std::string(rule, '-') << "\n";
+    }
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+TextTable::toString() const
+{
+    std::ostringstream out;
+    print(out);
+    return out.str();
+}
+
+std::string
+TextTable::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::fmtPlusMinus(double a, double b, int precision)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%.*g +- %.*g", precision + 2, a,
+                  precision, b);
+    return buf;
+}
+
+std::string
+TextTable::fmtPercent(double frac, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, frac * 100.0);
+    return buf;
+}
+
+} // namespace ulpdp

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal column-aligned text table writer so every bench binary can
+ * print paper-style tables (Tables I-VI) with consistent formatting.
+ */
+
+#ifndef ULPDP_COMMON_TABLE_H
+#define ULPDP_COMMON_TABLE_H
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ulpdp {
+
+/**
+ * Simple text table: set a header row, append data rows, then stream it.
+ * Columns are padded to the widest cell; a rule is drawn under the
+ * header. Cell values are plain strings so callers control formatting.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row; defines the column count. */
+    void setHeader(std::vector<std::string> cells);
+
+    /**
+     * Append one data row. Rows shorter than the header are padded with
+     * empty cells; longer rows are an error.
+     */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows added so far. */
+    size_t numRows() const { return rows_.size(); }
+
+    /** Render the table to @p out. */
+    void print(std::ostream &out) const;
+
+    /** Render the table to a string. */
+    std::string toString() const;
+
+    /** Format helper: fixed-precision double. */
+    static std::string fmt(double v, int precision = 3);
+
+    /** Format helper: "a ± b" cell used in the MAE tables. */
+    static std::string fmtPlusMinus(double a, double b, int precision = 3);
+
+    /** Format helper: percentage with one decimal, e.g. "8.6%". */
+    static std::string fmtPercent(double frac, int precision = 1);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_COMMON_TABLE_H

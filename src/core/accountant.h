@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Sequential-composition privacy accountant.
+ *
+ * The composition theorem (Section II-A): answering queries with
+ * eps_1, ..., eps_n -LDP mechanisms leaks at most sum(eps_i) in total.
+ * This accountant is the software-side bookkeeping a data consumer or
+ * trusted coordinator keeps; the in-device, output-adaptive version is
+ * BudgetController.
+ */
+
+#ifndef ULPDP_CORE_ACCOUNTANT_H
+#define ULPDP_CORE_ACCOUNTANT_H
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+/** Tracks cumulative privacy loss against a fixed budget. */
+class PrivacyAccountant
+{
+  public:
+    /** @param budget Total allowed loss; must be positive. */
+    explicit PrivacyAccountant(double budget) : budget_(budget)
+    {
+        if (!(budget > 0.0))
+            fatal("PrivacyAccountant: budget must be positive, got %g",
+                  budget);
+    }
+
+    /** Can a mechanism costing @p eps still run? */
+    bool
+    canSpend(double eps) const
+    {
+        return spent_ + eps <= budget_ + 1e-12;
+    }
+
+    /**
+     * Record a mechanism invocation costing @p eps.
+     * @return false (and records nothing) if the budget is exceeded.
+     */
+    bool
+    spend(double eps)
+    {
+        ULPDP_ASSERT(eps >= 0.0);
+        if (!canSpend(eps))
+            return false;
+        spent_ += eps;
+        ++queries_;
+        return true;
+    }
+
+    /** Total loss spent so far. */
+    double spent() const { return spent_; }
+
+    /** Remaining budget. */
+    double remaining() const { return budget_ - spent_; }
+
+    /** Configured total budget. */
+    double budget() const { return budget_; }
+
+    /** Number of recorded queries. */
+    uint64_t queries() const { return queries_; }
+
+    /** Reset to an unspent state (e.g. after a replenishment epoch). */
+    void
+    reset()
+    {
+        spent_ = 0.0;
+        queries_ = 0;
+    }
+
+  private:
+    double budget_;
+    double spent_ = 0.0;
+    uint64_t queries_ = 0;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_CORE_ACCOUNTANT_H

@@ -1,0 +1,186 @@
+#include "core/budget.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/privacy_loss.h"
+
+namespace ulpdp {
+
+std::vector<BudgetSegment>
+LossSegments::compute(const ThresholdCalculator &calc, RangeControl kind,
+                      const std::vector<double> &loss_multiples)
+{
+    if (loss_multiples.empty())
+        fatal("LossSegments: need at least one loss multiple");
+    for (size_t i = 0; i < loss_multiples.size(); ++i) {
+        if (!(loss_multiples[i] > 1.0))
+            fatal("LossSegments: loss multiples must exceed 1, got %g",
+                  loss_multiples[i]);
+        if (i > 0 && !(loss_multiples[i] > loss_multiples[i - 1]))
+            fatal("LossSegments: loss multiples must be strictly "
+                  "increasing");
+    }
+
+    std::vector<BudgetSegment> segments;
+
+    // Central segment: outputs inside [m, M] cost the RNG's intrinsic
+    // loss.
+    BudgetSegment central;
+    central.threshold_index = 0;
+    central.loss = centralLoss(calc, kind);
+    segments.push_back(central);
+
+    // Outer segments: widest extension whose outputs stay below each
+    // level. The exact threshold search embodies precisely that.
+    for (double n : loss_multiples) {
+        int64_t t = calc.exactIndex(kind, n);
+        if (t < 0) {
+            warn("LossSegments: no window satisfies loss %g * eps; "
+                 "segment skipped", n);
+            continue;
+        }
+        BudgetSegment seg;
+        seg.threshold_index = t;
+        // Charge the exact loss of that window, not the level bound:
+        // tighter metering at no extra hardware cost (the loss table
+        // is precomputed at configuration time either way).
+        seg.loss = std::max(calc.exactLossAt(kind, t), central.loss);
+        if (seg.threshold_index <= segments.back().threshold_index)
+            continue; // level too tight to widen the window further
+        segments.push_back(seg);
+    }
+    return segments;
+}
+
+double
+LossSegments::centralLoss(const ThresholdCalculator &calc,
+                          RangeControl kind)
+{
+    // With extension 0 every output is inside [m, M]; for thresholding
+    // the range endpoints become the clamp atoms, exactly as a
+    // zero-extension device would behave.
+    double loss = calc.exactLossAt(kind, 0);
+    if (!std::isfinite(loss))
+        fatal("LossSegments: central outputs already have unbounded "
+              "loss; the RNG resolution is too coarse for this range");
+    return loss;
+}
+
+BudgetController::BudgetController(const FxpMechanismParams &params,
+                                   const BudgetControllerConfig &config)
+    : params_(params), config_(config), rng_(params.rngConfig(),
+                                             params.seed),
+      budget_(config.initial_budget)
+{
+    if (!(config.initial_budget > 0.0))
+        fatal("BudgetController: initial budget must be positive");
+    if (config.segments.empty())
+        fatal("BudgetController: need at least one segment");
+    for (size_t i = 1; i < config.segments.size(); ++i) {
+        if (config.segments[i].threshold_index <=
+                config.segments[i - 1].threshold_index ||
+            config.segments[i].loss < config.segments[i - 1].loss) {
+            fatal("BudgetController: segments must have strictly "
+                  "increasing thresholds and non-decreasing losses");
+        }
+    }
+
+    double delta = params.resolvedDelta();
+    lo_index_ = static_cast<int64_t>(std::llround(params.range.lo /
+                                                  delta));
+    hi_index_ = static_cast<int64_t>(std::llround(params.range.hi /
+                                                  delta));
+}
+
+double
+BudgetController::segmentLoss(int64_t extension) const
+{
+    for (const auto &seg : config_.segments) {
+        if (extension <= seg.threshold_index)
+            return seg.loss;
+    }
+    // Outside the outermost segment: callers clamp/resample before
+    // classifying, so this indicates an internal bug.
+    panic("BudgetController: output extension %lld beyond outermost "
+          "segment", static_cast<long long>(extension));
+}
+
+BudgetResponse
+BudgetController::request(double x)
+{
+    double delta = params_.resolvedDelta();
+    int64_t xi = static_cast<int64_t>(std::llround(x / delta));
+    xi = std::clamp(xi, lo_index_, hi_index_);
+
+    int64_t outer = config_.segments.back().threshold_index;
+    int64_t win_lo = lo_index_ - outer;
+    int64_t win_hi = hi_index_ + outer;
+
+    // Draw the noised output according to the configured range
+    // control. Resampling redraws; thresholding clamps.
+    uint64_t samples = 0;
+    int64_t yi = 0;
+    if (config_.kind == RangeControl::Resampling) {
+        while (true) {
+            ++samples;
+            if (samples > (uint64_t{1} << 20))
+                panic("BudgetController: resampling never accepted");
+            yi = xi + rng_.sampleIndex();
+            if (yi >= win_lo && yi <= win_hi)
+                break;
+        }
+    } else {
+        samples = 1;
+        yi = std::clamp(xi + rng_.sampleIndex(), win_lo, win_hi);
+    }
+
+    int64_t ext = 0;
+    if (yi < lo_index_)
+        ext = lo_index_ - yi;
+    else if (yi > hi_index_)
+        ext = yi - hi_index_;
+    double loss = segmentLoss(ext);
+
+    BudgetResponse resp;
+    resp.samples_drawn = samples;
+
+    if (budget_ + 1e-12 < loss) {
+        // Budget cannot cover this report: replay the cache. Before
+        // any fresh report exists, the range midpoint is returned --
+        // a constant, so it carries no information about x.
+        resp.value = cache_.value_or(params_.range.mid());
+        resp.from_cache = true;
+        resp.charged = 0.0;
+        ++cache_hits_;
+        return resp;
+    }
+
+    budget_ -= loss;
+    resp.value = static_cast<double>(yi) * delta;
+    resp.charged = loss;
+    cache_ = resp.value;
+    ++fresh_reports_;
+    return resp;
+}
+
+void
+BudgetController::advanceTime(uint64_t ticks)
+{
+    if (config_.replenish_period == 0)
+        return;
+    ticks_since_replenish_ += ticks;
+    if (ticks_since_replenish_ >= config_.replenish_period) {
+        ticks_since_replenish_ %= config_.replenish_period;
+        budget_ = config_.initial_budget;
+    }
+}
+
+double
+BudgetController::spentSinceReplenish() const
+{
+    return config_.initial_budget - budget_;
+}
+
+} // namespace ulpdp

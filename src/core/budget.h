@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Privacy budget control for local DP on fixed-point hardware
+ * (Section III-C, Algorithm 1, Fig. 8).
+ *
+ * Each noised report leaks privacy; sequential composition adds the
+ * leaks up, so a device must meter them. The paper's insight is that
+ * on FxP hardware the leak is *output dependent*: a report that lands
+ * near the center of the window is consistent with every input (small
+ * loss, the RNG's intrinsic eps_RNG), while a report near the clamp
+ * boundary is only barely so (loss approaching the configured n*eps
+ * bound). The controller therefore divides the output range into
+ * segments with precomputed loss bounds (Fig. 8) and charges each
+ * report the loss of the segment its output actually fell in --
+ * strictly less total budget than charging the worst case every time.
+ *
+ * When the budget cannot cover a report, the controller replays the
+ * cached previous report: a deterministic function of already-released
+ * data, so it costs nothing (Section III-C). An optional replenishment
+ * period restores the budget, matching the DP-Box hardware which
+ * resets the budget timer while idle in the waiting phase.
+ */
+
+#ifndef ULPDP_CORE_BUDGET_H
+#define ULPDP_CORE_BUDGET_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/fxp_mechanism.h"
+#include "core/threshold_calc.h"
+
+namespace ulpdp {
+
+/** One output segment: window extension and the loss charged for it. */
+struct BudgetSegment
+{
+    /** Outputs within [m - t*Delta, M + t*Delta] fall in this segment
+     *  (unless an inner segment already claimed them). */
+    int64_t threshold_index = 0;
+
+    /** Privacy loss charged for a report landing in this segment. */
+    double loss = 0.0;
+};
+
+/**
+ * Computes the Fig. 8 segmentation: for each requested loss level,
+ * the widest window extension whose outputs all stay at or below it.
+ */
+class LossSegments
+{
+  public:
+    /**
+     * @param calc Threshold calculator for the mechanism parameters.
+     * @param kind Range-control flavour the device runs.
+     * @param loss_multiples Increasing loss levels as multiples of
+     *        eps, e.g. {1.5, 2.0, 2.5, 3.0}; each must exceed 1.
+     * @return Segments ordered innermost to outermost. The first
+     *         entry is the central segment (threshold 0) charged the
+     *         RNG's intrinsic central loss eps_RNG; the last entry's
+     *         threshold is the device's clamp/resample window.
+     */
+    static std::vector<BudgetSegment>
+    compute(const ThresholdCalculator &calc, RangeControl kind,
+            const std::vector<double> &loss_multiples);
+
+    /**
+     * The RNG's intrinsic central loss eps_RNG: the worst loss over
+     * outputs inside the sensor range itself. On ideal hardware this
+     * would be exactly eps; quantization makes it slightly different.
+     */
+    static double centralLoss(const ThresholdCalculator &calc,
+                              RangeControl kind);
+};
+
+/** Outcome of one data request served by the controller. */
+struct BudgetResponse
+{
+    /** Value released to the requester. */
+    double value = 0.0;
+
+    /** Privacy loss charged (0 when served from cache). */
+    double charged = 0.0;
+
+    /** True when the cached previous output was replayed. */
+    bool from_cache = false;
+
+    /** Laplace samples drawn (resampling latency accounting). */
+    uint64_t samples_drawn = 0;
+};
+
+/** Static configuration of a BudgetController. */
+struct BudgetControllerConfig
+{
+    /** Total privacy budget B. */
+    double initial_budget = 5.0;
+
+    /** Budget replenishment period in device ticks; 0 disables. */
+    uint64_t replenish_period = 0;
+
+    /** Range-control flavour. */
+    RangeControl kind = RangeControl::Thresholding;
+
+    /** Output segments, innermost first (see LossSegments::compute). */
+    std::vector<BudgetSegment> segments;
+};
+
+/**
+ * Algorithm 1: output-adaptive privacy budget metering wrapped around
+ * the fixed-point noising datapath.
+ */
+class BudgetController
+{
+  public:
+    /**
+     * @param params Fixed-point mechanism parameters.
+     * @param config Budget configuration; segments must be non-empty
+     *        with strictly increasing thresholds and losses.
+     */
+    BudgetController(const FxpMechanismParams &params,
+                     const BudgetControllerConfig &config);
+
+    /** Serve one sensor data request for true reading @p x. */
+    BudgetResponse request(double x);
+
+    /** Advance device time by @p ticks (drives replenishment). */
+    void advanceTime(uint64_t ticks);
+
+    /** Budget remaining right now. */
+    double remainingBudget() const { return budget_; }
+
+    /** Requests served from cache so far. */
+    uint64_t cacheHits() const { return cache_hits_; }
+
+    /** Requests served with fresh noise so far. */
+    uint64_t freshReports() const { return fresh_reports_; }
+
+    /** Total privacy loss charged since the last replenishment. */
+    double spentSinceReplenish() const;
+
+    /** The configuration in effect. */
+    const BudgetControllerConfig &config() const { return config_; }
+
+    /** The mechanism parameters in effect. */
+    const FxpMechanismParams &params() const { return params_; }
+
+  private:
+    /** Classify a noised output index into a segment; returns the
+     *  charged loss. */
+    double segmentLoss(int64_t extension) const;
+
+    FxpMechanismParams params_;
+    BudgetControllerConfig config_;
+    FxpLaplaceRng rng_;
+    int64_t lo_index_;
+    int64_t hi_index_;
+    double budget_;
+    std::optional<double> cache_;
+    uint64_t cache_hits_ = 0;
+    uint64_t fresh_reports_ = 0;
+    uint64_t ticks_since_replenish_ = 0;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_CORE_BUDGET_H

@@ -1,0 +1,125 @@
+#include "core/constant_time.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+ConstantTimeResamplingMechanism::ConstantTimeResamplingMechanism(
+        const FxpMechanismParams &params, int64_t threshold_index,
+        int batch_size)
+    : FxpMechanismBase(params), threshold_index_(threshold_index),
+      batch_size_(batch_size)
+{
+    if (threshold_index < 0)
+        fatal("ConstantTimeResamplingMechanism: threshold_index must "
+              "be non-negative");
+    if (batch_size < 1)
+        fatal("ConstantTimeResamplingMechanism: batch_size must be "
+              "positive, got %d", batch_size);
+}
+
+NoisedReport
+ConstantTimeResamplingMechanism::noise(double x)
+{
+    int64_t xi = checkAndIndex(x);
+    int64_t win_lo = lo_index_ - threshold_index_;
+    int64_t win_hi = hi_index_ + threshold_index_;
+
+    // Always draw all K samples (the hardware generates the batch
+    // unconditionally, which is what makes the timing constant).
+    int64_t chosen = 0;
+    bool found = false;
+    int64_t last = 0;
+    for (int i = 0; i < batch_size_; ++i) {
+        int64_t yi = xi + rng_.sampleIndex();
+        last = yi;
+        if (!found && yi >= win_lo && yi <= win_hi) {
+            chosen = yi;
+            found = true;
+        }
+    }
+    if (!found) {
+        chosen = std::clamp(last, win_lo, win_hi);
+        ++clamp_fallbacks_;
+    }
+    ++total_reports_;
+    return NoisedReport{toValue(chosen),
+                        static_cast<uint64_t>(batch_size_)};
+}
+
+ConstantTimeOutputModel::ConstantTimeOutputModel(
+        std::shared_ptr<const NoisePmf> pmf, int64_t span,
+        int64_t threshold, int batch_size)
+    : pmf_(std::move(pmf)), span_(span), threshold_(threshold),
+      batch_size_(batch_size)
+{
+    if (!pmf_)
+        fatal("ConstantTimeOutputModel: pmf must not be null");
+    if (span_ <= 0)
+        fatal("ConstantTimeOutputModel: span must be positive");
+    if (threshold_ < 0)
+        fatal("ConstantTimeOutputModel: threshold must be "
+              "non-negative");
+    if (batch_size_ < 1)
+        fatal("ConstantTimeOutputModel: batch_size must be positive");
+
+    accept_.resize(static_cast<size_t>(span_) + 1);
+    for (int64_t i = 0; i <= span_; ++i) {
+        double z = 0.0;
+        for (int64_t j = outputLo(); j <= outputHi(); ++j)
+            z += pmf_->pmf(j - i);
+        if (z <= 0.0)
+            fatal("ConstantTimeOutputModel: input %lld has zero "
+                  "acceptance probability",
+                  static_cast<long long>(i));
+        accept_[static_cast<size_t>(i)] = z;
+    }
+}
+
+double
+ConstantTimeOutputModel::acceptProbability(int64_t i) const
+{
+    ULPDP_ASSERT(i >= 0 && i <= span_);
+    return accept_[static_cast<size_t>(i)];
+}
+
+double
+ConstantTimeOutputModel::fallbackProbability(int64_t i) const
+{
+    return std::pow(1.0 - acceptProbability(i), batch_size_);
+}
+
+double
+ConstantTimeOutputModel::prob(int64_t j, int64_t i) const
+{
+    ULPDP_ASSERT(i >= 0 && i <= span_);
+    int64_t lo = outputLo();
+    int64_t hi = outputHi();
+    if (j < lo || j > hi)
+        return 0.0;
+
+    double z = acceptProbability(i);
+    double miss = 1.0 - z;
+    // First accepted draw among K: a geometric series truncated at
+    // K terms, total weight (1 - miss^K) spread over the window in
+    // proportion to the raw PMF.
+    double interior_scale =
+        (1.0 - std::pow(miss, batch_size_)) / z;
+    double p = pmf_->pmf(j - i) * interior_scale;
+
+    if (j == hi || j == lo) {
+        // Clamp fallback: all K missed (weight miss^(K-1) for the
+        // first K-1, times the K-th draw landing beyond this
+        // boundary).
+        double beyond = (j == hi)
+            ? pmf_->tailMass(hi - i + 1)
+            : pmf_->tailMass(i - lo + 1);
+        p += std::pow(miss, batch_size_ - 1) * beyond;
+    }
+    return p;
+}
+
+} // namespace ulpdp

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Base class for the fixed-point mechanisms and the naive baseline.
+ *
+ * FxpMechanismBase owns the fixed-point Laplace RNG and the grid
+ * bookkeeping: sensor readings are quantized onto the Delta grid
+ * (hardware receives them as fixed-point words to begin with) and all
+ * mechanism logic operates on grid indices.
+ *
+ * NaiveFxpMechanism is the paper's "FxP HW Baseline": add one
+ * fixed-point noise sample, release whatever comes out. Its utility is
+ * indistinguishable from the ideal mechanism (Tables II-V) but its
+ * worst-case privacy loss is infinite (Section III-A3), so
+ * guaranteesLdp() is false.
+ */
+
+#ifndef ULPDP_CORE_FXP_MECHANISM_H
+#define ULPDP_CORE_FXP_MECHANISM_H
+
+#include <cstdint>
+
+#include "core/fxp_params.h"
+#include "core/mechanism.h"
+#include "rng/fxp_laplace.h"
+
+namespace ulpdp {
+
+/** Shared machinery of the fixed-point mechanisms. */
+class FxpMechanismBase : public Mechanism
+{
+  public:
+    explicit FxpMechanismBase(const FxpMechanismParams &params);
+
+    const SensorRange &range() const override { return params_.range; }
+    double epsilon() const override { return params_.epsilon; }
+
+    /** Full parameter block. */
+    const FxpMechanismParams &params() const { return params_; }
+
+    /** Quantization step Delta. */
+    double delta() const { return rng_.quantizer().delta(); }
+
+    /** Quantize a sensor reading onto the Delta grid (index units). */
+    int64_t toIndex(double x) const;
+
+    /** Map a grid index back to a value. */
+    double toValue(int64_t index) const;
+
+    /** Grid index of the range lower limit m. */
+    int64_t loIndex() const { return lo_index_; }
+
+    /** Grid index of the range upper limit M. */
+    int64_t hiIndex() const { return hi_index_; }
+
+    /** Underlying fixed-point RNG (for tests and analyses). */
+    FxpLaplaceRng &rng() { return rng_; }
+
+  protected:
+    /** Validate the reading and return its grid index. */
+    int64_t checkAndIndex(double x) const;
+
+    FxpMechanismParams params_;
+    FxpLaplaceRng rng_;
+    int64_t lo_index_;
+    int64_t hi_index_;
+};
+
+/**
+ * Naive fixed-point Laplace mechanism: y = x + n with n from the
+ * fixed-point RNG, no range control. NOT eps-LDP for any finite eps.
+ */
+class NaiveFxpMechanism : public FxpMechanismBase
+{
+  public:
+    explicit NaiveFxpMechanism(const FxpMechanismParams &params)
+        : FxpMechanismBase(params)
+    {}
+
+    NoisedReport noise(double x) override;
+    std::string name() const override { return "FxP HW Baseline"; }
+    bool guaranteesLdp() const override { return false; }
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_CORE_FXP_MECHANISM_H

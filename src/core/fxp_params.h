@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared parameter block for every fixed-point mechanism.
+ *
+ * All three fixed-point settings of the paper (naive baseline,
+ * resampling, thresholding) share the same RNG datapath; they differ
+ * only in what happens when the noised output leaves the allowed
+ * window. This struct carries the common knobs and derives the
+ * Laplace scale lambda = d / eps and the RNG configuration from them.
+ */
+
+#ifndef ULPDP_CORE_FXP_PARAMS_H
+#define ULPDP_CORE_FXP_PARAMS_H
+
+#include <cstdint>
+
+#include "core/sensor_range.h"
+#include "rng/fxp_laplace.h"
+
+namespace ulpdp {
+
+/** Parameters shared by the fixed-point LDP mechanisms. */
+struct FxpMechanismParams
+{
+    /** Sensor range [m, M]; the LDP sensitivity is its length d. */
+    SensorRange range{0.0, 1.0};
+
+    /** Privacy parameter eps (paper evaluation default: 0.5). */
+    double epsilon = 0.5;
+
+    /** URNG width Bu in bits (paper default 17). */
+    int uniform_bits = 17;
+
+    /** RNG output width By in bits (paper default 12). */
+    int output_bits = 12;
+
+    /**
+     * Quantization step Delta; 0 selects the paper's convention of
+     * d / 2^5 (their running example uses Delta = 10 / 2^5 on d = 10).
+     */
+    double delta = 0.0;
+
+    /** Log evaluation mode of the RNG datapath. */
+    FxpLaplaceConfig::LogMode log_mode =
+        FxpLaplaceConfig::LogMode::Reference;
+
+    /** PRNG seed. */
+    uint64_t seed = 1;
+
+    /** Laplace scale lambda = d / eps. */
+    double
+    lambda() const
+    {
+        return range.length() / epsilon;
+    }
+
+    /** Delta with the default convention applied. */
+    double
+    resolvedDelta() const
+    {
+        return delta > 0.0 ? delta : range.length() / 32.0;
+    }
+
+    /** Assemble the RNG configuration this parameter block implies. */
+    FxpLaplaceConfig
+    rngConfig() const
+    {
+        FxpLaplaceConfig cfg;
+        cfg.uniform_bits = uniform_bits;
+        cfg.output_bits = output_bits;
+        cfg.delta = resolvedDelta();
+        cfg.lambda = lambda();
+        cfg.log_mode = log_mode;
+        return cfg;
+    }
+
+    /** Sensor range length in quantization steps (rounded). */
+    int64_t
+    rangeIndexSpan() const
+    {
+        double d = range.length() / resolvedDelta();
+        return static_cast<int64_t>(d + 0.5);
+    }
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_CORE_FXP_PARAMS_H

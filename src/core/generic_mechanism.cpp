@@ -1,0 +1,76 @@
+#include "core/generic_mechanism.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+GenericFxpMechanism::GenericFxpMechanism(
+        const SensorRange &range, double epsilon,
+        const FxpInversionConfig &config,
+        std::shared_ptr<const MagnitudeIcdf> icdf, RangeControl kind,
+        int64_t threshold_index, uint64_t seed)
+    : range_(range), epsilon_(epsilon), kind_(kind),
+      threshold_index_(threshold_index),
+      rng_(config, std::move(icdf), seed)
+{
+    if (!(epsilon > 0.0))
+        fatal("GenericFxpMechanism: epsilon must be positive");
+    if (threshold_index < 0)
+        fatal("GenericFxpMechanism: threshold_index must be "
+              "non-negative");
+
+    double delta = rng_.quantizer().delta();
+    lo_index_ = static_cast<int64_t>(std::llround(range.lo / delta));
+    hi_index_ = static_cast<int64_t>(std::llround(range.hi / delta));
+    if (hi_index_ <= lo_index_)
+        fatal("GenericFxpMechanism: range shorter than one "
+              "quantization step");
+}
+
+std::string
+GenericFxpMechanism::name() const
+{
+    std::string control = kind_ == RangeControl::Resampling
+        ? "resampling"
+        : "thresholding";
+    return rng_.icdf().name() + " (" + control + ")";
+}
+
+NoisedReport
+GenericFxpMechanism::noise(double x)
+{
+    double delta = rng_.quantizer().delta();
+    double slack = delta;
+    if (x < range_.lo - slack || x > range_.hi + slack)
+        fatal("%s: reading %g outside range [%g, %g]",
+              name().c_str(), x, range_.lo, range_.hi);
+    int64_t xi = std::clamp(
+        static_cast<int64_t>(std::llround(x / delta)), lo_index_,
+        hi_index_);
+
+    int64_t win_lo = lo_index_ - threshold_index_;
+    int64_t win_hi = hi_index_ + threshold_index_;
+
+    if (kind_ == RangeControl::Thresholding) {
+        int64_t yi = std::clamp(xi + rng_.sampleIndex(), win_lo,
+                                win_hi);
+        return NoisedReport{static_cast<double>(yi) * delta, 1};
+    }
+
+    uint64_t attempts = 0;
+    while (true) {
+        ++attempts;
+        if (attempts > (uint64_t{1} << 20))
+            panic("%s: resampling never accepted", name().c_str());
+        int64_t yi = xi + rng_.sampleIndex();
+        if (yi >= win_lo && yi <= win_hi) {
+            return NoisedReport{static_cast<double>(yi) * delta,
+                                attempts};
+        }
+    }
+}
+
+} // namespace ulpdp

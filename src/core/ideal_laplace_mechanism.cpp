@@ -1,0 +1,27 @@
+#include "core/ideal_laplace_mechanism.h"
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+IdealLaplaceMechanism::IdealLaplaceMechanism(const SensorRange &range,
+                                             double epsilon,
+                                             uint64_t seed)
+    : range_(range), epsilon_(epsilon),
+      laplace_(range.length() / epsilon, seed)
+{
+    if (!(epsilon > 0.0))
+        fatal("IdealLaplaceMechanism: epsilon must be positive, got %g",
+              epsilon);
+}
+
+NoisedReport
+IdealLaplaceMechanism::noise(double x)
+{
+    if (!range_.contains(x))
+        fatal("IdealLaplaceMechanism: reading %g outside range "
+              "[%g, %g]", x, range_.lo, range_.hi);
+    return NoisedReport{x + laplace_.sample(), 1};
+}
+
+} // namespace ulpdp

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The "Ideal Local DP" reference mechanism: continuous double-precision
+ * Laplace noise, y = x + Lap(d / eps). Exactly eps-LDP in the
+ * mathematical model; unbuildable on ULP hardware (and, per Mironov's
+ * floating-point attack cited by the paper, not even airtight in
+ * software), but the utility yardstick for Tables II-V.
+ */
+
+#ifndef ULPDP_CORE_IDEAL_LAPLACE_MECHANISM_H
+#define ULPDP_CORE_IDEAL_LAPLACE_MECHANISM_H
+
+#include "core/mechanism.h"
+#include "rng/ideal_laplace.h"
+
+namespace ulpdp {
+
+/** Continuous Laplace mechanism in the local model. */
+class IdealLaplaceMechanism : public Mechanism
+{
+  public:
+    /**
+     * @param range Sensor range; sensitivity is range.length().
+     * @param epsilon Privacy parameter.
+     * @param seed PRNG seed.
+     */
+    IdealLaplaceMechanism(const SensorRange &range, double epsilon,
+                          uint64_t seed = 1);
+
+    NoisedReport noise(double x) override;
+    std::string name() const override { return "Ideal Local DP"; }
+    bool guaranteesLdp() const override { return true; }
+    const SensorRange &range() const override { return range_; }
+    double epsilon() const override { return epsilon_; }
+
+  private:
+    SensorRange range_;
+    double epsilon_;
+    IdealLaplace laplace_;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_CORE_IDEAL_LAPLACE_MECHANISM_H

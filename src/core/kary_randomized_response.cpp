@@ -1,0 +1,108 @@
+#include "core/kary_randomized_response.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+KaryRandomizedResponse::KaryRandomizedResponse(int num_categories,
+                                               double epsilon,
+                                               int uniform_bits,
+                                               uint64_t seed)
+    : k_(num_categories), epsilon_(epsilon),
+      uniform_bits_(uniform_bits), urng_(seed)
+{
+    if (k_ < 2)
+        fatal("KaryRandomizedResponse: need at least 2 categories, "
+              "got %d", k_);
+    if (!(epsilon > 0.0))
+        fatal("KaryRandomizedResponse: epsilon must be positive, "
+              "got %g", epsilon);
+    if (uniform_bits < 4 || uniform_bits > 32)
+        fatal("KaryRandomizedResponse: uniform_bits must be in "
+              "[4, 32], got %d", uniform_bits);
+
+    double p = std::exp(epsilon) /
+               (std::exp(epsilon) + static_cast<double>(k_) - 1.0);
+    double total = std::ldexp(1.0, uniform_bits_);
+    uint64_t threshold =
+        static_cast<uint64_t>(std::llrint(p * total));
+    // Both the truth and every lie must stay possible, or the loss
+    // is infinite -- clamp the quantized threshold inside (0, 2^Bu).
+    uint64_t max_threshold = (uint64_t{1} << uniform_bits_) - 1;
+    if (threshold < 1)
+        threshold = 1;
+    if (threshold > max_threshold)
+        threshold = max_threshold;
+    truth_threshold_ = threshold;
+}
+
+double
+KaryRandomizedResponse::truthProbability() const
+{
+    return static_cast<double>(truth_threshold_) /
+           std::ldexp(1.0, uniform_bits_);
+}
+
+double
+KaryRandomizedResponse::lieProbability() const
+{
+    return (1.0 - truthProbability()) /
+           (static_cast<double>(k_) - 1.0);
+}
+
+double
+KaryRandomizedResponse::exactLoss() const
+{
+    return std::log(truthProbability() / lieProbability());
+}
+
+int
+KaryRandomizedResponse::respond(int category)
+{
+    if (category < 0 || category >= k_)
+        fatal("KaryRandomizedResponse: category %d out of [0, %d)",
+              category, k_);
+
+    uint64_t draw = urng_.nextBits(uniform_bits_);
+    if (draw < truth_threshold_)
+        return category;
+
+    // Uniform among the other k-1 categories. The modulo bias is
+    // (k-1) / 2^32 -- far below the 2^-Bu threshold quantization
+    // already accounted for in exactLoss().
+    int other = static_cast<int>(urng_.next32() %
+                                 static_cast<uint32_t>(k_ - 1));
+    return other >= category ? other + 1 : other;
+}
+
+std::vector<double>
+KaryRandomizedResponse::estimateCounts(
+        const std::vector<uint64_t> &observed_counts) const
+{
+    if (observed_counts.size() != static_cast<size_t>(k_))
+        fatal("KaryRandomizedResponse: got %zu counts for %d "
+              "categories", observed_counts.size(), k_);
+
+    uint64_t n = 0;
+    for (uint64_t c : observed_counts)
+        n += c;
+
+    double p = truthProbability();
+    double q = lieProbability();
+    std::vector<double> est(observed_counts.size());
+    for (size_t i = 0; i < est.size(); ++i) {
+        double raw = (static_cast<double>(observed_counts[i]) -
+                      static_cast<double>(n) * q) /
+                     (p - q);
+        if (raw < 0.0)
+            raw = 0.0;
+        if (raw > static_cast<double>(n))
+            raw = static_cast<double>(n);
+        est[i] = raw;
+    }
+    return est;
+}
+
+} // namespace ulpdp

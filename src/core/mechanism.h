@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Abstract interface for local differential privacy mechanisms.
+ *
+ * A mechanism turns one true sensor reading into one noised report.
+ * The four concrete mechanisms mirror the paper's four evaluation
+ * settings (Tables II-V): IdealLaplaceMechanism, NaiveFxpMechanism
+ * (the baseline that is *not* LDP), ResamplingMechanism and
+ * ThresholdingMechanism; RandomizedResponse covers Section VI-E.
+ */
+
+#ifndef ULPDP_CORE_MECHANISM_H
+#define ULPDP_CORE_MECHANISM_H
+
+#include <cstdint>
+#include <string>
+
+#include "core/sensor_range.h"
+
+namespace ulpdp {
+
+/**
+ * One noised report along with its per-report cost metadata.
+ */
+struct NoisedReport
+{
+    /** The value released to the untrusted consumer. */
+    double value = 0.0;
+
+    /**
+     * Number of Laplace samples drawn to produce this report: 1 plus
+     * the number of resamples. Determines noising latency (Fig. 11:
+     * one cycle per extra sample).
+     */
+    uint64_t samples_drawn = 1;
+};
+
+/**
+ * A local differential privacy mechanism: maps a true sensor reading
+ * to a randomised report whose distribution hides the reading.
+ */
+class Mechanism
+{
+  public:
+    virtual ~Mechanism() = default;
+
+    /**
+     * Noise one sensor reading.
+     *
+     * @param x True sensor value; must lie in range().
+     * @return The released report and its sampling cost.
+     */
+    virtual NoisedReport noise(double x) = 0;
+
+    /** Human-readable mechanism name (table row labels). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Whether this mechanism guarantees bounded privacy loss, i.e.
+     * eps-LDP for some finite eps, as *implemented* (not just in the
+     * idealised math). The naive fixed-point baseline returns false:
+     * its worst-case loss is infinite (Section III-A3).
+     */
+    virtual bool guaranteesLdp() const = 0;
+
+    /** The sensor range this mechanism was configured for. */
+    virtual const SensorRange &range() const = 0;
+
+    /** The privacy parameter eps the noise was scaled for. */
+    virtual double epsilon() const = 0;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_CORE_MECHANISM_H

@@ -1,0 +1,82 @@
+#include "core/privacy_loss.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+} // anonymous namespace
+
+double
+PrivacyLossAnalyzer::lossAtOutput(const DiscreteOutputModel &model,
+                                  int64_t j)
+{
+    double p_max = 0.0;
+    double p_min = kInf;
+    for (int64_t i = 0; i <= model.span(); ++i) {
+        double p = model.prob(j, i);
+        if (p > p_max)
+            p_max = p;
+        if (p < p_min)
+            p_min = p;
+    }
+    if (p_max <= 0.0)
+        return -kInf; // unreachable output
+    if (p_min <= 0.0)
+        return kInf; // distinguishing output: some input excluded
+    return std::log(p_max / p_min);
+}
+
+LossReport
+PrivacyLossAnalyzer::analyze(const DiscreteOutputModel &model)
+{
+    LossReport report;
+    report.worst_case_loss = 0.0;
+    report.worst_output = model.outputLo();
+
+    for (int64_t j = model.outputLo(); j <= model.outputHi(); ++j) {
+        double loss = lossAtOutput(model, j);
+        if (loss == -kInf)
+            continue; // unreachable by every input: not an output
+        if (loss == kInf)
+            ++report.infinite_outputs;
+        if (loss > report.worst_case_loss) {
+            report.worst_case_loss = loss;
+            report.worst_output = j;
+        }
+    }
+    report.bounded = std::isfinite(report.worst_case_loss);
+    return report;
+}
+
+std::vector<OutputLoss>
+PrivacyLossAnalyzer::lossCurve(const DiscreteOutputModel &model)
+{
+    std::vector<OutputLoss> curve;
+    for (int64_t j = model.outputLo(); j <= model.outputHi(); ++j) {
+        double loss = lossAtOutput(model, j);
+        if (loss == -kInf)
+            continue;
+        curve.push_back(OutputLoss{j, loss});
+    }
+    return curve;
+}
+
+bool
+PrivacyLossAnalyzer::satisfiesLdp(const DiscreteOutputModel &model,
+                                  double loss_bound)
+{
+    LossReport report = analyze(model);
+    // Tolerate 1e-9 relative slack for accumulated floating-point
+    // error in the PMF ratios.
+    return report.bounded &&
+           report.worst_case_loss <= loss_bound * (1.0 + 1e-9) + 1e-12;
+}
+
+} // namespace ulpdp

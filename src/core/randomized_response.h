@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Randomized Response on the DP-Box datapath (Section VI-E).
+ *
+ * The paper reconfigures the DP-Box for categorical (binary) data "by
+ * setting the threshold zero ... the data and the noised output are
+ * both binary". With a zero-width window the clamp degenerates: every
+ * noised output is pushed to the nearer range endpoint, i.e. the
+ * device reports M when x + n lands above the midpoint and m
+ * otherwise. That is classical randomized response with truth
+ * probability p = Pr[|n| < d/2] + lower-tail symmetrics:
+ *
+ *   report truthfully with  p = 1 - q,   q = Pr[n crosses midpoint]
+ *
+ * For ideal Laplace noise with lambda = d/eps, q = exp(-eps/2)/2 and
+ * the loss log((1-q)/q) = log(2 e^{eps/2} - 1) <= eps, so the
+ * configuration is eps-LDP by construction. On the fixed-point RNG, q
+ * is the exact tail mass of the PMF beyond d/2, which this class
+ * computes so the loss claim holds for the *implemented* distribution
+ * (tail quantization can push q to 0 -- infinite loss -- which is
+ * detected and rejected at construction).
+ */
+
+#ifndef ULPDP_CORE_RANDOMIZED_RESPONSE_H
+#define ULPDP_CORE_RANDOMIZED_RESPONSE_H
+
+#include <memory>
+
+#include "core/fxp_mechanism.h"
+#include "rng/fxp_laplace_pmf.h"
+
+namespace ulpdp {
+
+/** Binary randomized response built from the DP-Box noising datapath. */
+class RandomizedResponse : public FxpMechanismBase
+{
+  public:
+    /**
+     * @param params Fixed-point parameters; range.lo / range.hi are
+     *        the two category encodings.
+     */
+    explicit RandomizedResponse(const FxpMechanismParams &params);
+
+    /**
+     * Noise one binary reading. @p x must equal (up to grid snap) one
+     * of the two category encodings; the report is always one of them.
+     */
+    NoisedReport noise(double x) override;
+
+    std::string name() const override { return "Randomized Response"; }
+    bool guaranteesLdp() const override { return true; }
+
+    /** Probability of reporting the *opposite* category. */
+    double flipProbability() const { return flip_prob_; }
+
+    /**
+     * Exact worst-case privacy loss of the implemented distribution:
+     * log((1 - q) / q).
+     */
+    double exactLoss() const;
+
+    /**
+     * Debias an observed fraction of hi-category reports into an
+     * unbiased estimate of the true hi-category proportion:
+     * p_hat = (f - q) / (1 - 2 q). The result is clamped to [0, 1].
+     */
+    double estimateProportion(double observed_hi_fraction) const;
+
+  private:
+    double flip_prob_;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_CORE_RANDOMIZED_RESPONSE_H

@@ -1,0 +1,58 @@
+#include "core/resampling_mechanism.h"
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+ResamplingMechanism::ResamplingMechanism(const FxpMechanismParams &params,
+                                         int64_t threshold_index,
+                                         uint64_t max_attempts)
+    : FxpMechanismBase(params), threshold_index_(threshold_index),
+      max_attempts_(max_attempts)
+{
+    if (threshold_index < 0)
+        fatal("ResamplingMechanism: threshold_index must be "
+              "non-negative, got %lld",
+              static_cast<long long>(threshold_index));
+}
+
+NoisedReport
+ResamplingMechanism::noise(double x)
+{
+    int64_t xi = checkAndIndex(x);
+    int64_t win_lo = windowLoIndex();
+    int64_t win_hi = windowHiIndex();
+
+    uint64_t attempts = 0;
+    while (true) {
+        ++attempts;
+        if (attempts > max_attempts_) {
+            // A real DP-Box would hang here; in the model this is an
+            // internal configuration bug (window without support).
+            panic("ResamplingMechanism: no accepted sample after "
+                  "%llu attempts (window [%lld, %lld], input %lld)",
+                  static_cast<unsigned long long>(max_attempts_),
+                  static_cast<long long>(win_lo),
+                  static_cast<long long>(win_hi),
+                  static_cast<long long>(xi));
+        }
+        int64_t k = rng_.sampleIndex();
+        int64_t yi = xi + k;
+        if (yi >= win_lo && yi <= win_hi) {
+            total_samples_ += attempts;
+            ++total_reports_;
+            return NoisedReport{toValue(yi), attempts};
+        }
+    }
+}
+
+double
+ResamplingMechanism::averageSamplesPerReport() const
+{
+    if (total_reports_ == 0)
+        return 0.0;
+    return static_cast<double>(total_samples_) /
+           static_cast<double>(total_reports_);
+}
+
+} // namespace ulpdp

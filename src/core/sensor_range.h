@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Sensor value range descriptor.
+ *
+ * Local DP on sensor data needs exactly one piece of metadata about
+ * the sensor: the closed interval [lo, hi] its readings can take
+ * (Section II-B: noise is scaled as Lap(d / eps) with d = hi - lo).
+ * The DP-Box receives it through the Set Sensor Range commands.
+ */
+
+#ifndef ULPDP_CORE_SENSOR_RANGE_H
+#define ULPDP_CORE_SENSOR_RANGE_H
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+/** Closed interval of possible sensor readings. */
+struct SensorRange
+{
+    /** Lower limit (the paper's m, register r_l). */
+    double lo = 0.0;
+
+    /** Upper limit (the paper's M, register r_u). */
+    double hi = 1.0;
+
+    SensorRange() = default;
+
+    SensorRange(double lo_, double hi_) : lo(lo_), hi(hi_)
+    {
+        if (!(hi > lo))
+            fatal("SensorRange: hi (%g) must exceed lo (%g)", hi, lo);
+    }
+
+    /** Range length d = hi - lo, the LDP sensitivity. */
+    double length() const { return hi - lo; }
+
+    /** Midpoint (m + M) / 2. */
+    double mid() const { return 0.5 * (lo + hi); }
+
+    /** True if @p x lies within the range. */
+    bool contains(double x) const { return x >= lo && x <= hi; }
+
+    /** Clamp @p x into the range. */
+    double
+    clamp(double x) const
+    {
+        if (x < lo)
+            return lo;
+        if (x > hi)
+            return hi;
+        return x;
+    }
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_CORE_SENSOR_RANGE_H

@@ -1,0 +1,134 @@
+#include "core/shared_budget.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+SharedBudgetPool::SharedBudgetPool(double initial_budget,
+                                   uint64_t replenish_period)
+    : initial_budget_(initial_budget), remaining_(initial_budget),
+      replenish_period_(replenish_period)
+{
+    if (!(initial_budget > 0.0))
+        fatal("SharedBudgetPool: budget must be positive, got %g",
+              initial_budget);
+}
+
+bool
+SharedBudgetPool::tryCharge(double loss)
+{
+    ULPDP_ASSERT(loss >= 0.0);
+    if (remaining_ + 1e-12 < loss)
+        return false;
+    remaining_ -= loss;
+    total_charged_ += loss;
+    return true;
+}
+
+void
+SharedBudgetPool::advanceTime(uint64_t ticks)
+{
+    if (replenish_period_ == 0)
+        return;
+    ticks_since_replenish_ += ticks;
+    if (ticks_since_replenish_ >= replenish_period_) {
+        ticks_since_replenish_ %= replenish_period_;
+        remaining_ = initial_budget_;
+    }
+}
+
+BudgetedSensor::BudgetedSensor(std::string name,
+                               const FxpMechanismParams &params,
+                               RangeControl kind,
+                               std::vector<BudgetSegment> segments,
+                               SharedBudgetPool &pool)
+    : name_(std::move(name)), params_(params), kind_(kind),
+      segments_(std::move(segments)), pool_(pool),
+      rng_(params.rngConfig(), params.seed)
+{
+    if (segments_.empty())
+        fatal("BudgetedSensor %s: need at least one segment",
+              name_.c_str());
+    for (size_t i = 1; i < segments_.size(); ++i) {
+        if (segments_[i].threshold_index <=
+                segments_[i - 1].threshold_index ||
+            segments_[i].loss < segments_[i - 1].loss)
+            fatal("BudgetedSensor %s: segments must have increasing "
+                  "thresholds and non-decreasing losses",
+                  name_.c_str());
+    }
+
+    double delta = params.resolvedDelta();
+    lo_index_ = static_cast<int64_t>(std::llround(params.range.lo /
+                                                  delta));
+    hi_index_ = static_cast<int64_t>(std::llround(params.range.hi /
+                                                  delta));
+}
+
+double
+BudgetedSensor::segmentLoss(int64_t extension) const
+{
+    for (const auto &seg : segments_) {
+        if (extension <= seg.threshold_index)
+            return seg.loss;
+    }
+    panic("BudgetedSensor %s: extension %lld beyond outermost "
+          "segment", name_.c_str(), static_cast<long long>(extension));
+}
+
+BudgetResponse
+BudgetedSensor::request(double x)
+{
+    double delta = params_.resolvedDelta();
+    int64_t xi = std::clamp(
+        static_cast<int64_t>(std::llround(x / delta)), lo_index_,
+        hi_index_);
+
+    int64_t outer = segments_.back().threshold_index;
+    int64_t win_lo = lo_index_ - outer;
+    int64_t win_hi = hi_index_ + outer;
+
+    uint64_t samples = 0;
+    int64_t yi = 0;
+    if (kind_ == RangeControl::Resampling) {
+        while (true) {
+            ++samples;
+            if (samples > (uint64_t{1} << 20))
+                panic("BudgetedSensor %s: resampling never accepted",
+                      name_.c_str());
+            yi = xi + rng_.sampleIndex();
+            if (yi >= win_lo && yi <= win_hi)
+                break;
+        }
+    } else {
+        samples = 1;
+        yi = std::clamp(xi + rng_.sampleIndex(), win_lo, win_hi);
+    }
+
+    int64_t ext = 0;
+    if (yi < lo_index_)
+        ext = lo_index_ - yi;
+    else if (yi > hi_index_)
+        ext = yi - hi_index_;
+    double loss = segmentLoss(ext);
+
+    BudgetResponse resp;
+    resp.samples_drawn = samples;
+    if (!pool_.tryCharge(loss)) {
+        resp.value = cache_.value_or(params_.range.mid());
+        resp.from_cache = true;
+        resp.charged = 0.0;
+        ++cache_hits_;
+        return resp;
+    }
+    resp.value = static_cast<double>(yi) * delta;
+    resp.charged = loss;
+    cache_ = resp.value;
+    ++fresh_reports_;
+    return resp;
+}
+
+} // namespace ulpdp

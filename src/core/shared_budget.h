@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Shared privacy budget across multiple sensors.
+ *
+ * Section IV of the paper: "If there is more than one sensor, there
+ * also may need to be a hardware mechanism for sharing the budget
+ * between all sensors since the readings of different sensors could
+ * be combined to compromise privacy." An adversary who correlates a
+ * wearable's accelerometer, heart-rate and barometer streams learns
+ * more than any single stream allows; by sequential composition the
+ * *sum* of the per-report losses across all sensors is what must be
+ * bounded.
+ *
+ * SharedBudgetPool is that common pool; BudgetedSensor wraps one
+ * sensor's fixed-point noising datapath (with its own segments,
+ * window and cache) and charges every fresh report against the pool.
+ * When the pool cannot cover a charge the sensor replays its own
+ * cached report. Replenishment is on the pool, shared by all.
+ */
+
+#ifndef ULPDP_CORE_SHARED_BUDGET_H
+#define ULPDP_CORE_SHARED_BUDGET_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/budget.h"
+
+namespace ulpdp {
+
+/** A privacy-loss pool shared by several sensors' noising paths. */
+class SharedBudgetPool
+{
+  public:
+    /**
+     * @param initial_budget Total loss allowed per epoch (> 0).
+     * @param replenish_period Ticks between refills; 0 disables.
+     */
+    explicit SharedBudgetPool(double initial_budget,
+                              uint64_t replenish_period = 0);
+
+    /** Try to charge @p loss; false leaves the pool untouched. */
+    bool tryCharge(double loss);
+
+    /** Budget remaining in the current epoch. */
+    double remaining() const { return remaining_; }
+
+    /** Total loss charged since construction (across epochs). */
+    double totalCharged() const { return total_charged_; }
+
+    /** Advance shared device time (drives replenishment). */
+    void advanceTime(uint64_t ticks);
+
+    /** Configured per-epoch budget. */
+    double initialBudget() const { return initial_budget_; }
+
+  private:
+    double initial_budget_;
+    double remaining_;
+    double total_charged_ = 0.0;
+    uint64_t replenish_period_;
+    uint64_t ticks_since_replenish_ = 0;
+};
+
+/** One sensor's noising path charging a shared pool. */
+class BudgetedSensor
+{
+  public:
+    /**
+     * @param name Sensor name (reports, debugging).
+     * @param params Fixed-point mechanism parameters of this sensor.
+     * @param kind Range-control flavour.
+     * @param segments Output-loss segments (LossSegments::compute).
+     * @param pool Shared pool; must outlive the sensor.
+     */
+    BudgetedSensor(std::string name, const FxpMechanismParams &params,
+                   RangeControl kind,
+                   std::vector<BudgetSegment> segments,
+                   SharedBudgetPool &pool);
+
+    /** Serve one request for this sensor's reading @p x. */
+    BudgetResponse request(double x);
+
+    /** Sensor name. */
+    const std::string &name() const { return name_; }
+
+    /** Fresh (non-cache) reports served. */
+    uint64_t freshReports() const { return fresh_reports_; }
+
+    /** Cache replays served. */
+    uint64_t cacheHits() const { return cache_hits_; }
+
+  private:
+    double segmentLoss(int64_t extension) const;
+
+    std::string name_;
+    FxpMechanismParams params_;
+    RangeControl kind_;
+    std::vector<BudgetSegment> segments_;
+    SharedBudgetPool &pool_;
+    FxpLaplaceRng rng_;
+    int64_t lo_index_;
+    int64_t hi_index_;
+    std::optional<double> cache_;
+    uint64_t fresh_reports_ = 0;
+    uint64_t cache_hits_ = 0;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_CORE_SHARED_BUDGET_H

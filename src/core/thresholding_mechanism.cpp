@@ -1,0 +1,38 @@
+#include "core/thresholding_mechanism.h"
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+ThresholdingMechanism::ThresholdingMechanism(
+        const FxpMechanismParams &params, int64_t threshold_index)
+    : FxpMechanismBase(params), threshold_index_(threshold_index)
+{
+    if (threshold_index < 0)
+        fatal("ThresholdingMechanism: threshold_index must be "
+              "non-negative, got %lld",
+              static_cast<long long>(threshold_index));
+}
+
+NoisedReport
+ThresholdingMechanism::noise(double x)
+{
+    int64_t xi = checkAndIndex(x);
+    int64_t k = rng_.sampleIndex();
+    int64_t yi = xi + k;
+
+    bool clamped = false;
+    if (yi < windowLoIndex()) {
+        yi = windowLoIndex();
+        clamped = true;
+    } else if (yi > windowHiIndex()) {
+        yi = windowHiIndex();
+        clamped = true;
+    }
+    if (clamped)
+        ++clamped_reports_;
+    ++total_reports_;
+    return NoisedReport{toValue(yi), 1};
+}
+
+} // namespace ulpdp

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Thresholding mechanism (Section III-B2).
+ *
+ * Instead of redrawing out-of-window noise, the noised output is
+ * clamped ("rounded to the threshold"): outputs below m - n_th2 become
+ * m - n_th2, outputs above M + n_th2 become M + n_th2. Probability
+ * mass piles up at the two boundary values (Fig. 7), but with n_th2
+ * chosen by Eq. (15) the boundary atoms of every input are within
+ * exp(n eps) of each other, so the loss stays bounded -- at the cost
+ * of a distorted noise distribution. Exactly one sample per report:
+ * best energy efficiency, deterministic 2-cycle latency.
+ */
+
+#ifndef ULPDP_CORE_THRESHOLDING_MECHANISM_H
+#define ULPDP_CORE_THRESHOLDING_MECHANISM_H
+
+#include "core/fxp_mechanism.h"
+
+namespace ulpdp {
+
+/** Fixed-point Laplace mechanism with clamping range control. */
+class ThresholdingMechanism : public FxpMechanismBase
+{
+  public:
+    /**
+     * @param params Shared fixed-point parameters.
+     * @param threshold_index Window half-extension n_th2 in Delta
+     *        units; outputs are clamped into
+     *        [m - n_th2 * Delta, M + n_th2 * Delta].
+     */
+    ThresholdingMechanism(const FxpMechanismParams &params,
+                          int64_t threshold_index);
+
+    NoisedReport noise(double x) override;
+    std::string name() const override { return "Thresholding"; }
+    bool guaranteesLdp() const override { return true; }
+
+    /** Window half-extension n_th2 in Delta units. */
+    int64_t thresholdIndex() const { return threshold_index_; }
+
+    /** Lowest releasable output index (m - n_th2). */
+    int64_t windowLoIndex() const { return lo_index_ - threshold_index_; }
+
+    /** Highest releasable output index (M + n_th2). */
+    int64_t windowHiIndex() const { return hi_index_ + threshold_index_; }
+
+    /** Reports whose raw output was clamped to a boundary. */
+    uint64_t clampedReports() const { return clamped_reports_; }
+
+    /** Total noise() calls served. */
+    uint64_t totalReports() const { return total_reports_; }
+
+  private:
+    int64_t threshold_index_;
+    uint64_t clamped_reports_ = 0;
+    uint64_t total_reports_ = 0;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_CORE_THRESHOLDING_MECHANISM_H

@@ -1,0 +1,109 @@
+#include "data/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+namespace csv {
+
+std::vector<double>
+loadColumn(const std::string &path, size_t column, char delimiter,
+           bool skip_header)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("csv::loadColumn: cannot open %s", path.c_str());
+
+    std::vector<double> values;
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+        if (first && skip_header) {
+            first = false;
+            continue;
+        }
+        first = false;
+        if (line.empty())
+            continue;
+
+        std::stringstream ss(line);
+        std::string field;
+        size_t idx = 0;
+        bool found = false;
+        while (std::getline(ss, field, delimiter)) {
+            if (idx == column) {
+                found = true;
+                break;
+            }
+            ++idx;
+        }
+        if (!found)
+            continue;
+
+        char *end = nullptr;
+        double v = std::strtod(field.c_str(), &end);
+        if (end == field.c_str())
+            continue; // not numeric; skip the row
+        values.push_back(v);
+    }
+    return values;
+}
+
+Dataset
+loadDataset(const std::string &path, size_t column,
+            const SensorRange &range, const std::string &name,
+            char delimiter, bool skip_header)
+{
+    Dataset d;
+    d.name = name;
+    d.description = "loaded from " + path;
+    d.range = range;
+    d.values = loadColumn(path, column, delimiter, skip_header);
+    if (d.values.empty())
+        fatal("csv::loadDataset: no numeric values in column %zu of "
+              "%s", column, path.c_str());
+    for (auto &v : d.values)
+        v = range.clamp(v);
+    return d;
+}
+
+void
+writeSeries(const std::string &path,
+            const std::vector<std::string> &headers,
+            const std::vector<std::vector<double>> &columns)
+{
+    if (headers.size() != columns.size())
+        fatal("csv::writeSeries: %zu headers for %zu columns",
+              headers.size(), columns.size());
+    if (columns.empty())
+        fatal("csv::writeSeries: no columns");
+    size_t rows = columns[0].size();
+    for (const auto &col : columns) {
+        if (col.size() != rows)
+            fatal("csv::writeSeries: ragged columns");
+    }
+
+    std::ofstream out(path);
+    if (!out)
+        fatal("csv::writeSeries: cannot open %s for writing",
+              path.c_str());
+
+    for (size_t i = 0; i < headers.size(); ++i) {
+        out << headers[i];
+        out << (i + 1 < headers.size() ? ',' : '\n');
+    }
+    for (size_t r = 0; r < rows; ++r) {
+        for (size_t c = 0; c < columns.size(); ++c) {
+            out << columns[c][r];
+            out << (c + 1 < columns.size() ? ',' : '\n');
+        }
+    }
+}
+
+} // namespace csv
+
+} // namespace ulpdp

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Minimal CSV input/output for dataset columns.
+ *
+ * Lets users run every bench on the *real* UCI files if they have
+ * them: load one numeric column, attach a declared range, and feed it
+ * through the same pipeline as the synthetic substitutes. Also used
+ * by the benches to dump series for external plotting.
+ */
+
+#ifndef ULPDP_DATA_CSV_H
+#define ULPDP_DATA_CSV_H
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace ulpdp {
+
+namespace csv {
+
+/**
+ * Load one numeric column from a delimited text file.
+ *
+ * @param path File path.
+ * @param column Zero-based column index.
+ * @param delimiter Field delimiter.
+ * @param skip_header Skip the first line.
+ * @return Values parsed; rows whose field does not parse as a double
+ *         are skipped.
+ */
+std::vector<double> loadColumn(const std::string &path, size_t column,
+                               char delimiter = ',',
+                               bool skip_header = false);
+
+/**
+ * Load a dataset: one column plus an explicit declared range.
+ */
+Dataset loadDataset(const std::string &path, size_t column,
+                    const SensorRange &range, const std::string &name,
+                    char delimiter = ',', bool skip_header = false);
+
+/**
+ * Write aligned (x, y...) series as CSV, one header row then data.
+ * All series must have equal length.
+ */
+void writeSeries(const std::string &path,
+                 const std::vector<std::string> &headers,
+                 const std::vector<std::vector<double>> &columns);
+
+} // namespace csv
+
+} // namespace ulpdp
+
+#endif // ULPDP_DATA_CSV_H

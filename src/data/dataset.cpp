@@ -1,0 +1,72 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace ulpdp {
+
+double
+Dataset::observedMin() const
+{
+    if (values.empty())
+        return 0.0;
+    return *std::min_element(values.begin(), values.end());
+}
+
+double
+Dataset::observedMax() const
+{
+    if (values.empty())
+        return 0.0;
+    return *std::max_element(values.begin(), values.end());
+}
+
+double
+Dataset::mean() const
+{
+    return batch::mean(values);
+}
+
+double
+Dataset::stddev() const
+{
+    return batch::stddev(values);
+}
+
+Dataset
+Dataset::subsample(size_t max_entries) const
+{
+    ULPDP_ASSERT(max_entries > 0);
+    if (values.size() <= max_entries)
+        return *this;
+
+    Dataset out;
+    out.name = name;
+    out.description = description;
+    out.range = range;
+    out.values.reserve(max_entries);
+    // Stride sampling keeps the distribution's shape and is
+    // deterministic.
+    double stride = static_cast<double>(values.size()) /
+                    static_cast<double>(max_entries);
+    for (size_t i = 0; i < max_entries; ++i) {
+        size_t idx = static_cast<size_t>(static_cast<double>(i) *
+                                         stride);
+        out.values.push_back(values[std::min(idx, values.size() - 1)]);
+    }
+    return out;
+}
+
+void
+Dataset::validate() const
+{
+    for (double v : values) {
+        if (v < range.lo || v > range.hi)
+            panic("Dataset %s: value %g outside declared range "
+                  "[%g, %g]", name.c_str(), v, range.lo, range.hi);
+    }
+}
+
+} // namespace ulpdp

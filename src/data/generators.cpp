@@ -1,0 +1,201 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+namespace gen {
+
+namespace {
+
+double
+clip(double v, double lo, double hi)
+{
+    return std::min(std::max(v, lo), hi);
+}
+
+} // anonymous namespace
+
+std::vector<double>
+clippedGaussian(size_t n, double mu, double sigma, double lo, double hi,
+                uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::normal_distribution<double> dist(mu, sigma);
+    std::vector<double> out(n);
+    for (auto &v : out)
+        v = clip(dist(rng), lo, hi);
+    return out;
+}
+
+std::vector<double>
+gaussianMixture(size_t n, double mu1, double sigma1, double mu2,
+                double sigma2, double weight1, double lo, double hi,
+                uint64_t seed)
+{
+    ULPDP_ASSERT(weight1 >= 0.0 && weight1 <= 1.0);
+    std::mt19937_64 rng(seed);
+    std::normal_distribution<double> d1(mu1, sigma1);
+    std::normal_distribution<double> d2(mu2, sigma2);
+    std::uniform_real_distribution<double> pick(0.0, 1.0);
+    std::vector<double> out(n);
+    for (auto &v : out)
+        v = clip(pick(rng) < weight1 ? d1(rng) : d2(rng), lo, hi);
+    return out;
+}
+
+std::vector<double>
+uniform(size_t n, double lo, double hi, uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(lo, hi);
+    std::vector<double> out(n);
+    for (auto &v : out)
+        v = dist(rng);
+    return out;
+}
+
+std::vector<double>
+rightSkewed(size_t n, double scale, double lo, double hi, uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::exponential_distribution<double> dist(1.0 / scale);
+    std::vector<double> out(n);
+    for (auto &v : out)
+        v = clip(lo + dist(rng), lo, hi);
+    return out;
+}
+
+} // namespace gen
+
+Dataset
+makeStatlogHeart(uint64_t seed)
+{
+    Dataset d;
+    d.name = "Statlog (Heart)";
+    d.description = "resting blood pressure, mm Hg";
+    d.range = SensorRange(94.0, 200.0);
+    d.values = gen::clippedGaussian(270, 131.3, 17.9, d.range.lo,
+                                    d.range.hi, seed);
+    return d;
+}
+
+Dataset
+makeAutoMpg(uint64_t seed)
+{
+    Dataset d;
+    d.name = "Auto-MPG";
+    d.description = "fuel economy, miles per gallon";
+    d.range = SensorRange(9.0, 46.6);
+    // MPG is right-skewed: many mid-20s cars, a tail of economical
+    // ones.
+    d.values = gen::rightSkewed(398, 10.0, d.range.lo, d.range.hi,
+                                seed);
+    return d;
+}
+
+Dataset
+makeRobotSensors(uint64_t seed)
+{
+    Dataset d;
+    d.name = "Robot Sensors";
+    d.description = "ultrasound range readings, meters";
+    d.range = SensorRange(0.0, 5.0);
+    // Wall-following: one mode hugging the wall (~0.8 m), one mode of
+    // open-space echoes near the sensor ceiling.
+    d.values = gen::gaussianMixture(5456, 0.8, 0.3, 4.2, 0.6, 0.6,
+                                    d.range.lo, d.range.hi, seed);
+    return d;
+}
+
+Dataset
+makeHumanActivity(uint64_t seed)
+{
+    Dataset d;
+    d.name = "Human Activity";
+    d.description = "normalised accelerometer feature";
+    d.range = SensorRange(-1.0, 1.0);
+    d.values = gen::clippedGaussian(10299, -0.1, 0.4, d.range.lo,
+                                    d.range.hi, seed);
+    return d;
+}
+
+Dataset
+makeLocalization(uint64_t seed)
+{
+    Dataset d;
+    d.name = "Localization for Person";
+    d.description = "wearable tag coordinate, meters";
+    d.range = SensorRange(0.0, 4.0);
+    d.values = gen::gaussianMixture(164860, 1.2, 0.5, 2.9, 0.4, 0.55,
+                                    d.range.lo, d.range.hi, seed);
+    return d;
+}
+
+Dataset
+makeUjiIndoorLoc(uint64_t seed)
+{
+    Dataset d;
+    d.name = "UJIIndoorLoc";
+    d.description = "WiFi-fingerprint longitude, UTM meters";
+    d.range = SensorRange(-7691.3, -7300.9);
+    // Three buildings on the campus produce three longitude clusters.
+    std::vector<double> a = gen::clippedGaussian(
+        7000, -7620.0, 35.0, d.range.lo, d.range.hi, seed);
+    std::vector<double> b = gen::clippedGaussian(
+        7000, -7480.0, 40.0, d.range.lo, d.range.hi, seed + 1);
+    std::vector<double> c = gen::clippedGaussian(
+        5937, -7360.0, 30.0, d.range.lo, d.range.hi, seed + 2);
+    d.values = std::move(a);
+    d.values.insert(d.values.end(), b.begin(), b.end());
+    d.values.insert(d.values.end(), c.begin(), c.end());
+    return d;
+}
+
+Dataset
+makePosturalTransitions(uint64_t seed)
+{
+    Dataset d;
+    d.name = "Postural Transitions";
+    d.description = "normalised smartphone feature";
+    d.range = SensorRange(-1.0, 1.0);
+    d.values = gen::clippedGaussian(10929, 0.15, 0.32, d.range.lo,
+                                    d.range.hi, seed);
+    return d;
+}
+
+std::vector<Dataset>
+makeAllTableOneDatasets(uint64_t seed)
+{
+    return {
+        makeAutoMpg(seed + 2),
+        makeRobotSensors(seed + 3),
+        makeStatlogHeart(seed + 1),
+        makeHumanActivity(seed + 4),
+        makeLocalization(seed + 5),
+        makeUjiIndoorLoc(seed + 6),
+        makePosturalTransitions(seed + 7),
+    };
+}
+
+Dataset
+makeStatlogGender(size_t n, double male_fraction, uint64_t seed)
+{
+    ULPDP_ASSERT(male_fraction >= 0.0 && male_fraction <= 1.0);
+    Dataset d;
+    d.name = "Statlog (Heart) gender";
+    d.description = "binary category: 1 = male, 0 = female";
+    d.range = SensorRange(0.0, 1.0);
+    std::mt19937_64 rng(seed);
+    std::bernoulli_distribution dist(male_fraction);
+    d.values.resize(n);
+    for (auto &v : d.values)
+        v = dist(rng) ? 1.0 : 0.0;
+    return d;
+}
+
+} // namespace ulpdp

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Synthetic substitutes for the seven Table I datasets.
+ *
+ * The real UCI files are not bundled; each generator below produces a
+ * column matched to the corresponding dataset's published entry
+ * count, declared sensor range, mean, standard deviation and
+ * qualitative shape (unimodal clipped Gaussian, mixture, skewed,
+ * ...). Utility of an LDP mechanism depends on the sensor range d
+ * (noise scale) and the bulk distribution shape (median/variance
+ * queries), both of which are preserved -- see DESIGN.md for the
+ * substitution rationale. All generators are deterministic for a
+ * given seed.
+ */
+
+#ifndef ULPDP_DATA_GENERATORS_H
+#define ULPDP_DATA_GENERATORS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace ulpdp {
+
+/** Low-level distribution builders shared by the dataset generators. */
+namespace gen {
+
+/** Gaussian(mu, sigma) samples clipped into [lo, hi]. */
+std::vector<double> clippedGaussian(size_t n, double mu, double sigma,
+                                    double lo, double hi,
+                                    uint64_t seed);
+
+/** Two-component Gaussian mixture clipped into [lo, hi]. */
+std::vector<double> gaussianMixture(size_t n, double mu1, double sigma1,
+                                    double mu2, double sigma2,
+                                    double weight1, double lo,
+                                    double hi, uint64_t seed);
+
+/** Uniform samples over [lo, hi]. */
+std::vector<double> uniform(size_t n, double lo, double hi,
+                            uint64_t seed);
+
+/** Exponential-ish right-skewed samples scaled into [lo, hi]. */
+std::vector<double> rightSkewed(size_t n, double scale, double lo,
+                                double hi, uint64_t seed);
+
+} // namespace gen
+
+/**
+ * Statlog (Heart): resting blood pressure of 270 patients, mm Hg.
+ * Declared range [94, 200]; approximately Gaussian around 131 +- 18.
+ */
+Dataset makeStatlogHeart(uint64_t seed = 101);
+
+/**
+ * Auto-MPG: fuel economy of 398 car models, miles per gallon.
+ * Declared range [9, 46.6]; right-skewed around 23.5 +- 7.8.
+ */
+Dataset makeAutoMpg(uint64_t seed = 102);
+
+/**
+ * Robot Sensors: ultrasound range readings from a wall-following
+ * robot, 5456 entries. Declared range [0, 5] meters; bimodal (near
+ * wall vs open space).
+ */
+Dataset makeRobotSensors(uint64_t seed = 103);
+
+/**
+ * Human Activity (smartphone accelerometer feature), 10299 entries.
+ * Declared range [-1, 1]; concentrated around -0.1 +- 0.4.
+ */
+Dataset makeHumanActivity(uint64_t seed = 104);
+
+/**
+ * Localization for Person Activity: wearable tag coordinate, 164860
+ * entries. Declared range [0, 4] meters; mixture of activity zones.
+ */
+Dataset makeLocalization(uint64_t seed = 105);
+
+/**
+ * UJIIndoorLoc: WiFi-fingerprint longitude, 19937 entries. Declared
+ * range [-7691.3, -7300.9] (UTM meters); multimodal (buildings).
+ */
+Dataset makeUjiIndoorLoc(uint64_t seed = 106);
+
+/**
+ * Postural Transitions (smartphone feature), 10929 entries. Declared
+ * range [-1, 1]; concentrated around 0.15 +- 0.32.
+ */
+Dataset makePosturalTransitions(uint64_t seed = 107);
+
+/** All seven Table I datasets, in the paper's order. */
+std::vector<Dataset> makeAllTableOneDatasets(uint64_t seed = 100);
+
+/**
+ * Binary gender column matched to the Statlog heart dataset (the
+ * Section VI-E randomized-response example): @p n entries, value 1
+ * (male) with probability @p male_fraction, else 0.
+ */
+Dataset makeStatlogGender(size_t n = 270, double male_fraction = 0.68,
+                          uint64_t seed = 108);
+
+} // namespace ulpdp
+
+#endif // ULPDP_DATA_GENERATORS_H

@@ -1,0 +1,102 @@
+#include "dpbox/area_model.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+DpBoxAreaModel::DpBoxAreaModel(const DpBoxConfig &config,
+                               const AreaModelOptions &options)
+{
+    double ff = options.gates_per_ff;
+    double fa = options.gates_per_fa;
+    double mux = options.gates_per_mux;
+
+    int w = config.word_bits;          // datapath width
+    int wc = config.word_bits + 2;     // CORDIC internal width
+    int iters = config.cordic_iterations;
+
+    // Tausworthe: three 32-bit component registers plus the
+    // shift/XOR feedback network (pure wiring + ~1.5 gates/bit of
+    // XOR/mask logic) and the output XOR.
+    breakdown_.tausworthe = static_cast<uint64_t>(
+        3 * 32 * ff + 3 * 32 * 1.5 + 32 * 1.5);
+
+    // CORDIC: each micro-rotation is three add/subtract units of
+    // width wc (x, y, z) plus a little sign-select logic; the fixed
+    // shifts are wiring. The atanh constant table costs ~0.25
+    // gates/bit of ROM.
+    double stage = 3.0 * wc * fa + 12.0;
+    double table = static_cast<double>(iters) * wc * 0.25;
+    if (options.unrolled_cordic) {
+        // One combinational stage per iteration: the single-cycle
+        // logarithm the paper pays "a higher area penalty" for.
+        breakdown_.cordic = static_cast<uint64_t>(
+            iters * stage + table);
+    } else {
+        // One stage reused over `iters` cycles: add state registers
+        // and an iteration counter.
+        breakdown_.cordic = static_cast<uint64_t>(
+            stage + 3 * wc * ff + 40 + table +
+            wc * mux /* shift amount select */);
+    }
+
+    // Scaling (Eq. 18): a w x w array multiplier (partial-product
+    // ANDs + carry-save adder rows) plus the 2^{n_m} barrel shifter.
+    breakdown_.scaling = static_cast<uint64_t>(
+        w * w * 1.0 + static_cast<double>(w) * (w - 1) * fa * 0.55 +
+        w * 4 * mux);
+
+    // Noising: sensor adder, two window comparators, clamp muxes.
+    breakdown_.noising = static_cast<uint64_t>(
+        w * fa + 2 * w * 1.5 + 2 * w * mux);
+
+    // Registers: sensor value, r_u, r_l, n_m (5 bits), mode bit,
+    // precomputed-sample register, output register.
+    breakdown_.registers = static_cast<uint64_t>(
+        (3 * w + 5 + 1 + wc + w) * ff);
+
+    // FSM: phase state, command decode, ready logic.
+    breakdown_.fsm = 150;
+
+    // Budget block (optional): budget register + subtractor,
+    // per-segment comparators and the fused loss table, the cache
+    // register and the replenishment counter.
+    if (config.budget_enabled) {
+        size_t segments = config.segments.size();
+        breakdown_.budget = static_cast<uint64_t>(
+            16 * ff + 16 * fa +
+            static_cast<double>(segments) * (w * 1.5 + 16 * 0.25) +
+            w * ff /* cache */ + 24 * ff /* replenish counter */ +
+            24 * 1.5);
+    }
+}
+
+double
+DpBoxAreaModel::budgetOverhead() const
+{
+    uint64_t base = breakdown_.total() - breakdown_.budget;
+    if (base == 0)
+        return 0.0;
+    return static_cast<double>(breakdown_.budget) /
+           static_cast<double>(base);
+}
+
+std::string
+AreaBreakdown::toString() const
+{
+    std::ostringstream out;
+    out << "  tausworthe " << tausworthe << "\n";
+    out << "  cordic     " << cordic << "\n";
+    out << "  scaling    " << scaling << "\n";
+    out << "  noising    " << noising << "\n";
+    out << "  registers  " << registers << "\n";
+    out << "  fsm        " << fsm << "\n";
+    out << "  budget     " << budget << "\n";
+    out << "  total      " << total() << "\n";
+    return out.str();
+}
+
+} // namespace ulpdp

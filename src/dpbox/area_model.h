@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Structural area model of the DP-Box.
+ *
+ * Section V reports synthesis results for the 65 nm implementation:
+ * 10431 gates (NAND2-equivalent), 58.66 ns critical path, 158.3 uW at
+ * 16 MHz, and "+11% gates" for the budget-control logic. We cannot
+ * re-run Design Compiler, but the DP-Box datapath is simple enough
+ * that its gate count can be *derived* from a structural bill of
+ * materials: registers, adders, a multiplier, the CORDIC micro-
+ * rotation stage with its constant table, the Tausworthe LFSRs, the
+ * comparator/clamp logic and the FSM. Each block is priced with
+ * standard NAND2-equivalent costs (a DFF ~ 6 gates, a full adder ~ 5,
+ * a 2:1 mux bit ~ 3, an AND/OR ~ 1-1.5).
+ *
+ * The model's purpose is the *trend*: how area scales with word
+ * length, URNG width, CORDIC iterations (iterative vs unrolled) and
+ * the budget option -- so a designer can sweep the same trade-offs
+ * the paper's variants table shows. Its absolute numbers land in the
+ * same few-thousand-gate regime as the paper's synthesis.
+ */
+
+#ifndef ULPDP_DPBOX_AREA_MODEL_H
+#define ULPDP_DPBOX_AREA_MODEL_H
+
+#include <cstdint>
+#include <string>
+
+#include "dpbox/dpbox.h"
+
+namespace ulpdp {
+
+/** Per-block NAND2-equivalent gate counts. */
+struct AreaBreakdown
+{
+    uint64_t tausworthe = 0;     ///< three LFSR components + XOR
+    uint64_t cordic = 0;         ///< add/sub + shifters + z table
+    uint64_t scaling = 0;        ///< multiplier + shifter (Eq. 18)
+    uint64_t noising = 0;        ///< adder, comparators, clamp muxes
+    uint64_t registers = 0;      ///< configuration + pipeline regs
+    uint64_t fsm = 0;            ///< phase control, command decode
+    uint64_t budget = 0;         ///< segment compare + budget sub
+
+    /** Total gates. */
+    uint64_t
+    total() const
+    {
+        return tausworthe + cordic + scaling + noising + registers +
+               fsm + budget;
+    }
+
+    /** Multi-line human-readable rendering. */
+    std::string toString() const;
+};
+
+/** Microarchitectural choices the paper's variants differ in. */
+struct AreaModelOptions
+{
+    /**
+     * Unrolled CORDIC: one combinational stage per micro-rotation
+     * (single-cycle log, big area -- the paper's default pays "a
+     * higher area penalty" for exactly this). False = one iterative
+     * stage reused over N cycles (small, slow).
+     */
+    bool unrolled_cordic = true;
+
+    /** NAND2-equivalents per D flip-flop. */
+    double gates_per_ff = 6.0;
+
+    /** NAND2-equivalents per full-adder bit. */
+    double gates_per_fa = 5.0;
+
+    /** NAND2-equivalents per 2:1 mux bit. */
+    double gates_per_mux = 3.0;
+};
+
+/** Computes the structural gate estimate for a DP-Box config. */
+class DpBoxAreaModel
+{
+  public:
+    explicit DpBoxAreaModel(const DpBoxConfig &config,
+                            const AreaModelOptions &options =
+                                AreaModelOptions());
+
+    /** Per-block breakdown. */
+    AreaBreakdown breakdown() const { return breakdown_; }
+
+    /** Total NAND2-equivalent gates. */
+    uint64_t totalGates() const { return breakdown_.total(); }
+
+    /**
+     * Fractional overhead of the budget block relative to the rest
+     * (the paper reports 11%).
+     */
+    double budgetOverhead() const;
+
+  private:
+    AreaBreakdown breakdown_;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_DPBOX_AREA_MODEL_H

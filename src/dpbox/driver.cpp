@@ -1,0 +1,92 @@
+#include "dpbox/driver.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+DpBoxDriver::DpBoxDriver(const DpBoxConfig &config) : box_(config) {}
+
+void
+DpBoxDriver::initialize(double budget, uint64_t replenish_period)
+{
+    if (initialized_)
+        fatal("DpBoxDriver: initialize() may only run once (the "
+              "device seals its budget configuration)");
+    ULPDP_ASSERT(box_.phase() == DpBoxPhase::Initialization);
+
+    // Budget register is Q.8 fixed point on the input port.
+    int64_t budget_raw = std::llrint(budget * 256.0);
+    box_.step(DpBoxCommand::SetEpsilon, budget_raw);
+    box_.step(DpBoxCommand::SetRangeUpper,
+              static_cast<int64_t>(replenish_period));
+    box_.step(DpBoxCommand::StartNoising);
+    initialized_ = true;
+}
+
+void
+DpBoxDriver::configure(double epsilon, const SensorRange &range)
+{
+    if (!initialized_)
+        fatal("DpBoxDriver: initialize() must run before configure()");
+    if (!(epsilon > 0.0))
+        fatal("DpBoxDriver: epsilon must be positive, got %g", epsilon);
+
+    int n_m = static_cast<int>(std::llrint(-std::log2(epsilon)));
+    if (n_m < 0)
+        n_m = 0;
+    if (n_m > 16)
+        n_m = 16;
+    double effective = std::ldexp(1.0, -n_m);
+    if (std::abs(effective - epsilon) > 1e-12 * epsilon) {
+        warn("DpBoxDriver: epsilon %g is not a power of two; the "
+             "device will use %g (n_m = %d)", epsilon, effective, n_m);
+    }
+
+    box_.step(DpBoxCommand::SetEpsilon, n_m);
+    box_.step(DpBoxCommand::SetRangeLower, box_.toRaw(range.lo));
+    box_.step(DpBoxCommand::SetRangeUpper, box_.toRaw(range.hi));
+    configured_ = true;
+}
+
+void
+DpBoxDriver::setThresholding(bool thresholding)
+{
+    if (!initialized_)
+        fatal("DpBoxDriver: initialize() must run first");
+    if (box_.thresholdingMode() != thresholding)
+        box_.step(DpBoxCommand::SetThreshold);
+}
+
+DpBoxResult
+DpBoxDriver::noise(double x)
+{
+    if (!configured_)
+        fatal("DpBoxDriver: configure() must run before noise()");
+
+    box_.step(DpBoxCommand::SetSensorValue, box_.toRaw(x));
+
+    uint64_t start = box_.cycles();
+    box_.step(DpBoxCommand::StartNoising);
+    while (!box_.ready()) {
+        box_.step(DpBoxCommand::DoNothing);
+        // A device bug could starve us; the FSM guarantees progress,
+        // so bound the wait generously and panic beyond it.
+        if (box_.cycles() - start > (uint64_t{1} << 22))
+            panic("DpBoxDriver: device never became ready");
+    }
+
+    DpBoxResult result;
+    result.value = box_.fromRaw(box_.output());
+    result.latency_cycles = box_.cycles() - start;
+    return result;
+}
+
+double
+DpBoxDriver::effectiveEpsilon() const
+{
+    return std::ldexp(1.0, -box_.nm());
+}
+
+} // namespace ulpdp

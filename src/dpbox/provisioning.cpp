@@ -1,0 +1,170 @@
+#include "dpbox/provisioning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+#include "core/output_model.h"
+#include "core/privacy_loss.h"
+
+namespace ulpdp {
+
+namespace {
+
+/**
+ * Pick the device fraction bits so the sensor range spans 64-128
+ * quantization steps (clamped to frac_bits >= 0 for wide ranges).
+ */
+int
+chooseFracBits(double range_length)
+{
+    double f = std::ceil(std::log2(64.0 / range_length));
+    if (f < 0.0)
+        return 0;
+    if (f > 12.0)
+        return 12;
+    return static_cast<int>(f);
+}
+
+/** Build the analysis parameter block a plan implies. */
+FxpMechanismParams
+analysisParams(const SensorRange &range, double epsilon,
+               int uniform_bits, int frac_bits)
+{
+    FxpMechanismParams p;
+    p.range = range;
+    p.epsilon = epsilon;
+    p.uniform_bits = uniform_bits;
+    // Output width: enough to cover the full noise support
+    // lambda * Bu * ln 2 on the device grid.
+    double lsb = std::ldexp(1.0, -frac_bits);
+    double support = (range.length() / epsilon) * uniform_bits *
+                     std::log(2.0) / lsb;
+    int bits = 2;
+    while (std::ldexp(1.0, bits - 1) <= support + 1.0 && bits < 31)
+        ++bits;
+    p.output_bits = bits + 1;
+    p.delta = lsb;
+    return p;
+}
+
+} // anonymous namespace
+
+ProvisioningPlan
+Provisioner::plan(const PrivacyIntent &intent)
+{
+    if (!(intent.epsilon > 0.0))
+        fatal("Provisioner: epsilon must be positive, got %g",
+              intent.epsilon);
+    if (!(intent.loss_multiple > 1.0))
+        fatal("Provisioner: loss_multiple must exceed 1, got %g",
+              intent.loss_multiple);
+
+    // Effective power-of-two epsilon (Eq. 19).
+    int n_m = static_cast<int>(std::llrint(-std::log2(
+        intent.epsilon)));
+    n_m = std::clamp(n_m, 0, 16);
+    double eff_eps = std::ldexp(1.0, -n_m);
+
+    int frac_bits = chooseFracBits(intent.range.length());
+    FxpMechanismParams params = analysisParams(
+        intent.range, eff_eps, intent.uniform_bits, frac_bits);
+
+    ThresholdCalculator calc(params);
+    int64_t window = calc.exactIndex(intent.kind,
+                                     intent.loss_multiple);
+    if (window < 0)
+        fatal("Provisioner: no window satisfies %g * eps at Bu = %d "
+              "on this range; increase uniform_bits or relax the "
+              "bound", intent.loss_multiple, intent.uniform_bits);
+    double proven = calc.exactLossAt(intent.kind, window);
+
+    ProvisioningPlan plan;
+    plan.effective_epsilon = eff_eps;
+    plan.n_m = n_m;
+    plan.proven_loss = proven;
+    plan.requested_bound = intent.loss_multiple * eff_eps;
+    plan.range = intent.range;
+
+    DpBoxConfig dev;
+    dev.frac_bits = frac_bits;
+    dev.word_bits = 20;
+    dev.uniform_bits = intent.uniform_bits;
+    dev.threshold_index = window;
+    dev.thresholding = intent.kind == RangeControl::Thresholding;
+
+    // Word coverage check: range plus window must fit the port word.
+    double lsb = std::ldexp(1.0, -frac_bits);
+    double extent = std::max(std::abs(intent.range.lo),
+                             std::abs(intent.range.hi)) +
+                    static_cast<double>(window) * lsb;
+    if (extent / lsb >= std::ldexp(1.0, dev.word_bits - 1))
+        fatal("Provisioner: range plus window (%g) exceeds the "
+              "%d-bit port word", extent, dev.word_bits);
+
+    if (intent.budget > 0.0) {
+        dev.budget_enabled = true;
+        std::vector<double> levels;
+        for (double l : intent.segment_levels) {
+            if (l > 1.0 && l < intent.loss_multiple)
+                levels.push_back(l);
+        }
+        levels.push_back(intent.loss_multiple);
+        std::sort(levels.begin(), levels.end());
+        levels.erase(std::unique(levels.begin(), levels.end()),
+                     levels.end());
+        dev.segments = LossSegments::compute(calc, intent.kind,
+                                             levels);
+        // The outermost segment and the clamp window must coincide.
+        dev.segments.back().threshold_index = window;
+    }
+    plan.device = dev;
+    return plan;
+}
+
+bool
+Provisioner::verify(const ProvisioningPlan &plan)
+{
+    FxpMechanismParams params = analysisParams(
+        plan.range, plan.effective_epsilon,
+        plan.device.uniform_bits, plan.device.frac_bits);
+    ThresholdCalculator calc(params);
+    RangeControl kind = plan.device.thresholding
+        ? RangeControl::Thresholding
+        : RangeControl::Resampling;
+    double loss = calc.exactLossAt(kind, plan.device.threshold_index);
+    return std::isfinite(loss) &&
+           loss <= plan.requested_bound * (1.0 + 1e-9) + 1e-12;
+}
+
+std::string
+ProvisioningPlan::toText() const
+{
+    std::ostringstream out;
+    out << "ulpdp provisioning plan\n";
+    out << "  range            = [" << range.lo << ", " << range.hi
+        << "]\n";
+    out << "  epsilon          = " << effective_epsilon
+        << " (n_m = " << n_m << ")\n";
+    out << "  control          = "
+        << (device.thresholding ? "thresholding" : "resampling")
+        << "\n";
+    out << "  window           = " << device.threshold_index
+        << " LSBs of 2^-" << device.frac_bits << "\n";
+    out << "  proven loss      = " << proven_loss << " nats (bound "
+        << requested_bound << ")\n";
+    out << "  word             = " << device.word_bits << " bits, "
+        << device.frac_bits << " fraction\n";
+    out << "  urng             = Bu " << device.uniform_bits << "\n";
+    out << "  budget logic     = "
+        << (device.budget_enabled ? "enabled" : "disabled") << "\n";
+    for (size_t i = 0; i < device.segments.size(); ++i) {
+        out << "    segment " << i << "      = ext <= "
+            << device.segments[i].threshold_index << " charge "
+            << device.segments[i].loss << "\n";
+    }
+    return out.str();
+}
+
+} // namespace ulpdp

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Device provisioning: from privacy intent to a verified DP-Box
+ * configuration.
+ *
+ * In a real deployment someone must turn "this sensor reads
+ * [94, 200] mm Hg, we want eps = 0.5 with worst-case loss 2*eps and
+ * a budget of 25 nats per hour" into the register values and fused
+ * constants of a DP-Box: the clamp window, the budget segments, the
+ * epsilon exponent n_m, the word format. That computation runs the
+ * exact analyses of this library at provisioning time (on a host,
+ * not the ULP device) and must be re-verified after any parameter
+ * change -- Section III-B's thresholds are configuration-specific.
+ *
+ * Provisioner does exactly that and returns a plan carrying both the
+ * ready-to-use DpBoxConfig and the proof obligations it checked
+ * (exact worst-case loss, window, segments). Plans render to a
+ * human-auditable text manifest, and verify() re-runs the exact
+ * analysis on a plan so later edits cannot silently void the
+ * guarantee.
+ *
+ * Grid note: the plan picks the device LSB so the sensor range spans
+ * 64-128 quantization steps (or frac_bits = 0 for very wide ranges).
+ * Releasing values on that grid is coarser than a 13-bit ADC code --
+ * deliberately: a coarser release grid concentrates more URNG states
+ * per bin, which pushes the tail gaps of Fig. 4(b) farther out and
+ * widens the provably-safe window.
+ */
+
+#ifndef ULPDP_DPBOX_PROVISIONING_H
+#define ULPDP_DPBOX_PROVISIONING_H
+
+#include <string>
+
+#include "core/budget.h"
+#include "core/threshold_calc.h"
+#include "dpbox/dpbox.h"
+
+namespace ulpdp {
+
+/** High-level privacy intent for one sensor. */
+struct PrivacyIntent
+{
+    /** Physical sensor range. */
+    SensorRange range{0.0, 1.0};
+
+    /**
+     * Requested privacy parameter. Rounded to the nearest power of
+     * two (Eq. 19); the plan records the effective value.
+     */
+    double epsilon = 0.5;
+
+    /** Worst-case loss bound as a multiple of eps (> 1). */
+    double loss_multiple = 2.0;
+
+    /** Range-control flavour. */
+    RangeControl kind = RangeControl::Thresholding;
+
+    /** Privacy budget per replenishment epoch (nats); 0 disables
+     *  the embedded budget logic. */
+    double budget = 0.0;
+
+    /** Replenishment period in device cycles; 0 = never. */
+    uint64_t replenish_period = 0;
+
+    /** Loss levels (multiples of eps) for the budget segments; the
+     *  loss_multiple itself is always appended as the outermost. */
+    std::vector<double> segment_levels{1.5};
+
+    /** URNG width Bu. */
+    int uniform_bits = 17;
+};
+
+/** A verified provisioning result. */
+struct ProvisioningPlan
+{
+    /** Ready-to-construct device configuration. */
+    DpBoxConfig device;
+
+    /** Effective (power-of-two) epsilon. */
+    double effective_epsilon = 0.0;
+
+    /** n_m register value (epsilon = 2^-n_m). */
+    int n_m = 0;
+
+    /** Exact worst-case loss proved for the window. */
+    double proven_loss = 0.0;
+
+    /** The loss bound that was requested (multiple * eps). */
+    double requested_bound = 0.0;
+
+    /** Range used (snapped onto the device grid). */
+    SensorRange range{0.0, 1.0};
+
+    /** Human-auditable rendering of the whole plan. */
+    std::string toText() const;
+};
+
+/** Computes and verifies provisioning plans. */
+class Provisioner
+{
+  public:
+    /**
+     * Build a verified plan for @p intent.
+     *
+     * Fails (FatalError) if no window satisfies the requested bound
+     * at the given resolution, or if the sensor range does not fit
+     * the word format.
+     */
+    static ProvisioningPlan plan(const PrivacyIntent &intent);
+
+    /**
+     * Re-verify a plan: recompute the exact worst-case loss for the
+     * plan's device configuration and compare against its recorded
+     * bound. Use after deserializing or editing a plan.
+     */
+    static bool verify(const ProvisioningPlan &plan);
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_DPBOX_PROVISIONING_H

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Transaction tracing and invariant checking for the DP-Box model.
+ *
+ * Debugging a privacy device is unlike debugging a functional block:
+ * a bug does not produce a wrong answer, it produces a *leak*, and
+ * leaks are invisible in any single output. The tracer records every
+ * port transaction (cycle, phase, command, input, ready, output,
+ * budget) so a session can be audited after the fact, and the
+ * checker validates the security invariants over the whole trace:
+ *
+ *  1. containment -- every ready output lies inside the clamp window
+ *     implied by the range registers at that cycle;
+ *  2. budget soundness -- the budget register never increases except
+ *     across a replenishment boundary;
+ *  3. phase discipline -- outputs only appear out of the noising
+ *     phase, and initialization is never re-entered.
+ */
+
+#ifndef ULPDP_DPBOX_TRACE_H
+#define ULPDP_DPBOX_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "dpbox/dpbox.h"
+
+namespace ulpdp {
+
+/** One recorded port transaction (state *after* the clock edge). */
+struct DpBoxTraceEntry
+{
+    uint64_t cycle = 0;
+    DpBoxPhase phase = DpBoxPhase::Initialization;
+    DpBoxCommand command = DpBoxCommand::DoNothing;
+    int64_t input = 0;
+    bool ready = false;
+    int64_t output = 0;
+    int64_t range_lo = 0;
+    int64_t range_hi = 0;
+    double budget = 0.0;
+};
+
+/** Outcome of an invariant check over a trace. */
+struct TraceCheckResult
+{
+    /** True when every invariant held. */
+    bool ok = true;
+
+    /** Description of the first violation (empty when ok). */
+    std::string violation;
+};
+
+/** Records and audits DP-Box port transactions. */
+class DpBoxTracer
+{
+  public:
+    /** @param box Device to trace; must outlive the tracer. */
+    explicit DpBoxTracer(DpBox &box);
+
+    /** Forward one clock edge to the device and record it. */
+    void step(DpBoxCommand cmd, int64_t input = 0);
+
+    /** Recorded transactions, oldest first. */
+    const std::vector<DpBoxTraceEntry> &trace() const
+    {
+        return trace_;
+    }
+
+    /** Drop the recorded history (device state is untouched). */
+    void clear() { trace_.clear(); }
+
+    /**
+     * Run the invariant checks over the recorded trace.
+     * See the file comment for the invariants.
+     */
+    TraceCheckResult check() const;
+
+    /**
+     * Render the last @p max_rows transactions as an aligned text
+     * table (a poor man's waveform).
+     */
+    std::string toText(size_t max_rows = 32) const;
+
+  private:
+    DpBox &box_;
+    std::vector<DpBoxTraceEntry> trace_;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_DPBOX_TRACE_H

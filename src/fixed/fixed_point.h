@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Signed two's-complement fixed-point value type.
+ *
+ * ULP hardware like the paper's DP-Box has no floating-point unit; the
+ * entire noising datapath (Tausworthe URNG, CORDIC logarithm, scaling,
+ * addition, clamping) operates on narrow fixed-point words. This header
+ * provides a compile-time parameterised Q-format type used to model
+ * that datapath bit-exactly.
+ *
+ * Fxp<I, F> holds a signed value with I integer bits (including the
+ * sign bit) and F fraction bits, i.e. a Q(I-1).F number stored in an
+ * (I+F)-bit two's-complement word. All arithmetic saturates on
+ * overflow, matching the saturating adders used in low-power DSP
+ * datapaths (wrap-around would silently corrupt noise samples and void
+ * the privacy analysis).
+ */
+
+#ifndef ULPDP_FIXED_FIXED_POINT_H
+#define ULPDP_FIXED_FIXED_POINT_H
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+/**
+ * Signed saturating fixed-point number with @p IntBits integer bits
+ * (sign included) and @p FracBits fraction bits.
+ *
+ * The total word length IntBits + FracBits must fit in 63 bits so that
+ * products can be computed exactly in __int128 before rounding.
+ */
+template <int IntBits, int FracBits>
+class Fxp
+{
+    static_assert(IntBits >= 1, "need at least a sign bit");
+    static_assert(FracBits >= 0, "fraction bits must be non-negative");
+    static_assert(IntBits + FracBits <= 63, "word too wide");
+
+  public:
+    /** Total word length in bits. */
+    static constexpr int word_length = IntBits + FracBits;
+
+    /** Number of fraction bits. */
+    static constexpr int frac_bits = FracBits;
+
+    /** Largest representable raw value: 2^(WL-1) - 1. */
+    static constexpr int64_t raw_max =
+        (int64_t{1} << (word_length - 1)) - 1;
+
+    /** Smallest representable raw value: -2^(WL-1). */
+    static constexpr int64_t raw_min = -(int64_t{1} << (word_length - 1));
+
+    /** Value of one least-significant bit: 2^-FracBits. */
+    static double
+    resolution()
+    {
+        return std::ldexp(1.0, -FracBits);
+    }
+
+    /** Largest representable value. */
+    static constexpr Fxp
+    max()
+    {
+        return fromRaw(raw_max);
+    }
+
+    /** Smallest (most negative) representable value. */
+    static constexpr Fxp
+    min()
+    {
+        return fromRaw(raw_min);
+    }
+
+    constexpr Fxp() = default;
+
+    /** Wrap a raw two's-complement word (must be in range). */
+    static constexpr Fxp
+    fromRaw(int64_t raw)
+    {
+        Fxp f;
+        f.raw_ = raw;
+        return f;
+    }
+
+    /**
+     * Convert from double with round-to-nearest-even and saturation.
+     * NaN saturates to zero (there is no NaN in fixed point; zero noise
+     * is the conservative failure mode the tests then catch).
+     */
+    static Fxp
+    fromDouble(double v)
+    {
+        if (std::isnan(v))
+            return Fxp();
+        double scaled = std::ldexp(v, FracBits);
+        if (scaled >= static_cast<double>(raw_max))
+            return fromRaw(raw_max);
+        if (scaled <= static_cast<double>(raw_min))
+            return fromRaw(raw_min);
+        return fromRaw(std::llrint(scaled));
+    }
+
+    /** Convert from a plain integer value (saturating). */
+    static Fxp
+    fromInt(int64_t v)
+    {
+        __int128 scaled = static_cast<__int128>(v) << FracBits;
+        return saturate(scaled);
+    }
+
+    /** Raw two's-complement word. */
+    constexpr int64_t raw() const { return raw_; }
+
+    /** Value as a double (exact: the word fits in a double mantissa
+     *  only up to 53 bits, but our words are <= 63; error is bounded
+     *  by the double rounding and irrelevant for <= 32-bit words). */
+    double toDouble() const { return std::ldexp(static_cast<double>(raw_),
+                                                -FracBits); }
+
+    /** Truncate toward negative infinity to an integer. */
+    int64_t
+    floorToInt() const
+    {
+        return raw_ >> FracBits;
+    }
+
+    /** Saturating addition. */
+    Fxp
+    operator+(Fxp other) const
+    {
+        return saturate(static_cast<__int128>(raw_) + other.raw_);
+    }
+
+    /** Saturating subtraction. */
+    Fxp
+    operator-(Fxp other) const
+    {
+        return saturate(static_cast<__int128>(raw_) - other.raw_);
+    }
+
+    /** Saturating negation (note -min saturates to max). */
+    Fxp
+    operator-() const
+    {
+        return saturate(-static_cast<__int128>(raw_));
+    }
+
+    /**
+     * Saturating multiplication with round-to-nearest of the discarded
+     * fraction bits, as a hardware multiplier with a rounding stage
+     * would produce.
+     */
+    Fxp
+    operator*(Fxp other) const
+    {
+        __int128 prod = static_cast<__int128>(raw_) * other.raw_;
+        if constexpr (FracBits == 0) {
+            return saturate(prod);
+        } else {
+            // Round to nearest, ties away from zero, while dropping
+            // FracBits bits: negate-round-negate keeps the negative
+            // half exactly mirror-symmetric with the positive one.
+            __int128 half = __int128{1} << (FracBits - 1);
+            if (prod >= 0)
+                return saturate((prod + half) >> FracBits);
+            return saturate(-((-prod + half) >> FracBits));
+        }
+    }
+
+    /** Arithmetic shift left (saturating). */
+    Fxp
+    shiftLeft(int k) const
+    {
+        ULPDP_ASSERT(k >= 0 && k < 64);
+        return saturate(static_cast<__int128>(raw_) << k);
+    }
+
+    /** Arithmetic shift right (rounds toward negative infinity). */
+    Fxp
+    shiftRight(int k) const
+    {
+        ULPDP_ASSERT(k >= 0 && k < 64);
+        return fromRaw(raw_ >> k);
+    }
+
+    /** Absolute value (saturating for min()). */
+    Fxp
+    abs() const
+    {
+        return raw_ < 0 ? -*this : *this;
+    }
+
+    constexpr auto operator<=>(const Fxp &) const = default;
+
+    /** Human-readable representation, e.g. "3.14159 (raw 12868)". */
+    std::string
+    toString() const
+    {
+        return std::to_string(toDouble()) + " (raw " +
+               std::to_string(raw_) + ")";
+    }
+
+  private:
+    static constexpr Fxp
+    saturate(__int128 raw)
+    {
+        if (raw > raw_max)
+            return fromRaw(raw_max);
+        if (raw < raw_min)
+            return fromRaw(raw_min);
+        return fromRaw(static_cast<int64_t>(raw));
+    }
+
+    int64_t raw_ = 0;
+};
+
+/**
+ * The 20-bit fixed-point word the paper's DP-Box datapath uses
+ * ("We implemented DP-Box in RTL with 20-bit noised output"): 8 integer
+ * bits (sign included) and 12 fraction bits, enough for sensors up to
+ * 13-bit resolution with privacy parameter epsilon >= 0.1 after range
+ * normalisation (Section III-D).
+ */
+using DpBoxWord = Fxp<8, 12>;
+
+} // namespace ulpdp
+
+#endif // ULPDP_FIXED_FIXED_POINT_H

@@ -1,0 +1,42 @@
+#include "fixed/quantizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+Quantizer::Quantizer(double delta, int bits)
+    : delta_(delta), bits_(bits)
+{
+    if (!(delta > 0.0))
+        fatal("Quantizer: delta must be positive, got %g", delta);
+    if (bits < 2 || bits > 62)
+        fatal("Quantizer: bits must be in [2, 62], got %d", bits);
+    min_index_ = -(int64_t{1} << (bits - 1));
+    max_index_ = (int64_t{1} << (bits - 1)) - 1;
+}
+
+int64_t
+Quantizer::quantizeToIndex(double x) const
+{
+    double scaled = x / delta_;
+    // Round half away from zero: the paper's RNG rounds the noise
+    // magnitude and applies the sign afterwards, which is exactly
+    // round-half-away-from-zero on the signed value.
+    double rounded = scaled >= 0.0 ? std::floor(scaled + 0.5)
+                                   : std::ceil(scaled - 0.5);
+    if (rounded <= static_cast<double>(min_index_))
+        return min_index_;
+    if (rounded >= static_cast<double>(max_index_))
+        return max_index_;
+    return static_cast<int64_t>(rounded);
+}
+
+double
+Quantizer::quantize(double x) const
+{
+    return value(quantizeToIndex(x));
+}
+
+} // namespace ulpdp

@@ -1,0 +1,21 @@
+#include "ml/private_training.h"
+
+namespace ulpdp {
+
+LabelledData
+noiseFeatures(const LabelledData &data, Mechanism &mechanism)
+{
+    LabelledData out;
+    out.labels = data.labels;
+    out.features.reserve(data.size());
+    const SensorRange &range = mechanism.range();
+    for (const auto &x : data.features) {
+        std::vector<double> noised(x.size());
+        for (size_t j = 0; j < x.size(); ++j)
+            noised[j] = mechanism.noise(range.clamp(x[j])).value;
+        out.features.push_back(std::move(noised));
+    }
+    return out;
+}
+
+} // namespace ulpdp

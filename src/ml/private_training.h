@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Glue between LDP mechanisms and the SVM trainer: each training
+ * example's features are noised locally before they ever reach the
+ * trainer, exactly as Section VI-F trains on DP-Box output. Labels
+ * are left untouched (the paper noises the sensor features; label
+ * privacy would be randomized response and is exercised separately).
+ */
+
+#ifndef ULPDP_ML_PRIVATE_TRAINING_H
+#define ULPDP_ML_PRIVATE_TRAINING_H
+
+#include "core/mechanism.h"
+#include "ml/svm.h"
+
+namespace ulpdp {
+
+/**
+ * Noise every feature of every example through @p mechanism.
+ *
+ * Each feature release costs the mechanism's epsilon; by sequential
+ * composition an example with k features leaks k * eps total. The
+ * Table VI experiment reports accuracy against the per-feature eps,
+ * matching the paper.
+ *
+ * Features outside the mechanism's configured sensor range are
+ * clamped first (the halfspace generator emits [-1, 1] features; use
+ * a mechanism configured for that range).
+ */
+LabelledData noiseFeatures(const LabelledData &data,
+                           Mechanism &mechanism);
+
+} // namespace ulpdp
+
+#endif // ULPDP_ML_PRIVATE_TRAINING_H

@@ -1,0 +1,127 @@
+#include "ml/svm.h"
+
+#include <cmath>
+#include <random>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+LinearSvm::LinearSvm(const SvmConfig &config) : config_(config)
+{
+    if (!(config.lambda > 0.0))
+        fatal("LinearSvm: lambda must be positive, got %g",
+              config.lambda);
+    if (config.epochs < 1)
+        fatal("LinearSvm: epochs must be positive, got %d",
+              config.epochs);
+}
+
+void
+LinearSvm::train(const LabelledData &data)
+{
+    if (data.size() == 0)
+        fatal("LinearSvm: empty training set");
+    if (data.labels.size() != data.features.size())
+        fatal("LinearSvm: %zu labels for %zu feature vectors",
+              data.labels.size(), data.features.size());
+
+    size_t dim = data.dim();
+    w_.assign(dim, 0.0);
+    b_ = 0.0;
+
+    std::mt19937_64 rng(config_.seed);
+    std::uniform_int_distribution<size_t> pick(0, data.size() - 1);
+
+    // Pegasos: at step t, with example (x, y),
+    //   eta = 1 / (lambda * t)
+    //   w <- (1 - eta * lambda) w + eta * y * x   if margin violated
+    //   w <- (1 - eta * lambda) w                 otherwise
+    uint64_t total =
+        static_cast<uint64_t>(config_.epochs) * data.size();
+    for (uint64_t t = 1; t <= total; ++t) {
+        size_t i = pick(rng);
+        const auto &x = data.features[i];
+        ULPDP_ASSERT(x.size() == dim);
+        double y = static_cast<double>(data.labels[i]);
+
+        double score = b_;
+        for (size_t j = 0; j < dim; ++j)
+            score += w_[j] * x[j];
+
+        double eta = 1.0 / (config_.lambda * static_cast<double>(t));
+        double shrink = 1.0 - eta * config_.lambda;
+        for (auto &wj : w_)
+            wj *= shrink;
+        if (y * score < 1.0) {
+            for (size_t j = 0; j < dim; ++j)
+                w_[j] += eta * y * x[j];
+            b_ += eta * y;
+        }
+    }
+}
+
+int
+LinearSvm::predict(const std::vector<double> &x) const
+{
+    ULPDP_ASSERT(x.size() == w_.size());
+    double score = b_;
+    for (size_t j = 0; j < x.size(); ++j)
+        score += w_[j] * x[j];
+    return score >= 0.0 ? 1 : -1;
+}
+
+double
+LinearSvm::accuracy(const LabelledData &data) const
+{
+    if (data.size() == 0)
+        return 0.0;
+    size_t correct = 0;
+    for (size_t i = 0; i < data.size(); ++i) {
+        if (predict(data.features[i]) == data.labels[i])
+            ++correct;
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(data.size());
+}
+
+LabelledData
+makeHalfspaceData(size_t n, size_t dim, double margin, uint64_t seed)
+{
+    ULPDP_ASSERT(dim >= 1);
+    ULPDP_ASSERT(margin >= 0.0);
+
+    std::mt19937_64 rng(seed);
+    std::normal_distribution<double> gauss(0.0, 1.0);
+    std::uniform_real_distribution<double> unif(-1.0, 1.0);
+
+    // Random unit normal.
+    std::vector<double> normal(dim);
+    double norm = 0.0;
+    for (auto &c : normal) {
+        c = gauss(rng);
+        norm += c * c;
+    }
+    norm = std::sqrt(norm);
+    for (auto &c : normal)
+        c /= norm;
+
+    LabelledData data;
+    data.features.reserve(n);
+    data.labels.reserve(n);
+    while (data.features.size() < n) {
+        std::vector<double> x(dim);
+        double score = 0.0;
+        for (size_t j = 0; j < dim; ++j) {
+            x[j] = unif(rng);
+            score += normal[j] * x[j];
+        }
+        if (std::abs(score) < margin)
+            continue; // too close to the boundary; keep it separable
+        data.labels.push_back(score >= 0.0 ? 1 : -1);
+        data.features.push_back(std::move(x));
+    }
+    return data;
+}
+
+} // namespace ulpdp

@@ -1,0 +1,96 @@
+#include "query/histogram_query.h"
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+HistogramEstimator::HistogramEstimator(const DiscreteOutputModel &model,
+                                       int iterations)
+    : iterations_(iterations)
+{
+    if (iterations < 1)
+        fatal("HistogramEstimator: iterations must be positive");
+
+    inputs_ = static_cast<size_t>(model.span()) + 1;
+    output_lo_ = model.outputLo();
+    outputs_ = static_cast<size_t>(model.outputHi() -
+                                   model.outputLo()) + 1;
+    kernel_.resize(inputs_ * outputs_);
+    for (size_t j = 0; j < outputs_; ++j) {
+        int64_t out = output_lo_ + static_cast<int64_t>(j);
+        for (size_t i = 0; i < inputs_; ++i) {
+            kernel_[j * inputs_ + i] =
+                model.prob(out, static_cast<int64_t>(i));
+        }
+    }
+}
+
+std::vector<double>
+HistogramEstimator::estimateFromCounts(
+        const std::vector<uint64_t> &counts) const
+{
+    if (counts.size() != outputs_)
+        fatal("HistogramEstimator: got %zu counts for %zu output "
+              "bins", counts.size(), outputs_);
+
+    double total = 0.0;
+    for (uint64_t c : counts)
+        total += static_cast<double>(c);
+    if (total <= 0.0)
+        fatal("HistogramEstimator: no reports");
+
+    // Richardson-Lucy EM: pi <- pi * A^T (o / (A pi)), with A the
+    // kernel; fixed point is the multinomial ML estimate.
+    std::vector<double> pi(inputs_, 1.0 / static_cast<double>(inputs_));
+    std::vector<double> predicted(outputs_);
+    std::vector<double> next(inputs_);
+    for (int it = 0; it < iterations_; ++it) {
+        for (size_t j = 0; j < outputs_; ++j) {
+            double p = 0.0;
+            const double *row = &kernel_[j * inputs_];
+            for (size_t i = 0; i < inputs_; ++i)
+                p += row[i] * pi[i];
+            predicted[j] = p;
+        }
+        for (size_t i = 0; i < inputs_; ++i)
+            next[i] = 0.0;
+        for (size_t j = 0; j < outputs_; ++j) {
+            if (counts[j] == 0 || predicted[j] <= 0.0)
+                continue;
+            double ratio = static_cast<double>(counts[j]) / total /
+                           predicted[j];
+            const double *row = &kernel_[j * inputs_];
+            for (size_t i = 0; i < inputs_; ++i)
+                next[i] += row[i] * ratio;
+        }
+        double norm = 0.0;
+        for (size_t i = 0; i < inputs_; ++i) {
+            pi[i] *= next[i];
+            norm += pi[i];
+        }
+        if (norm <= 0.0)
+            fatal("HistogramEstimator: EM collapsed (all mass on "
+                  "impossible outputs?)");
+        for (auto &v : pi)
+            v /= norm;
+    }
+    return pi;
+}
+
+std::vector<double>
+HistogramEstimator::estimate(
+        const std::vector<int64_t> &output_indices) const
+{
+    std::vector<uint64_t> counts(outputs_, 0);
+    for (int64_t idx : output_indices) {
+        int64_t rel = idx - output_lo_;
+        if (rel < 0 || rel >= static_cast<int64_t>(outputs_))
+            fatal("HistogramEstimator: report index %lld outside "
+                  "the model's output range",
+                  static_cast<long long>(idx));
+        ++counts[static_cast<size_t>(rel)];
+    }
+    return estimateFromCounts(counts);
+}
+
+} // namespace ulpdp

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Analyst-side histogram estimation by deconvolution.
+ *
+ * Means debias themselves (additive zero-mean noise) but histograms,
+ * quantiles and counts do not: the distribution the analyst sees is
+ * the true input histogram convolved with the mechanism's conditional
+ * output kernel. Because this library knows that kernel *exactly*
+ * (the DiscreteOutputModel used for the privacy proofs), the analyst
+ * can invert it: expectation-maximisation (Richardson-Lucy) over the
+ * model matrix converges to the maximum-likelihood input histogram
+ * for multinomially sampled outputs.
+ *
+ * This is post-processing of already-released LDP reports, so it
+ * costs no additional privacy (Section II-B of the paper).
+ */
+
+#ifndef ULPDP_QUERY_HISTOGRAM_QUERY_H
+#define ULPDP_QUERY_HISTOGRAM_QUERY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/output_model.h"
+
+namespace ulpdp {
+
+/** Maximum-likelihood input-histogram estimator. */
+class HistogramEstimator
+{
+  public:
+    /**
+     * @param model Exact conditional output model of the mechanism
+     *        that produced the reports (thresholding, resampling,
+     *        ...). Copied into a dense matrix at construction.
+     * @param iterations EM iterations (default 300; each is
+     *        O(inputs * outputs)).
+     */
+    explicit HistogramEstimator(const DiscreteOutputModel &model,
+                                int iterations = 300);
+
+    /**
+     * Estimate the input histogram from released reports.
+     *
+     * @param output_indices Reports as absolute output indices on
+     *        the mechanism's Delta grid (outside-support indices are
+     *        rejected).
+     * @return Estimated input probabilities over input indices
+     *         0..span, non-negative and summing to 1.
+     */
+    std::vector<double>
+    estimate(const std::vector<int64_t> &output_indices) const;
+
+    /**
+     * Same, from pre-tallied output counts aligned with
+     * [outputLo(), outputHi()].
+     */
+    std::vector<double>
+    estimateFromCounts(const std::vector<uint64_t> &counts) const;
+
+    /** Number of input bins (span + 1). */
+    size_t numInputs() const { return inputs_; }
+
+    /** Number of output bins. */
+    size_t numOutputs() const { return outputs_; }
+
+    /** Smallest output index the model can produce. */
+    int64_t outputLo() const { return output_lo_; }
+
+  private:
+    size_t inputs_;
+    size_t outputs_;
+    int64_t output_lo_;
+    int iterations_;
+    /** Row-major kernel[j][i] = Pr[output j | input i]. */
+    std::vector<double> kernel_;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_QUERY_HISTOGRAM_QUERY_H

@@ -1,0 +1,44 @@
+#include "query/query.h"
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace ulpdp {
+
+double
+MeanQuery::evaluate(const std::vector<double> &values) const
+{
+    return batch::mean(values);
+}
+
+double
+MedianQuery::evaluate(const std::vector<double> &values) const
+{
+    return batch::median(values);
+}
+
+double
+VarianceQuery::evaluate(const std::vector<double> &values) const
+{
+    return batch::variance(values);
+}
+
+double
+StdDevQuery::evaluate(const std::vector<double> &values) const
+{
+    return batch::stddev(values);
+}
+
+double
+CountAboveQuery::evaluate(const std::vector<double> &values) const
+{
+    double count = 0.0;
+    for (double v : values) {
+        if (v >= threshold_)
+            count += 1.0;
+    }
+    return count;
+}
+
+} // namespace ulpdp

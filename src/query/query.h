@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Statistical queries applied to (noised) report vectors.
+ *
+ * In the local model the analyst only ever sees noised reports
+ * (Fig. 2(b)); aggregate queries -- mean, median, variance, counting
+ * -- are computed over those. Post-processing preserves LDP
+ * (Section II-B), so no privacy bookkeeping happens here; this module
+ * is purely the analyst's toolbox plus the utility metric (mean
+ * absolute error) of Tables II-V.
+ */
+
+#ifndef ULPDP_QUERY_QUERY_H
+#define ULPDP_QUERY_QUERY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ulpdp {
+
+/** An aggregate statistical query over a vector of values. */
+class Query
+{
+  public:
+    virtual ~Query() = default;
+
+    /** Evaluate the query on @p values. */
+    virtual double evaluate(const std::vector<double> &values) const = 0;
+
+    /** Query name for table rows. */
+    virtual std::string name() const = 0;
+};
+
+/** Arithmetic mean. */
+class MeanQuery : public Query
+{
+  public:
+    double evaluate(const std::vector<double> &values) const override;
+    std::string name() const override { return "mean"; }
+};
+
+/** Median (order statistic). */
+class MedianQuery : public Query
+{
+  public:
+    double evaluate(const std::vector<double> &values) const override;
+    std::string name() const override { return "median"; }
+};
+
+/** Population variance. */
+class VarianceQuery : public Query
+{
+  public:
+    double evaluate(const std::vector<double> &values) const override;
+    std::string name() const override { return "variance"; }
+};
+
+/** Population standard deviation. */
+class StdDevQuery : public Query
+{
+  public:
+    double evaluate(const std::vector<double> &values) const override;
+    std::string name() const override { return "stddev"; }
+};
+
+/**
+ * Counting query: number of entries at or above a threshold value
+ * (e.g. "how many patients have blood pressure >= 140").
+ */
+class CountAboveQuery : public Query
+{
+  public:
+    explicit CountAboveQuery(double threshold) : threshold_(threshold) {}
+
+    double evaluate(const std::vector<double> &values) const override;
+    std::string name() const override { return "count"; }
+
+    /** Threshold the count compares against. */
+    double threshold() const { return threshold_; }
+
+  private:
+    double threshold_;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_QUERY_QUERY_H

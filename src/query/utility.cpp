@@ -1,0 +1,58 @@
+#include "query/utility.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace ulpdp {
+
+UtilityResult
+UtilityEvaluator::evaluate(const std::vector<double> &data,
+                           Mechanism &mechanism,
+                           const Query &query) const
+{
+    if (data.empty())
+        fatal("UtilityEvaluator: empty dataset");
+
+    double true_value = query.evaluate(data);
+
+    RunningStats err_stats;
+    uint64_t samples = 0;
+    std::vector<double> noised(data.size());
+    for (int t = 0; t < trials_; ++t) {
+        for (size_t i = 0; i < data.size(); ++i) {
+            NoisedReport rep = mechanism.noise(data[i]);
+            noised[i] = rep.value;
+            samples += rep.samples_drawn;
+        }
+        double answer = query.evaluate(noised);
+        err_stats.add(std::abs(answer - true_value));
+    }
+
+    UtilityResult result;
+    result.mae = err_stats.mean();
+    result.mae_std = err_stats.stddev();
+    result.true_value = true_value;
+    result.relative_error = true_value != 0.0
+        ? result.mae / std::abs(true_value)
+        : result.mae;
+    result.samples_drawn = samples;
+    result.reports = static_cast<uint64_t>(data.size()) *
+                     static_cast<uint64_t>(trials_);
+    return result;
+}
+
+UtilityResult
+UtilityEvaluator::evaluateRaw(const std::vector<double> &data,
+                              const Query &query) const
+{
+    if (data.empty())
+        fatal("UtilityEvaluator: empty dataset");
+    UtilityResult result;
+    result.true_value = query.evaluate(data);
+    result.reports = data.size();
+    return result;
+}
+
+} // namespace ulpdp

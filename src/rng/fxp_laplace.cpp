@@ -1,0 +1,69 @@
+#include "rng/fxp_laplace.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+FxpLaplaceRng::FxpLaplaceRng(const FxpLaplaceConfig &config, uint64_t seed)
+    : config_(config),
+      quantizer_(config.delta, config.output_bits),
+      urng_(seed),
+      cordic_(config.cordic_iterations)
+{
+    if (config.uniform_bits < 1 || config.uniform_bits > 32)
+        fatal("FxpLaplaceRng: uniform_bits must be in [1, 32], got %d",
+              config.uniform_bits);
+    if (!(config.lambda > 0.0))
+        fatal("FxpLaplaceRng: lambda must be positive, got %g",
+              config.lambda);
+}
+
+int64_t
+FxpLaplaceRng::pipeline(uint64_t m, int sign) const
+{
+    ULPDP_ASSERT(m >= 1 &&
+                 m <= (uint64_t{1} << config_.uniform_bits));
+    ULPDP_ASSERT(sign == 1 || sign == -1);
+
+    double ln_u;
+    if (config_.log_mode == FxpLaplaceConfig::LogMode::Cordic) {
+        ln_u = cordic_.lnUnitIndex(m, config_.uniform_bits);
+    } else {
+        double u = std::ldexp(static_cast<double>(m),
+                              -config_.uniform_bits);
+        ln_u = std::log(u);
+    }
+
+    // Inverse-CDF magnitude, Eq. (7): F^-1(u) = -lambda * ln(u) >= 0.
+    double magnitude = -config_.lambda * ln_u;
+    int64_t k = quantizer_.quantizeToIndex(magnitude);
+    // The magnitude path only uses the non-negative half of the index
+    // range; the sign stage produces the negative half.
+    return sign > 0 ? k : -k;
+}
+
+int64_t
+FxpLaplaceRng::sampleIndex()
+{
+    ++samples_drawn_;
+    uint64_t m = urng_.nextUnitIndex(config_.uniform_bits);
+    int sign = urng_.nextSign();
+    return pipeline(m, sign);
+}
+
+double
+FxpLaplaceRng::sample()
+{
+    return quantizer_.value(sampleIndex());
+}
+
+double
+FxpLaplaceRng::maxMagnitude() const
+{
+    return config_.lambda * static_cast<double>(config_.uniform_bits) *
+           std::log(2.0);
+}
+
+} // namespace ulpdp

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fixed-point Laplace random number generator -- the paper's Fig. 3
+ * pipeline: a Bu-bit uniform index from the Tausworthe URNG is mapped
+ * through the inverse CDF magnitude -lambda * ln(u), rounded to the
+ * nearest multiple of the quantization step Delta, saturated to the
+ * By-bit output word, and given a random sign.
+ *
+ * Two computation modes are provided:
+ *  - Reference: the logarithm is evaluated in double precision. This
+ *    matches the mathematical model of Section III-A2 exactly, so its
+ *    output distribution equals the analytic PMF of Eq. (11) bit for
+ *    bit (tests enumerate all 2^Bu URNG states to prove it).
+ *  - Cordic: the logarithm runs through the integer CORDIC unit, i.e.
+ *    the actual hardware datapath. Near quantization-bin boundaries
+ *    its finite precision can move a sample by one LSB relative to
+ *    Reference; a dedicated bench quantifies the PMF perturbation.
+ */
+
+#ifndef ULPDP_RNG_FXP_LAPLACE_H
+#define ULPDP_RNG_FXP_LAPLACE_H
+
+#include <cstdint>
+
+#include "fixed/quantizer.h"
+#include "rng/cordic.h"
+#include "rng/tausworthe.h"
+
+namespace ulpdp {
+
+/** Static configuration of a fixed-point Laplace RNG. */
+struct FxpLaplaceConfig
+{
+    /** URNG output width Bu in bits (paper default 17). */
+    int uniform_bits = 17;
+
+    /** RNG output width By in bits (paper default 12). */
+    int output_bits = 12;
+
+    /** Quantization step Delta (paper example: 10 / 2^5). */
+    double delta = 10.0 / 32.0;
+
+    /** Laplace scale lambda = d / eps (paper example: Lap(20)). */
+    double lambda = 20.0;
+
+    /** How the logarithm is evaluated. */
+    enum class LogMode { Reference, Cordic };
+    LogMode log_mode = LogMode::Reference;
+
+    /** CORDIC micro-rotations (Cordic mode only). */
+    int cordic_iterations = 32;
+};
+
+/**
+ * The fixed-point inverse-CDF Laplace sampler of Fig. 3.
+ *
+ * Every sample is some k * Delta with k in the signed By-bit index
+ * range; the support is bounded by L = lambda * Bu * ln 2 (the largest
+ * magnitude, produced by the smallest URNG output u = 2^-Bu) and, on
+ * the saturation side, by the quantizer's representable range.
+ */
+class FxpLaplaceRng
+{
+  public:
+    /**
+     * @param config Static configuration.
+     * @param seed Tausworthe seed.
+     */
+    explicit FxpLaplaceRng(const FxpLaplaceConfig &config,
+                           uint64_t seed = 1);
+
+    /** Draw one noise sample; returns the value k * Delta. */
+    double sample();
+
+    /** Draw one noise sample; returns the signed index k. */
+    int64_t sampleIndex();
+
+    /**
+     * Deterministically map one URNG magnitude index m (1..2^Bu) and a
+     * sign to an output index, without consuming randomness. This is
+     * the pure pipeline function; tests enumerate it over all m.
+     */
+    int64_t pipeline(uint64_t m, int sign) const;
+
+    /** Configuration in effect. */
+    const FxpLaplaceConfig &config() const { return config_; }
+
+    /** The quantizer stage (resolution and saturation limits). */
+    const Quantizer &quantizer() const { return quantizer_; }
+
+    /**
+     * Largest magnitude the pipeline can produce before saturation:
+     * L = lambda * Bu * ln 2 (Section III-A2).
+     */
+    double maxMagnitude() const;
+
+    /** Number of samples drawn so far (latency accounting). */
+    uint64_t samplesDrawn() const { return samples_drawn_; }
+
+  private:
+    FxpLaplaceConfig config_;
+    Quantizer quantizer_;
+    Tausworthe urng_;
+    CordicLog cordic_;
+    uint64_t samples_drawn_ = 0;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_RNG_FXP_LAPLACE_H

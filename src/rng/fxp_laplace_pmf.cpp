@@ -1,0 +1,148 @@
+#include "rng/fxp_laplace_pmf.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+FxpLaplacePmf::FxpLaplacePmf(const FxpLaplaceConfig &config, Mode mode)
+    : config_(config), mode_(mode)
+{
+    Quantizer quant(config.delta, config.output_bits);
+    sat_index_ = quant.maxIndex();
+
+    if (mode_ == Mode::Enumerated) {
+        if (config.uniform_bits > 24)
+            fatal("FxpLaplacePmf: Enumerated mode needs "
+                  "uniform_bits <= 24, got %d", config.uniform_bits);
+        // Run the real pipeline for every URNG state. The pipeline is
+        // sign-symmetric, so tallying magnitudes (sign = +1) suffices.
+        FxpLaplaceRng rng(config);
+        counts_.assign(static_cast<size_t>(sat_index_) + 1, 0);
+        uint64_t states = uint64_t{1} << config.uniform_bits;
+        for (uint64_t m = 1; m <= states; ++m) {
+            int64_t k = rng.pipeline(m, 1);
+            ULPDP_ASSERT(k >= 0 && k <= sat_index_);
+            ++counts_[static_cast<size_t>(k)];
+        }
+    }
+
+    // Locate the top of the support.
+    max_index_ = 0;
+    for (int64_t k = sat_index_; k >= 0; --k) {
+        if (magnitudeCount(k) > 0) {
+            max_index_ = k;
+            break;
+        }
+    }
+}
+
+double
+FxpLaplacePmf::m1(int64_t k) const
+{
+    double a = config_.delta / config_.lambda;
+    return std::ldexp(1.0, config_.uniform_bits) *
+           std::exp(-a * (static_cast<double>(k) - 0.5));
+}
+
+double
+FxpLaplacePmf::m2(int64_t k) const
+{
+    double a = config_.delta / config_.lambda;
+    return std::ldexp(1.0, config_.uniform_bits) *
+           std::exp(-a * (static_cast<double>(k) + 0.5));
+}
+
+uint64_t
+FxpLaplacePmf::analyticCount(int64_t k) const
+{
+    if (k < 0 || k > sat_index_)
+        return 0;
+    double total = std::ldexp(1.0, config_.uniform_bits);
+
+    // Number of URNG indices m in the half-open interval (A, B] is
+    // floor(B) - floor(A). The upper boundary is clamped to 2^Bu
+    // (covers k = 0, where m1(0) > 2^Bu) and the saturation bin
+    // absorbs everything below its lower boundary.
+    double upper = std::min(m1(k), total);
+    double lower = (k == sat_index_) ? 0.0 : std::min(m2(k), total);
+    double cnt = std::floor(upper) - std::floor(lower);
+    return cnt > 0.0 ? static_cast<uint64_t>(cnt) : 0;
+}
+
+uint64_t
+FxpLaplacePmf::magnitudeCount(int64_t k) const
+{
+    if (k < 0 || k > sat_index_)
+        return 0;
+    if (mode_ == Mode::Enumerated)
+        return counts_[static_cast<size_t>(k)];
+    return analyticCount(k);
+}
+
+double
+FxpLaplacePmf::pmf(int64_t k) const
+{
+    int64_t mag = k >= 0 ? k : -k;
+    double cnt = static_cast<double>(magnitudeCount(mag));
+    double denom = std::ldexp(1.0, config_.uniform_bits);
+    if (k == 0) {
+        // Both signs collapse onto zero.
+        return cnt / denom;
+    }
+    return cnt / (2.0 * denom);
+}
+
+double
+FxpLaplacePmf::tailMass(int64_t k) const
+{
+    ULPDP_ASSERT(k >= 1);
+    double denom = 2.0 * std::ldexp(1.0, config_.uniform_bits);
+    if (mode_ == Mode::Enumerated) {
+        uint64_t cnt = 0;
+        for (int64_t j = k; j <= sat_index_; ++j)
+            cnt += counts_[static_cast<size_t>(j)];
+        return static_cast<double>(cnt) / denom;
+    }
+    // The per-bin counts telescope: sum_{j >= k} count(j) is just the
+    // number of URNG indices at or below the k boundary,
+    // floor(min(m1(k), 2^Bu)) -- the paper's Pr[n >= k Delta] =
+    // floor(m1(k)) / 2^(Bu+1).
+    if (k > sat_index_)
+        return 0.0;
+    double total = std::ldexp(1.0, config_.uniform_bits);
+    double cnt = std::floor(std::min(m1(k), total));
+    return (cnt > 0.0 ? cnt : 0.0) / denom;
+}
+
+double
+FxpLaplacePmf::upperMass(int64_t k) const
+{
+    if (k >= 1)
+        return tailMass(k);
+    // Pr[n >= k] = 1 - Pr[n <= k - 1] = 1 - Pr[n >= 1 - k] by the
+    // sign symmetry of the PMF; 1 - k >= 1 here.
+    return 1.0 - tailMass(1 - k);
+}
+
+int64_t
+FxpLaplacePmf::firstInteriorGap() const
+{
+    for (int64_t k = 0; k < max_index_; ++k) {
+        if (magnitudeCount(k) == 0)
+            return k;
+    }
+    return -1;
+}
+
+double
+FxpLaplacePmf::totalMass() const
+{
+    double sum = pmf(0);
+    for (int64_t k = 1; k <= max_index_; ++k)
+        sum += pmf(k) + pmf(-k);
+    return sum;
+}
+
+} // namespace ulpdp

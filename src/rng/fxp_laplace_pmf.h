@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Exact probability mass function of the fixed-point Laplace RNG.
+ *
+ * Section III-B of the paper derives, in Eq. (11), the probability
+ * that the Fig. 3 pipeline outputs the value k * Delta:
+ *
+ *   Pr[n = k Delta] = (floor(m1(k)) - ceil(m2(k)) + 1) / 2^(Bu+1)
+ *   m1(k) = 2^Bu * exp(-(eps Delta / d)(k - 1/2))
+ *   m2(k) = 2^Bu * exp(-(eps Delta / d)(k + 1/2))
+ *
+ * (with eps Delta / d = Delta / lambda). The whole privacy analysis --
+ * infinite-loss detection, the resampling/thresholding thresholds of
+ * Eqs. (13)/(15), the Fig. 8 budget segments -- is driven by this PMF.
+ *
+ * Two construction modes are provided:
+ *  - Analytic: evaluates the closed form above. O(1) per query.
+ *  - Enumerated: runs the actual RNG pipeline over all 2^Bu URNG
+ *    states and tallies the outputs. This is exact by construction
+ *    (no floating-point boundary ambiguity) and is what the privacy
+ *    loss analyzer uses whenever Bu is small enough to enumerate.
+ */
+
+#ifndef ULPDP_RNG_FXP_LAPLACE_PMF_H
+#define ULPDP_RNG_FXP_LAPLACE_PMF_H
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/fxp_laplace.h"
+#include "rng/noise_pmf.h"
+
+namespace ulpdp {
+
+/**
+ * Exact PMF of an FxpLaplaceRng output, over signed output indices k
+ * (the output value is k * Delta).
+ */
+class FxpLaplacePmf : public NoisePmf
+{
+  public:
+    /** How the PMF is computed. */
+    enum class Mode
+    {
+        /** Closed form, Eq. (11). */
+        Analytic,
+        /** Tally the pipeline over all 2^Bu URNG states. */
+        Enumerated,
+    };
+
+    /**
+     * @param config RNG configuration the PMF describes.
+     * @param mode Computation mode. Enumerated requires
+     *        config.uniform_bits <= 24 (2^24 pipeline evaluations).
+     */
+    explicit FxpLaplacePmf(const FxpLaplaceConfig &config,
+                           Mode mode = Mode::Analytic);
+
+    /** Configuration described. */
+    const FxpLaplaceConfig &config() const { return config_; }
+
+    /** Mode used. */
+    Mode mode() const { return mode_; }
+
+    /** Number of URNG states mapping to magnitude index k (k >= 0). */
+    uint64_t magnitudeCount(int64_t k) const;
+
+    /** Pr[n = k * Delta] for a signed index k. */
+    double pmf(int64_t k) const override;
+
+    /** Pr[n >= k * Delta] for k >= 1 (upper tail mass). */
+    double tailMass(int64_t k) const override;
+
+    /**
+     * Pr[n >= k * Delta] for any signed k (k <= 0 handled via the
+     * sign symmetry of the distribution). Needed for the clamp atoms
+     * of the thresholding mechanism with small windows.
+     */
+    double upperMass(int64_t k) const override;
+
+    /** Largest index with positive probability (support bound). */
+    int64_t maxIndex() const override { return max_index_; }
+
+    /**
+     * Smallest magnitude index k >= 0 whose probability is zero while
+     * some larger index still has positive probability, or -1 if the
+     * support has no such interior gap. Interior gaps are the
+     * "cannot generate all the noise values" failure of Fig. 4(b).
+     */
+    int64_t firstInteriorGap() const;
+
+    /** The m1 boundary function of Eq. (11). */
+    double m1(int64_t k) const;
+
+    /** The m2 boundary function of Eq. (11). */
+    double m2(int64_t k) const;
+
+    /** Total probability over the whole support (must be 1). */
+    double totalMass() const;
+
+  private:
+    /** Closed-form magnitude count. */
+    uint64_t analyticCount(int64_t k) const;
+
+    FxpLaplaceConfig config_;
+    Mode mode_;
+    /** Saturation index: the quantizer's largest magnitude index. */
+    int64_t sat_index_;
+    /** Largest index with positive probability. */
+    int64_t max_index_;
+    /** Enumerated counts per magnitude index (Enumerated mode). */
+    std::vector<uint64_t> counts_;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_RNG_FXP_LAPLACE_PMF_H

@@ -1,0 +1,59 @@
+#include "rng/ideal_laplace.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+IdealLaplace::IdealLaplace(double lambda, uint64_t seed)
+    : lambda_(lambda), gen_(seed), unit_(0.0, 1.0)
+{
+    if (!(lambda > 0.0))
+        fatal("IdealLaplace: lambda must be positive, got %g", lambda);
+}
+
+double
+IdealLaplace::sample()
+{
+    // Inversion: u uniform in (-1/2, 1/2), sample is
+    // -lambda * sgn(u) * log(1 - 2|u|).
+    double u = unit_(gen_) - 0.5;
+    double sgn = u < 0.0 ? -1.0 : 1.0;
+    double mag = std::abs(u);
+    // Guard against log(0) at the (probability-zero) endpoint.
+    double inner = std::max(1.0 - 2.0 * mag, 1e-300);
+    return -lambda_ * sgn * std::log(inner);
+}
+
+double
+IdealLaplace::pdf(double x) const
+{
+    return std::exp(-std::abs(x) / lambda_) / (2.0 * lambda_);
+}
+
+double
+IdealLaplace::cdf(double x) const
+{
+    if (x < 0.0)
+        return 0.5 * std::exp(x / lambda_);
+    return 1.0 - 0.5 * std::exp(-x / lambda_);
+}
+
+double
+IdealLaplace::icdf(double p) const
+{
+    ULPDP_ASSERT(p > 0.0 && p < 1.0);
+    if (p < 0.5)
+        return lambda_ * std::log(2.0 * p);
+    return -lambda_ * std::log(2.0 * (1.0 - p));
+}
+
+double
+IdealLaplace::upperTail(double x) const
+{
+    ULPDP_ASSERT(x >= 0.0);
+    return 0.5 * std::exp(-x / lambda_);
+}
+
+} // namespace ulpdp

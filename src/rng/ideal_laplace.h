@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Ideal (double-precision) Laplace distribution sampler and density
+ * helpers. This models the paper's "Ideal Local DP" reference setting:
+ * mathematically exact continuous Laplace noise, unachievable on real
+ * hardware but the yardstick every fixed-point variant is compared to.
+ */
+
+#ifndef ULPDP_RNG_IDEAL_LAPLACE_H
+#define ULPDP_RNG_IDEAL_LAPLACE_H
+
+#include <cstdint>
+#include <random>
+
+namespace ulpdp {
+
+/**
+ * Zero-mean Laplace distribution Lap(lambda) with pdf
+ * f(x) = exp(-|x| / lambda) / (2 lambda), sampled by inversion from a
+ * 64-bit Mersenne Twister.
+ */
+class IdealLaplace
+{
+  public:
+    /**
+     * @param lambda Scale parameter (> 0). For eps-LDP on data with
+     *        range d, use lambda = d / eps.
+     * @param seed PRNG seed; fixed default for reproducibility.
+     */
+    explicit IdealLaplace(double lambda, uint64_t seed = 1);
+
+    /** Scale parameter lambda. */
+    double lambda() const { return lambda_; }
+
+    /** Draw one sample. */
+    double sample();
+
+    /** Probability density at @p x. */
+    double pdf(double x) const;
+
+    /** Cumulative distribution function at @p x. */
+    double cdf(double x) const;
+
+    /** Inverse CDF (quantile function) for p in (0, 1). */
+    double icdf(double p) const;
+
+    /**
+     * Tail mass Pr[X >= x] for x >= 0 (one-sided), used by the
+     * threshold calculators to compare analytic fixed-point tails
+     * against the ideal ones.
+     */
+    double upperTail(double x) const;
+
+  private:
+    double lambda_;
+    std::mt19937_64 gen_;
+    std::uniform_real_distribution<double> unit_;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_RNG_IDEAL_LAPLACE_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Abstract interface for exact noise PMFs on the Delta index grid.
+ *
+ * Section III-A4 of the paper generalises the infinite-loss problem
+ * beyond Laplace: *any* DP-guaranteeing distribution (Gaussian,
+ * staircase, ...) realised with finite-precision inversion suffers
+ * quantized tails, bounded support and interior gaps. The output
+ * models and the privacy-loss analyzer therefore work against this
+ * interface, so the same exact analysis applies to every noise
+ * distribution the library implements (FxpLaplacePmf analytically,
+ * EnumeratedNoisePmf for arbitrary inversion pipelines).
+ */
+
+#ifndef ULPDP_RNG_NOISE_PMF_H
+#define ULPDP_RNG_NOISE_PMF_H
+
+#include <cstdint>
+
+namespace ulpdp {
+
+/**
+ * Exact, sign-symmetric PMF of a discrete noise distribution over
+ * signed indices k (noise value = k * Delta).
+ */
+class NoisePmf
+{
+  public:
+    virtual ~NoisePmf() = default;
+
+    /** Pr[n = k * Delta] for a signed index k. */
+    virtual double pmf(int64_t k) const = 0;
+
+    /** Pr[n >= k * Delta] for k >= 1 (upper tail mass). */
+    virtual double tailMass(int64_t k) const = 0;
+
+    /** Pr[n >= k * Delta] for any signed k. */
+    virtual double upperMass(int64_t k) const = 0;
+
+    /** Largest index with positive probability. */
+    virtual int64_t maxIndex() const = 0;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_RNG_NOISE_PMF_H

@@ -1,0 +1,51 @@
+#include "sim/adversary.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+std::vector<AdversaryPoint>
+AveragingAdversary::attack(BudgetController &controller, double x,
+                           const std::vector<uint64_t> &checkpoints,
+                           bool discard_repeats)
+{
+    if (checkpoints.empty())
+        fatal("AveragingAdversary: no checkpoints");
+    for (size_t i = 1; i < checkpoints.size(); ++i) {
+        if (checkpoints[i] <= checkpoints[i - 1])
+            fatal("AveragingAdversary: checkpoints must be strictly "
+                  "increasing");
+    }
+
+    double range_len = controller.params().range.length();
+
+    std::vector<AdversaryPoint> curve;
+    double sum = 0.0;
+    uint64_t used = 0;
+    uint64_t issued = 0;
+    bool have_prev = false;
+    double prev = 0.0;
+    for (uint64_t target : checkpoints) {
+        while (issued < target) {
+            BudgetResponse resp = controller.request(x);
+            ++issued;
+            if (discard_repeats && have_prev && resp.value == prev)
+                continue; // exact repeat: presumed cache replay
+            prev = resp.value;
+            have_prev = true;
+            sum += resp.value;
+            ++used;
+        }
+        AdversaryPoint pt;
+        pt.requests = issued;
+        pt.estimate = used > 0 ? sum / static_cast<double>(used) : x;
+        pt.relative_error = std::abs(pt.estimate - x) / range_len;
+        pt.cache_hits = controller.cacheHits();
+        curve.push_back(pt);
+    }
+    return curve;
+}
+
+} // namespace ulpdp

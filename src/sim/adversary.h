@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Averaging adversary for the budget-control experiment (Fig. 13).
+ *
+ * An adversary with repeated access to the noised output of one
+ * sensor requests the value over and over and averages the replies:
+ * the maximum-likelihood estimate of the true reading under additive
+ * zero-mean noise. Without budget control the estimate error falls
+ * like 1/sqrt(requests) toward zero -- total privacy failure given
+ * enough requests.
+ *
+ * With the budget controller the device replays its cached report
+ * once the budget runs out. We model the *strongest* realistic
+ * adversary: cache replays are exact repeats of an earlier value, so
+ * the adversary discards duplicates and averages only the distinct
+ * (fresh) reports. Its accuracy therefore saturates at the error of
+ * a mean over the ~budget/loss fresh samples the device ever
+ * releases -- a floor the budget directly controls (Fig. 13).
+ */
+
+#ifndef ULPDP_SIM_ADVERSARY_H
+#define ULPDP_SIM_ADVERSARY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/budget.h"
+
+namespace ulpdp {
+
+/** One point of the Fig. 13 curve. */
+struct AdversaryPoint
+{
+    /** Number of requests issued so far. */
+    uint64_t requests = 0;
+
+    /** Adversary's running-mean estimate of the true reading. */
+    double estimate = 0.0;
+
+    /** |estimate - truth| / sensor range length. */
+    double relative_error = 0.0;
+
+    /** Requests served from cache so far. */
+    uint64_t cache_hits = 0;
+};
+
+/** Mounts the averaging attack against a budget controller. */
+class AveragingAdversary
+{
+  public:
+    /**
+     * Attack @p controller holding the true reading @p x, recording
+     * the estimate error at each of @p checkpoints (ascending
+     * request counts).
+     *
+     * @param discard_repeats When true (the strong adversary), a
+     *        response equal to the previous one is treated as a
+     *        cache replay and excluded from the average.
+     */
+    static std::vector<AdversaryPoint>
+    attack(BudgetController &controller, double x,
+           const std::vector<uint64_t> &checkpoints,
+           bool discard_repeats = true);
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_SIM_ADVERSARY_H

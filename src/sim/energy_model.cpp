@@ -1,0 +1,43 @@
+#include "sim/energy_model.h"
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+EnergyModel::EnergyModel(const EnergyParams &params) : params_(params)
+{
+    if (!(params.mcu_energy_per_cycle > 0.0) ||
+        !(params.dpbox_power > 0.0) || !(params.dpbox_frequency > 0.0))
+        fatal("EnergyModel: all parameters must be positive");
+}
+
+double
+EnergyModel::dpboxEnergyPerCycle() const
+{
+    return params_.dpbox_power / params_.dpbox_frequency;
+}
+
+double
+EnergyModel::softwareEnergy(uint64_t cycles) const
+{
+    return static_cast<double>(cycles) * params_.mcu_energy_per_cycle;
+}
+
+double
+EnergyModel::dpboxEnergy(uint64_t device_cycles,
+                         uint64_t host_cycles) const
+{
+    return static_cast<double>(device_cycles) * dpboxEnergyPerCycle() +
+           static_cast<double>(host_cycles) *
+               params_.mcu_energy_per_cycle;
+}
+
+double
+EnergyModel::ratio(uint64_t software_cycles, uint64_t device_cycles,
+                   uint64_t host_cycles) const
+{
+    return softwareEnergy(software_cycles) /
+           dpboxEnergy(device_cycles, host_cycles);
+}
+
+} // namespace ulpdp

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Energy model comparing software noising on the microcontroller
+ * against the DP-Box hardware module (Section III-D / Section V).
+ *
+ * The DP-Box synthesis constants come straight from the paper's 65 nm
+ * implementation: 158.3 uW at 16 MHz (~9.9 pJ/cycle) for the default
+ * variant; 252 uW for the relaxed-timing 30 ns variant. The MCU
+ * energy-per-cycle default models an MSP430-class core active at
+ * 3 V / ~420 uA/MHz. Absolute joules are technology constants; the
+ * quantity this model is for is the *ratio* between the software and
+ * hardware paths (the paper reports 894x vs fixed-point software and
+ * 318x vs half-float software).
+ */
+
+#ifndef ULPDP_SIM_ENERGY_MODEL_H
+#define ULPDP_SIM_ENERGY_MODEL_H
+
+#include <cstdint>
+
+namespace ulpdp {
+
+/** Technology/operating-point constants. */
+struct EnergyParams
+{
+    /** MCU active energy per cycle, joules (default 1.25 nJ). */
+    double mcu_energy_per_cycle = 1.25e-9;
+
+    /** DP-Box power, watts (paper synthesis: 158.3 uW). */
+    double dpbox_power = 158.3e-6;
+
+    /** DP-Box clock frequency, hertz (paper: 16 MHz). */
+    double dpbox_frequency = 16.0e6;
+};
+
+/** Energy bookkeeping for noising-path comparisons. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams &params = EnergyParams());
+
+    /** DP-Box energy per cycle, joules. */
+    double dpboxEnergyPerCycle() const;
+
+    /** Energy of a software noising taking @p cycles MCU cycles. */
+    double softwareEnergy(uint64_t cycles) const;
+
+    /**
+     * Energy of a DP-Box noising: @p device_cycles on the module plus
+     * @p host_cycles of MCU involvement (the write/read pair).
+     */
+    double dpboxEnergy(uint64_t device_cycles,
+                       uint64_t host_cycles) const;
+
+    /** softwareEnergy / dpboxEnergy ratio. */
+    double ratio(uint64_t software_cycles, uint64_t device_cycles,
+                 uint64_t host_cycles) const;
+
+    const EnergyParams &params() const { return params_; }
+
+  private:
+    EnergyParams params_;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_SIM_ENERGY_MODEL_H

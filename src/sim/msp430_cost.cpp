@@ -1,0 +1,79 @@
+#include "sim/msp430_cost.h"
+
+namespace ulpdp {
+
+Msp430CostModel::Msp430CostModel(const Msp430OpCosts &costs,
+                                 bool hardware_multiplier)
+    : costs_(costs), hardware_multiplier_(hardware_multiplier)
+{
+}
+
+NoisingOpCounts
+Msp430CostModel::fixedPointRoutine()
+{
+    // 20-bit fixed-point path on a 16-bit core. Every 32x32 fixed-
+    // point multiply decomposes into four 16x16 multiplies:
+    //  - degree-3 polynomial-segment log, Horner form: 3 wide
+    //    multiplies (12 mul16);
+    //  - scaling by s_f and the two Tausworthe tempering products
+    //    folded into wide arithmetic: 3 more wide multiplies
+    //    (12 mul16);
+    //  - segment selection, leading-zero normalisation loop, 32-bit
+    //    add/shift legwork: the ALU/branch budget below.
+    NoisingOpCounts c;
+    c.mul16 = 24;
+    c.alu = 243;
+    c.load = 40;
+    c.store = 20;
+    c.branch = 10;
+    return c;
+}
+
+NoisingOpCounts
+Msp430CostModel::halfFloatRoutine()
+{
+    // Half precision soft-float: 16-bit mantissas mean one 16x16
+    // multiply per FP multiply (3 in the polynomial, 1 scale, 2 in
+    // unpack/pack helper products), but every operation pays
+    // unpack / normalise / round / pack ALU and branch overhead.
+    NoisingOpCounts c;
+    c.mul16 = 6;
+    c.alu = 320;
+    c.load = 40;
+    c.store = 16;
+    c.branch = 24;
+    return c;
+}
+
+uint64_t
+Msp430CostModel::cycles(const NoisingOpCounts &counts) const
+{
+    uint64_t mul = hardware_multiplier_ ? costs_.mul16_hw
+                                        : costs_.mul16_soft;
+    return counts.alu * costs_.alu + counts.load * costs_.load +
+           counts.store * costs_.store + counts.branch * costs_.branch +
+           counts.mul16 * mul;
+}
+
+uint64_t
+Msp430CostModel::fixedPointCycles() const
+{
+    return cycles(fixedPointRoutine());
+}
+
+uint64_t
+Msp430CostModel::halfFloatCycles() const
+{
+    return cycles(halfFloatRoutine());
+}
+
+uint64_t
+Msp430CostModel::dpBoxHostCycles() const
+{
+    // One memory write (sensor value in) + one memory read (noised
+    // value out); the paper conservatively prices the pair at 4
+    // cycles total.
+    return 4;
+}
+
+} // namespace ulpdp

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Instruction-cost model of software Laplace noising on an MSP430-
+ * class microcontroller (Section III-D).
+ *
+ * The paper measured software noising at 4043 cycles for 20-bit
+ * fixed-point arithmetic and 1436 cycles using half-precision
+ * floating-point emulation; the DP-Box needs 4 cycles including the
+ * host's one memory write + one memory read. Without their binary we
+ * rebuild the numbers from an operation-count model: the software
+ * routine is decomposed into its phases (uniform draw, logarithm,
+ * scaling, rounding/add, budget-free overhead) and each phase into
+ * MSP430 operation counts, priced with per-operation cycle costs from
+ * the MSP430 family user's guide (16x16 multiply via the software
+ * shift-add routine on devices without the hardware multiplier).
+ * Defaults reproduce the order of magnitude and the fixed-point >
+ * half-float > hardware ordering; every constant is a visible knob.
+ */
+
+#ifndef ULPDP_SIM_MSP430_COST_H
+#define ULPDP_SIM_MSP430_COST_H
+
+#include <cstdint>
+#include <string>
+
+namespace ulpdp {
+
+/** Per-operation cycle costs of an MSP430-class core. */
+struct Msp430OpCosts
+{
+    /** Register-register ALU op (add/sub/xor/shift-by-1). */
+    uint64_t alu = 1;
+
+    /** Memory load (absolute/indexed addressing). */
+    uint64_t load = 3;
+
+    /** Memory store. */
+    uint64_t store = 3;
+
+    /** Taken branch / call overhead. */
+    uint64_t branch = 2;
+
+    /**
+     * 16x16 -> 32 multiply via the software shift-add routine
+     * (devices without the MPY peripheral); ~8 iterations of
+     * add/shift/test average ~150 cycles including call overhead.
+     */
+    uint64_t mul16_soft = 150;
+
+    /** 16x16 multiply using the memory-mapped hardware multiplier. */
+    uint64_t mul16_hw = 8;
+};
+
+/** Operation counts of one noising routine. */
+struct NoisingOpCounts
+{
+    uint64_t alu = 0;
+    uint64_t load = 0;
+    uint64_t store = 0;
+    uint64_t branch = 0;
+    uint64_t mul16 = 0;
+};
+
+/** Cycle-cost model for software noising routines. */
+class Msp430CostModel
+{
+  public:
+    explicit Msp430CostModel(const Msp430OpCosts &costs = Msp430OpCosts(),
+                             bool hardware_multiplier = false);
+
+    /**
+     * Operation counts of the 20-bit fixed-point software noising
+     * routine: Tausworthe draw, polynomial-segment log (degree-3 on
+     * 16 segments, 32-bit fixed-point arithmetic built from 16-bit
+     * ops), scale by s_f, round, add to the sensor value.
+     */
+    static NoisingOpCounts fixedPointRoutine();
+
+    /**
+     * Operation counts of the half-precision floating-point noising
+     * routine (soft-float: unpack/normalise/pack around the same
+     * algorithm; fewer wide-word multiplies than 32-bit fixed point).
+     */
+    static NoisingOpCounts halfFloatRoutine();
+
+    /** Cycles for a routine under this model's op costs. */
+    uint64_t cycles(const NoisingOpCounts &counts) const;
+
+    /** Cycles for the fixed-point software noising routine. */
+    uint64_t fixedPointCycles() const;
+
+    /** Cycles for the half-float software noising routine. */
+    uint64_t halfFloatCycles() const;
+
+    /**
+     * Host-side cycles when the DP-Box does the noising: one memory
+     * write (sensor value) and one memory read (noised output), as
+     * the paper conservatively assumes (4 cycles total).
+     */
+    uint64_t dpBoxHostCycles() const;
+
+    /** Whether the model prices multiplies on the MPY peripheral. */
+    bool hardwareMultiplier() const { return hardware_multiplier_; }
+
+  private:
+    Msp430OpCosts costs_;
+    bool hardware_multiplier_;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_SIM_MSP430_COST_H

@@ -1,0 +1,37 @@
+#include "sim/sensor_adc.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+SensorAdc::SensorAdc(const SensorRange &range, int bits)
+    : range_(range), bits_(bits)
+{
+    if (bits < 2 || bits > 16)
+        fatal("SensorAdc: bits must be in [2, 16], got %d", bits);
+    levels_ = uint32_t{1} << bits;
+    lsb_ = range.length() / static_cast<double>(levels_);
+}
+
+uint32_t
+SensorAdc::convert(double physical) const
+{
+    double clipped = range_.clamp(physical);
+    double code = std::floor((clipped - range_.lo) / lsb_);
+    if (code >= static_cast<double>(levels_))
+        code = static_cast<double>(levels_ - 1);
+    if (code < 0.0)
+        code = 0.0;
+    return static_cast<uint32_t>(code);
+}
+
+double
+SensorAdc::reconstruct(uint32_t code) const
+{
+    ULPDP_ASSERT(code < levels_);
+    return range_.lo + (static_cast<double>(code) + 0.5) * lsb_;
+}
+
+} // namespace ulpdp

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Sensor front-end model: an N-bit ADC quantizing a physical signal.
+ *
+ * The paper sizes the DP-Box word for "sensors with resolution up to
+ * 13 bits" (Section III-D); real readings reach the privacy hardware
+ * as ADC codes, not real numbers. This model closes that loop in
+ * simulation: a physical value is clipped to the sensor range,
+ * quantized to an N-bit code, and handed over as the reconstructed
+ * value the DP-Box input register would hold -- so end-to-end
+ * experiments include the (privacy-irrelevant but utility-relevant)
+ * ADC quantization error.
+ */
+
+#ifndef ULPDP_SIM_SENSOR_ADC_H
+#define ULPDP_SIM_SENSOR_ADC_H
+
+#include <cstdint>
+
+#include "core/sensor_range.h"
+
+namespace ulpdp {
+
+/** Ideal N-bit analog-to-digital converter over a sensor range. */
+class SensorAdc
+{
+  public:
+    /**
+     * @param range Full-scale input range.
+     * @param bits Resolution in bits (2..16; the paper's sensors go
+     *        up to 13).
+     */
+    SensorAdc(const SensorRange &range, int bits);
+
+    /** Convert a physical value to an ADC code (clips to range). */
+    uint32_t convert(double physical) const;
+
+    /** Reconstruct the value a code represents (code-center). */
+    double reconstruct(uint32_t code) const;
+
+    /** Convenience: convert then reconstruct. */
+    double
+    sample(double physical) const
+    {
+        return reconstruct(convert(physical));
+    }
+
+    /** Code width in bits. */
+    int bits() const { return bits_; }
+
+    /** Number of codes, 2^bits. */
+    uint32_t levels() const { return levels_; }
+
+    /** Value of one code step. */
+    double lsb() const { return lsb_; }
+
+    /** Full-scale range. */
+    const SensorRange &range() const { return range_; }
+
+  private:
+    SensorRange range_;
+    int bits_;
+    uint32_t levels_;
+    double lsb_;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_SIM_SENSOR_ADC_H

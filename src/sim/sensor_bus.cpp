@@ -1,0 +1,44 @@
+#include "sim/sensor_bus.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+SensorBus::SensorBus(double core_hz, double bus_hz)
+    : core_hz_(core_hz), bus_hz_(bus_hz)
+{
+    if (!(core_hz > 0.0) || !(bus_hz > 0.0))
+        fatal("SensorBus: clock rates must be positive");
+    if (bus_hz > core_hz)
+        fatal("SensorBus: bus clock (%g) faster than core (%g)",
+              bus_hz, core_hz);
+}
+
+uint64_t
+SensorBus::transferBits(unsigned data_bytes) const
+{
+    // START (1) + address+R/W (8) + ACK (1)
+    // + per byte: 8 data + 1 ACK
+    // + STOP (1)
+    return 1 + 9 + static_cast<uint64_t>(data_bytes) * 9 + 1;
+}
+
+uint64_t
+SensorBus::readCycles(unsigned data_bytes) const
+{
+    double cycles = static_cast<double>(transferBits(data_bytes)) *
+                    cyclesPerBit();
+    return static_cast<uint64_t>(std::ceil(cycles));
+}
+
+uint64_t
+SensorBus::sampleCycles(int sensor_bits) const
+{
+    ULPDP_ASSERT(sensor_bits >= 1 && sensor_bits <= 32);
+    unsigned bytes = static_cast<unsigned>((sensor_bits + 7) / 8);
+    return readCycles(bytes);
+}
+
+} // namespace ulpdp

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Serial sensor bus timing model.
+ *
+ * Section V justifies the DP-Box critical path by noting that
+ * "accompanying sensors take 10s of cycles to access (over a serial
+ * I2C bus, for example)". This model prices those accesses so
+ * end-to-end latency experiments can put the 2-cycle noising in its
+ * true context: reading the sensor dominates; noising is (nearly)
+ * free.
+ *
+ * The model follows I2C framing: START + 7-bit address + R/W + ACK,
+ * then N data bytes each followed by an ACK, then STOP, with the bus
+ * clocked at a fraction of the core clock.
+ */
+
+#ifndef ULPDP_SIM_SENSOR_BUS_H
+#define ULPDP_SIM_SENSOR_BUS_H
+
+#include <cstdint>
+
+namespace ulpdp {
+
+/** Timing model of an I2C-style serial sensor bus. */
+class SensorBus
+{
+  public:
+    /**
+     * @param core_hz Core clock (e.g. 16 MHz).
+     * @param bus_hz Bus clock (e.g. 400 kHz fast-mode I2C).
+     */
+    SensorBus(double core_hz, double bus_hz);
+
+    /** Bus bits needed to read @p data_bytes from a device. */
+    uint64_t transferBits(unsigned data_bytes) const;
+
+    /** Core cycles one read of @p data_bytes costs. */
+    uint64_t readCycles(unsigned data_bytes) const;
+
+    /**
+     * Core cycles to read one @p sensor_bits sample (rounded up to
+     * whole bytes, as real sensor register maps are).
+     */
+    uint64_t sampleCycles(int sensor_bits) const;
+
+    /** Core cycles per bus bit. */
+    double cyclesPerBit() const { return core_hz_ / bus_hz_; }
+
+  private:
+    double core_hz_;
+    double bus_hz_;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_SIM_SENSOR_BUS_H

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the sequential-composition privacy accountant.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/accountant.h"
+
+namespace ulpdp {
+namespace {
+
+TEST(Accountant, RejectsBadBudget)
+{
+    EXPECT_THROW(PrivacyAccountant(0.0), FatalError);
+    EXPECT_THROW(PrivacyAccountant(-1.0), FatalError);
+}
+
+TEST(Accountant, SpendAccumulates)
+{
+    PrivacyAccountant acc(2.0);
+    EXPECT_TRUE(acc.spend(0.5));
+    EXPECT_TRUE(acc.spend(0.5));
+    EXPECT_DOUBLE_EQ(acc.spent(), 1.0);
+    EXPECT_DOUBLE_EQ(acc.remaining(), 1.0);
+    EXPECT_EQ(acc.queries(), 2u);
+}
+
+TEST(Accountant, RefusesOverspend)
+{
+    PrivacyAccountant acc(1.0);
+    EXPECT_TRUE(acc.spend(0.7));
+    EXPECT_FALSE(acc.spend(0.5));
+    // A refused spend records nothing.
+    EXPECT_DOUBLE_EQ(acc.spent(), 0.7);
+    EXPECT_EQ(acc.queries(), 1u);
+    EXPECT_TRUE(acc.spend(0.3));
+}
+
+TEST(Accountant, CanSpendPredicts)
+{
+    PrivacyAccountant acc(1.0);
+    EXPECT_TRUE(acc.canSpend(1.0));
+    acc.spend(0.6);
+    EXPECT_TRUE(acc.canSpend(0.4));
+    EXPECT_FALSE(acc.canSpend(0.41));
+}
+
+TEST(Accountant, ExactBoundaryAllowed)
+{
+    PrivacyAccountant acc(1.0);
+    EXPECT_TRUE(acc.spend(1.0));
+    EXPECT_FALSE(acc.spend(1e-6));
+}
+
+TEST(Accountant, ZeroCostAlwaysAllowed)
+{
+    PrivacyAccountant acc(0.5);
+    acc.spend(0.5);
+    EXPECT_TRUE(acc.spend(0.0)); // cached replies cost nothing
+}
+
+TEST(Accountant, NegativeCostPanics)
+{
+    PrivacyAccountant acc(1.0);
+    EXPECT_THROW(acc.spend(-0.1), PanicError);
+}
+
+TEST(Accountant, ResetClears)
+{
+    PrivacyAccountant acc(1.0);
+    acc.spend(0.9);
+    acc.reset();
+    EXPECT_DOUBLE_EQ(acc.spent(), 0.0);
+    EXPECT_EQ(acc.queries(), 0u);
+    EXPECT_TRUE(acc.spend(1.0));
+}
+
+} // anonymous namespace
+} // namespace ulpdp

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the structural area model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dpbox/area_model.h"
+
+namespace ulpdp {
+namespace {
+
+DpBoxConfig
+defaultConfig()
+{
+    DpBoxConfig cfg;
+    cfg.frac_bits = 6;
+    cfg.word_bits = 20;
+    cfg.uniform_bits = 17;
+    cfg.threshold_index = 400;
+    cfg.cordic_iterations = 32;
+    return cfg;
+}
+
+TEST(AreaModel, DefaultLandsInSynthesisRegime)
+{
+    // The paper's 65 nm synthesis reports 10431 gates; a structural
+    // estimate from standard NAND2-equivalents must land in the same
+    // regime (same order of magnitude, within ~2x).
+    DpBoxAreaModel model(defaultConfig());
+    EXPECT_GT(model.totalGates(), 5000u);
+    EXPECT_LT(model.totalGates(), 25000u);
+}
+
+TEST(AreaModel, UnrolledCordicDominates)
+{
+    // Single-cycle log = one stage per iteration: the area penalty
+    // the paper explicitly accepts. It must dominate the breakdown.
+    DpBoxAreaModel model(defaultConfig());
+    AreaBreakdown b = model.breakdown();
+    EXPECT_GT(b.cordic, b.tausworthe);
+    EXPECT_GT(b.cordic, b.scaling);
+    EXPECT_GT(b.cordic, b.noising + b.registers + b.fsm);
+}
+
+TEST(AreaModel, IterativeCordicMuchSmaller)
+{
+    AreaModelOptions unrolled;
+    AreaModelOptions iterative;
+    iterative.unrolled_cordic = false;
+    DpBoxAreaModel big(defaultConfig(), unrolled);
+    DpBoxAreaModel small(defaultConfig(), iterative);
+    EXPECT_LT(small.totalGates(), big.totalGates() / 2);
+}
+
+TEST(AreaModel, AreaGrowsWithWordLength)
+{
+    DpBoxConfig narrow = defaultConfig();
+    narrow.word_bits = 16;
+    DpBoxConfig wide = defaultConfig();
+    wide.word_bits = 24;
+    EXPECT_LT(DpBoxAreaModel(narrow).totalGates(),
+              DpBoxAreaModel(wide).totalGates());
+}
+
+TEST(AreaModel, AreaGrowsWithCordicIterations)
+{
+    DpBoxConfig few = defaultConfig();
+    few.cordic_iterations = 16;
+    DpBoxConfig many = defaultConfig();
+    many.cordic_iterations = 48;
+    EXPECT_LT(DpBoxAreaModel(few).totalGates(),
+              DpBoxAreaModel(many).totalGates());
+}
+
+TEST(AreaModel, BudgetOverheadModest)
+{
+    // The paper embeds budget control at 11% extra gates; the
+    // structural model's overhead must be a comparable single-digit
+    // to low-double-digit percentage.
+    DpBoxConfig cfg = defaultConfig();
+    cfg.budget_enabled = true;
+    cfg.segments = {BudgetSegment{0, 0.5}, BudgetSegment{200, 0.8},
+                    BudgetSegment{400, 1.0}};
+    DpBoxAreaModel model(cfg);
+    EXPECT_GT(model.budgetOverhead(), 0.0);
+    EXPECT_LT(model.budgetOverhead(), 0.25);
+}
+
+TEST(AreaModel, NoBudgetNoBudgetGates)
+{
+    DpBoxAreaModel model(defaultConfig());
+    EXPECT_EQ(model.breakdown().budget, 0u);
+    EXPECT_DOUBLE_EQ(model.budgetOverhead(), 0.0);
+}
+
+TEST(AreaModel, BreakdownSumsToTotal)
+{
+    DpBoxConfig cfg = defaultConfig();
+    cfg.budget_enabled = true;
+    cfg.segments = {BudgetSegment{0, 0.5}, BudgetSegment{400, 1.0}};
+    DpBoxAreaModel model(cfg);
+    AreaBreakdown b = model.breakdown();
+    EXPECT_EQ(b.total(), b.tausworthe + b.cordic + b.scaling +
+                             b.noising + b.registers + b.fsm +
+                             b.budget);
+    EXPECT_EQ(model.totalGates(), b.total());
+}
+
+TEST(AreaModel, ToStringListsBlocks)
+{
+    DpBoxAreaModel model(defaultConfig());
+    std::string s = model.breakdown().toString();
+    EXPECT_NE(s.find("cordic"), std::string::npos);
+    EXPECT_NE(s.find("total"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace ulpdp

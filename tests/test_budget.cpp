@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Tests for the Fig. 8 loss segmentation and the Algorithm 1 budget
+ * controller (caching, exhaustion, replenishment, adaptive charging).
+ */
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/budget.h"
+
+namespace ulpdp {
+namespace {
+
+FxpMechanismParams
+testParams()
+{
+    FxpMechanismParams p;
+    p.range = SensorRange(0.0, 10.0);
+    p.epsilon = 0.5;
+    p.uniform_bits = 14;
+    p.output_bits = 12;
+    p.delta = 10.0 / 32.0;
+    return p;
+}
+
+std::vector<BudgetSegment>
+testSegments(const FxpMechanismParams &p, RangeControl kind)
+{
+    ThresholdCalculator calc(p);
+    return LossSegments::compute(calc, kind, {1.5, 2.0, 3.0});
+}
+
+TEST(LossSegments, StructureIsSane)
+{
+    FxpMechanismParams p = testParams();
+    auto segs = testSegments(p, RangeControl::Thresholding);
+    ASSERT_GE(segs.size(), 2u);
+    EXPECT_EQ(segs.front().threshold_index, 0);
+    for (size_t i = 1; i < segs.size(); ++i) {
+        EXPECT_GT(segs[i].threshold_index, segs[i - 1].threshold_index);
+        EXPECT_GE(segs[i].loss, segs[i - 1].loss);
+    }
+}
+
+TEST(LossSegments, LossesRespectTheLevels)
+{
+    FxpMechanismParams p = testParams();
+    ThresholdCalculator calc(p);
+    auto segs = LossSegments::compute(calc, RangeControl::Resampling,
+                                      {1.5, 2.0, 3.0});
+    std::vector<double> levels{1.5, 2.0, 3.0};
+    // Outer segments (beyond the central one) obey their levels.
+    for (size_t i = 1; i < segs.size(); ++i)
+        EXPECT_LE(segs[i].loss, levels[i - 1] * p.epsilon + 1e-9);
+}
+
+TEST(LossSegments, CentralLossNearEpsilon)
+{
+    FxpMechanismParams p = testParams();
+    ThresholdCalculator calc(p);
+    double central = LossSegments::centralLoss(
+        calc, RangeControl::Resampling);
+    EXPECT_GT(central, 0.0);
+    EXPECT_LT(central, 1.5 * p.epsilon);
+}
+
+TEST(LossSegments, RejectsBadLevels)
+{
+    FxpMechanismParams p = testParams();
+    ThresholdCalculator calc(p);
+    EXPECT_THROW(LossSegments::compute(calc,
+                                       RangeControl::Thresholding, {}),
+                 FatalError);
+    EXPECT_THROW(LossSegments::compute(
+                     calc, RangeControl::Thresholding, {0.9}),
+                 FatalError);
+    EXPECT_THROW(LossSegments::compute(
+                     calc, RangeControl::Thresholding, {2.0, 1.5}),
+                 FatalError);
+}
+
+BudgetControllerConfig
+makeConfig(const FxpMechanismParams &p, double budget,
+           RangeControl kind, uint64_t replenish = 0)
+{
+    BudgetControllerConfig cfg;
+    cfg.initial_budget = budget;
+    cfg.replenish_period = replenish;
+    cfg.kind = kind;
+    cfg.segments = testSegments(p, kind);
+    return cfg;
+}
+
+TEST(BudgetController, RejectsBadConfig)
+{
+    FxpMechanismParams p = testParams();
+    BudgetControllerConfig cfg =
+        makeConfig(p, 5.0, RangeControl::Thresholding);
+    cfg.initial_budget = 0.0;
+    EXPECT_THROW(BudgetController(p, cfg), FatalError);
+
+    cfg = makeConfig(p, 5.0, RangeControl::Thresholding);
+    cfg.segments.clear();
+    EXPECT_THROW(BudgetController(p, cfg), FatalError);
+
+    cfg = makeConfig(p, 5.0, RangeControl::Thresholding);
+    std::swap(cfg.segments.front(), cfg.segments.back());
+    EXPECT_THROW(BudgetController(p, cfg), FatalError);
+}
+
+TEST(BudgetController, ChargesPerRequest)
+{
+    FxpMechanismParams p = testParams();
+    BudgetController ctrl(p,
+                          makeConfig(p, 5.0,
+                                     RangeControl::Thresholding));
+    double before = ctrl.remainingBudget();
+    BudgetResponse r = ctrl.request(5.0);
+    EXPECT_FALSE(r.from_cache);
+    EXPECT_GT(r.charged, 0.0);
+    EXPECT_DOUBLE_EQ(ctrl.remainingBudget(), before - r.charged);
+    EXPECT_EQ(ctrl.freshReports(), 1u);
+}
+
+TEST(BudgetController, OutputsConfinedToOuterWindow)
+{
+    FxpMechanismParams p = testParams();
+    auto cfg = makeConfig(p, 1e9, RangeControl::Thresholding);
+    BudgetController ctrl(p, cfg);
+    double ext = static_cast<double>(
+                     cfg.segments.back().threshold_index) *
+                 p.resolvedDelta();
+    for (int i = 0; i < 5000; ++i) {
+        double y = ctrl.request(5.0).value;
+        EXPECT_GE(y, 0.0 - ext - 1e-9);
+        EXPECT_LE(y, 10.0 + ext + 1e-9);
+    }
+}
+
+TEST(BudgetController, AdaptiveChargingUsesSegments)
+{
+    // With enough requests both central (cheap) and boundary
+    // (expensive) charges must occur.
+    FxpMechanismParams p = testParams();
+    auto cfg = makeConfig(p, 1e9, RangeControl::Thresholding);
+    BudgetController ctrl(p, cfg);
+    std::set<int64_t> charges_seen;
+    for (int i = 0; i < 20000; ++i) {
+        BudgetResponse r = ctrl.request(5.0);
+        charges_seen.insert(
+            static_cast<int64_t>(std::llround(r.charged * 1e9)));
+    }
+    EXPECT_GE(charges_seen.size(), 2u);
+}
+
+TEST(BudgetController, ExhaustionServesCache)
+{
+    FxpMechanismParams p = testParams();
+    BudgetController ctrl(p,
+                          makeConfig(p, 2.0,
+                                     RangeControl::Thresholding));
+    double last_fresh = 0.0;
+    bool exhausted = false;
+    double cached_value = 0.0;
+    for (int i = 0; i < 100; ++i) {
+        BudgetResponse r = ctrl.request(5.0);
+        if (!r.from_cache) {
+            last_fresh = r.value;
+        } else {
+            if (!exhausted) {
+                exhausted = true;
+                cached_value = r.value;
+                EXPECT_DOUBLE_EQ(r.value, last_fresh);
+                EXPECT_DOUBLE_EQ(r.charged, 0.0);
+            } else {
+                // The cache must replay the same value forever.
+                EXPECT_DOUBLE_EQ(r.value, cached_value);
+            }
+        }
+    }
+    EXPECT_TRUE(exhausted);
+    EXPECT_GT(ctrl.cacheHits(), 0u);
+}
+
+TEST(BudgetController, TotalChargedNeverExceedsBudget)
+{
+    FxpMechanismParams p = testParams();
+    BudgetController ctrl(p,
+                          makeConfig(p, 3.0, RangeControl::Resampling));
+    double total = 0.0;
+    for (int i = 0; i < 200; ++i)
+        total += ctrl.request(7.0).charged;
+    EXPECT_LE(total, 3.0 + 1e-9);
+    EXPECT_GE(ctrl.remainingBudget(), -1e-9);
+}
+
+TEST(BudgetController, ResamplingModeDrawsExtraSamples)
+{
+    FxpMechanismParams p = testParams();
+    // Tight outer window to force resampling. Build custom segments:
+    ThresholdCalculator calc(p);
+    BudgetControllerConfig cfg;
+    cfg.initial_budget = 1e9;
+    cfg.kind = RangeControl::Resampling;
+    cfg.segments = LossSegments::compute(calc, cfg.kind, {1.2, 1.5});
+    BudgetController ctrl(p, cfg);
+
+    uint64_t total_samples = 0;
+    const int n = 3000;
+    for (int i = 0; i < n; ++i)
+        total_samples += ctrl.request(0.0).samples_drawn;
+    EXPECT_GT(total_samples, static_cast<uint64_t>(n));
+}
+
+TEST(BudgetController, ReplenishmentRestoresBudget)
+{
+    FxpMechanismParams p = testParams();
+    BudgetController ctrl(
+        p, makeConfig(p, 1.5, RangeControl::Thresholding, 1000));
+    // Exhaust.
+    for (int i = 0; i < 50; ++i)
+        ctrl.request(5.0);
+    EXPECT_GT(ctrl.cacheHits(), 0u);
+    double drained = ctrl.remainingBudget();
+
+    ctrl.advanceTime(1000);
+    EXPECT_GT(ctrl.remainingBudget(), drained);
+    BudgetResponse r = ctrl.request(5.0);
+    EXPECT_FALSE(r.from_cache);
+}
+
+TEST(BudgetController, NoReplenishWhenDisabled)
+{
+    FxpMechanismParams p = testParams();
+    BudgetController ctrl(
+        p, makeConfig(p, 1.0, RangeControl::Thresholding, 0));
+    for (int i = 0; i < 30; ++i)
+        ctrl.request(5.0);
+    double drained = ctrl.remainingBudget();
+    ctrl.advanceTime(1u << 20);
+    EXPECT_DOUBLE_EQ(ctrl.remainingBudget(), drained);
+}
+
+TEST(BudgetController, SpentSinceReplenish)
+{
+    FxpMechanismParams p = testParams();
+    BudgetController ctrl(p,
+                          makeConfig(p, 10.0,
+                                     RangeControl::Thresholding));
+    ctrl.request(5.0);
+    EXPECT_GT(ctrl.spentSinceReplenish(), 0.0);
+    EXPECT_NEAR(ctrl.spentSinceReplenish() + ctrl.remainingBudget(),
+                10.0, 1e-12);
+}
+
+} // anonymous namespace
+} // namespace ulpdp

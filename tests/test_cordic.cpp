@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Accuracy and property tests for the hyperbolic CORDIC log unit.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "rng/cordic.h"
+
+namespace ulpdp {
+namespace {
+
+TEST(Cordic, RejectsBadConfig)
+{
+    EXPECT_THROW(CordicLog(2), FatalError);
+    EXPECT_THROW(CordicLog(100), FatalError);
+    EXPECT_THROW(CordicLog(32, 4), FatalError);
+    EXPECT_THROW(CordicLog(32, 60), FatalError);
+}
+
+TEST(Cordic, LnOfOneIsZero)
+{
+    // Convergence residual of 32 micro-rotations is ~2^-29.
+    CordicLog c;
+    EXPECT_NEAR(c.ln(1.0), 0.0, 1e-8);
+}
+
+TEST(Cordic, LnOfPowersOfTwoExact)
+{
+    CordicLog c;
+    for (int e = -10; e <= 10; ++e) {
+        double x = std::ldexp(1.0, e);
+        EXPECT_NEAR(c.ln(x), e * std::log(2.0), 1e-8) << "e=" << e;
+    }
+}
+
+TEST(Cordic, LnAccuracyOverMantissaRange)
+{
+    CordicLog c(40);
+    for (double w = 1.0; w < 2.0; w += 0.001)
+        EXPECT_NEAR(c.ln(w), std::log(w), 1e-8) << "w=" << w;
+}
+
+TEST(Cordic, LnAccuracyWideRange)
+{
+    CordicLog c(40);
+    for (double x : {1e-6, 0.001, 0.1, 0.5, 3.0, 100.0, 1e6})
+        EXPECT_NEAR(c.ln(x), std::log(x), 1e-7) << "x=" << x;
+}
+
+TEST(Cordic, RejectsNonPositive)
+{
+    CordicLog c;
+    EXPECT_THROW(c.ln(0.0), FatalError);
+    EXPECT_THROW(c.ln(-1.0), FatalError);
+}
+
+TEST(Cordic, UnitIndexMatchesLog)
+{
+    CordicLog c;
+    int bu = 12;
+    for (uint64_t m : {uint64_t{1}, uint64_t{2}, uint64_t{37},
+                       uint64_t{1000}, uint64_t{4095},
+                       uint64_t{4096}}) {
+        double expect = std::log(std::ldexp(static_cast<double>(m),
+                                            -bu));
+        EXPECT_NEAR(c.lnUnitIndex(m, bu), expect, 1e-8) << "m=" << m;
+    }
+}
+
+TEST(Cordic, UnitIndexOfFullScaleIsZero)
+{
+    CordicLog c;
+    EXPECT_NEAR(c.lnUnitIndex(uint64_t{1} << 17, 17), 0.0, 1e-12);
+}
+
+TEST(Cordic, UnitIndexOfOneIsMinusBuLn2)
+{
+    CordicLog c;
+    EXPECT_NEAR(c.lnUnitIndex(1, 17), -17.0 * std::log(2.0), 1e-8);
+}
+
+TEST(Cordic, UnitIndexRejectsOutOfRange)
+{
+    CordicLog c;
+    EXPECT_THROW(c.lnUnitIndex(0, 8), PanicError);
+    EXPECT_THROW(c.lnUnitIndex(257, 8), PanicError);
+}
+
+TEST(Cordic, UnitIndexAlwaysNonPositive)
+{
+    CordicLog c;
+    int bu = 10;
+    for (uint64_t m = 1; m <= (uint64_t{1} << bu); ++m)
+        EXPECT_LE(c.lnUnitIndex(m, bu), 0.0) << "m=" << m;
+}
+
+TEST(Cordic, AccuracyImprovesWithIterations)
+{
+    // Worst-case |error| over a mantissa sweep should shrink as
+    // iterations grow.
+    auto worst = [](int iters) {
+        CordicLog c(iters);
+        double w_err = 0.0;
+        for (double w = 1.001; w < 2.0; w += 0.01)
+            w_err = std::max(w_err, std::abs(c.ln(w) - std::log(w)));
+        return w_err;
+    };
+    double e8 = worst(8);
+    double e16 = worst(16);
+    double e32 = worst(32);
+    EXPECT_GT(e8, e16);
+    EXPECT_GT(e16, e32);
+    EXPECT_LT(e32, 1e-7);
+}
+
+TEST(Cordic, RawInterfaceConsistent)
+{
+    CordicLog c;
+    int bu = 14;
+    for (uint64_t m : {uint64_t{3}, uint64_t{999}, uint64_t{16000}}) {
+        double from_raw = std::ldexp(
+            static_cast<double>(c.lnUnitIndexRaw(m, bu)),
+            -c.fracBits());
+        EXPECT_DOUBLE_EQ(from_raw, c.lnUnitIndex(m, bu));
+    }
+}
+
+} // anonymous namespace
+} // namespace ulpdp

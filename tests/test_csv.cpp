@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for CSV loading and series writing.
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "data/csv.h"
+
+namespace ulpdp {
+namespace {
+
+class CsvTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // Unique per test: ctest runs test cases in parallel
+        // processes and a shared name would collide.
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        path_ = ::testing::TempDir() + "ulpdp_csv_" +
+                info->name() + ".csv";
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(path_.c_str());
+    }
+
+    void
+    writeFile(const std::string &content)
+    {
+        std::ofstream out(path_);
+        out << content;
+    }
+
+    std::string path_;
+};
+
+TEST_F(CsvTest, LoadsNumericColumn)
+{
+    writeFile("1.5,a\n2.5,b\n3.5,c\n");
+    auto col = csv::loadColumn(path_, 0);
+    ASSERT_EQ(col.size(), 3u);
+    EXPECT_DOUBLE_EQ(col[0], 1.5);
+    EXPECT_DOUBLE_EQ(col[2], 3.5);
+}
+
+TEST_F(CsvTest, LoadsSecondColumn)
+{
+    writeFile("a,10\nb,20\n");
+    auto col = csv::loadColumn(path_, 1);
+    ASSERT_EQ(col.size(), 2u);
+    EXPECT_DOUBLE_EQ(col[1], 20.0);
+}
+
+TEST_F(CsvTest, SkipsHeaderAndNonNumeric)
+{
+    writeFile("value\n1.0\nnot-a-number\n2.0\n\n3.0\n");
+    auto col = csv::loadColumn(path_, 0, ',', true);
+    ASSERT_EQ(col.size(), 3u);
+    EXPECT_DOUBLE_EQ(col[0], 1.0);
+    EXPECT_DOUBLE_EQ(col[2], 3.0);
+}
+
+TEST_F(CsvTest, CustomDelimiter)
+{
+    writeFile("1.0;x\n2.0;y\n");
+    auto col = csv::loadColumn(path_, 0, ';');
+    ASSERT_EQ(col.size(), 2u);
+}
+
+TEST_F(CsvTest, MissingFileFatals)
+{
+    EXPECT_THROW(csv::loadColumn("/nonexistent/file.csv", 0),
+                 FatalError);
+}
+
+TEST_F(CsvTest, LoadDatasetClampsToRange)
+{
+    writeFile("5.0\n100.0\n-100.0\n");
+    Dataset d = csv::loadDataset(path_, 0, SensorRange(0.0, 10.0),
+                                 "clamped");
+    ASSERT_EQ(d.size(), 3u);
+    EXPECT_DOUBLE_EQ(d.values[1], 10.0);
+    EXPECT_DOUBLE_EQ(d.values[2], 0.0);
+    EXPECT_NO_THROW(d.validate());
+}
+
+TEST_F(CsvTest, LoadDatasetRejectsEmpty)
+{
+    writeFile("no,numbers,here\n");
+    EXPECT_THROW(csv::loadDataset(path_, 0, SensorRange(0.0, 1.0),
+                                  "empty"),
+                 FatalError);
+}
+
+TEST_F(CsvTest, WriteSeriesRoundTrips)
+{
+    csv::writeSeries(path_, {"x", "y"},
+                     {{1.0, 2.0, 3.0}, {10.0, 20.0, 30.0}});
+    auto x = csv::loadColumn(path_, 0, ',', true);
+    auto y = csv::loadColumn(path_, 1, ',', true);
+    ASSERT_EQ(x.size(), 3u);
+    EXPECT_DOUBLE_EQ(x[1], 2.0);
+    EXPECT_DOUBLE_EQ(y[2], 30.0);
+}
+
+TEST_F(CsvTest, WriteSeriesRejectsRagged)
+{
+    EXPECT_THROW(csv::writeSeries(path_, {"x", "y"},
+                                  {{1.0}, {1.0, 2.0}}),
+                 FatalError);
+    EXPECT_THROW(csv::writeSeries(path_, {"x"}, {{1.0}, {2.0}}),
+                 FatalError);
+}
+
+} // anonymous namespace
+} // namespace ulpdp

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the Dataset abstraction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "data/dataset.h"
+
+namespace ulpdp {
+namespace {
+
+Dataset
+smallDataset()
+{
+    Dataset d;
+    d.name = "test";
+    d.range = SensorRange(0.0, 10.0);
+    d.values = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0};
+    return d;
+}
+
+TEST(Dataset, ObservedStatistics)
+{
+    Dataset d = smallDataset();
+    EXPECT_EQ(d.size(), 10u);
+    EXPECT_DOUBLE_EQ(d.observedMin(), 1.0);
+    EXPECT_DOUBLE_EQ(d.observedMax(), 10.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.5);
+    EXPECT_NEAR(d.stddev(), 2.8723, 1e-4);
+}
+
+TEST(Dataset, EmptyStatistics)
+{
+    Dataset d;
+    EXPECT_DOUBLE_EQ(d.observedMin(), 0.0);
+    EXPECT_DOUBLE_EQ(d.observedMax(), 0.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+}
+
+TEST(Dataset, ValidatePassesInRange)
+{
+    EXPECT_NO_THROW(smallDataset().validate());
+}
+
+TEST(Dataset, ValidateCatchesOutOfRange)
+{
+    Dataset d = smallDataset();
+    d.values.push_back(11.0);
+    EXPECT_THROW(d.validate(), PanicError);
+}
+
+TEST(Dataset, SubsampleKeepsSmallDatasets)
+{
+    Dataset d = smallDataset();
+    Dataset s = d.subsample(100);
+    EXPECT_EQ(s.size(), d.size());
+}
+
+TEST(Dataset, SubsampleReducesSize)
+{
+    Dataset d = smallDataset();
+    Dataset s = d.subsample(4);
+    EXPECT_EQ(s.size(), 4u);
+    EXPECT_EQ(s.name, d.name);
+    EXPECT_DOUBLE_EQ(s.range.hi, d.range.hi);
+    // Stride sampling keeps first element and roughly even coverage.
+    EXPECT_DOUBLE_EQ(s.values[0], 1.0);
+}
+
+TEST(Dataset, SubsamplePreservesMeanApproximately)
+{
+    Dataset d;
+    d.range = SensorRange(0.0, 1.0);
+    // Period 97 is coprime to the sampling stride, avoiding aliasing.
+    for (int i = 0; i < 10000; ++i)
+        d.values.push_back((i % 97) / 97.0);
+    Dataset s = d.subsample(1000);
+    EXPECT_NEAR(s.mean(), d.mean(), 0.02);
+}
+
+TEST(Dataset, SubsampleDeterministic)
+{
+    Dataset d = smallDataset();
+    Dataset a = d.subsample(5);
+    Dataset b = d.subsample(5);
+    EXPECT_EQ(a.values, b.values);
+}
+
+} // anonymous namespace
+} // namespace ulpdp

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the host-side DP-Box driver.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "dpbox/driver.h"
+
+namespace ulpdp {
+namespace {
+
+DpBoxConfig
+driverConfig()
+{
+    DpBoxConfig cfg;
+    cfg.frac_bits = 6;
+    cfg.word_bits = 20;
+    cfg.uniform_bits = 17;
+    cfg.threshold_index = 600;
+    cfg.thresholding = true;
+    return cfg;
+}
+
+TEST(DpBoxDriver, FullFlowProducesNoisedValues)
+{
+    DpBoxDriver drv(driverConfig());
+    drv.initialize(5.0, 0);
+    drv.configure(0.5, SensorRange(0.0, 10.0));
+
+    RunningStats stats;
+    for (int i = 0; i < 20000; ++i) {
+        DpBoxResult r = drv.noise(5.0);
+        stats.add(r.value);
+        EXPECT_GE(r.latency_cycles, 2u);
+    }
+    EXPECT_NEAR(stats.mean(), 5.0, 0.8);
+    EXPECT_GT(stats.stddev(), 5.0); // lambda = 20 noise is wide
+}
+
+TEST(DpBoxDriver, RequiresInitializeFirst)
+{
+    DpBoxDriver drv(driverConfig());
+    EXPECT_THROW(drv.configure(0.5, SensorRange(0.0, 1.0)),
+                 FatalError);
+    DpBoxDriver drv2(driverConfig());
+    EXPECT_THROW(drv2.noise(0.5), FatalError);
+}
+
+TEST(DpBoxDriver, InitializeOnlyOnce)
+{
+    DpBoxDriver drv(driverConfig());
+    drv.initialize(5.0, 0);
+    EXPECT_THROW(drv.initialize(5.0, 0), FatalError);
+}
+
+TEST(DpBoxDriver, EpsilonRoundsToPowerOfTwo)
+{
+    DpBoxDriver drv(driverConfig());
+    drv.initialize(5.0, 0);
+    setLoggingEnabled(false);
+    drv.configure(0.4, SensorRange(0.0, 10.0)); // -> 2^-1 = 0.5
+    setLoggingEnabled(true);
+    EXPECT_DOUBLE_EQ(drv.effectiveEpsilon(), 0.5);
+}
+
+TEST(DpBoxDriver, ExactPowerOfTwoKept)
+{
+    DpBoxDriver drv(driverConfig());
+    drv.initialize(5.0, 0);
+    drv.configure(0.25, SensorRange(0.0, 10.0));
+    EXPECT_DOUBLE_EQ(drv.effectiveEpsilon(), 0.25);
+}
+
+TEST(DpBoxDriver, ThresholdingLatencyIsConstantTwo)
+{
+    DpBoxDriver drv(driverConfig());
+    drv.initialize(5.0, 0);
+    drv.configure(0.5, SensorRange(0.0, 10.0));
+    drv.setThresholding(true);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(drv.noise(3.0).latency_cycles, 2u);
+}
+
+TEST(DpBoxDriver, ResamplingLatencyVaries)
+{
+    DpBoxConfig cfg = driverConfig();
+    cfg.thresholding = false;
+    cfg.threshold_index = 60; // tight
+    DpBoxDriver drv(cfg);
+    drv.initialize(5.0, 0);
+    drv.configure(0.5, SensorRange(0.0, 10.0));
+
+    uint64_t max_latency = 0;
+    for (int i = 0; i < 3000; ++i)
+        max_latency = std::max(max_latency,
+                               drv.noise(5.0).latency_cycles);
+    EXPECT_GT(max_latency, 2u);
+}
+
+TEST(DpBoxDriver, SetThresholdingSwitchesMode)
+{
+    DpBoxDriver drv(driverConfig());
+    drv.initialize(5.0, 0);
+    drv.configure(0.5, SensorRange(0.0, 10.0));
+    drv.setThresholding(false);
+    EXPECT_FALSE(drv.device().thresholdingMode());
+    drv.setThresholding(false); // idempotent
+    EXPECT_FALSE(drv.device().thresholdingMode());
+    drv.setThresholding(true);
+    EXPECT_TRUE(drv.device().thresholdingMode());
+}
+
+TEST(DpBoxDriver, OutputsWithinClampWindow)
+{
+    DpBoxDriver drv(driverConfig());
+    drv.initialize(5.0, 0);
+    drv.configure(0.5, SensorRange(0.0, 10.0));
+    double ext = 600.0 * drv.device().lsb();
+    for (int i = 0; i < 5000; ++i) {
+        double y = drv.noise(0.0).value;
+        EXPECT_GE(y, -ext - 1e-9);
+        EXPECT_LE(y, 10.0 + ext + 1e-9);
+    }
+}
+
+} // anonymous namespace
+} // namespace ulpdp

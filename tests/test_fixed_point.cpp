@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit and property tests for the Fxp fixed-point value type.
+ */
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "fixed/fixed_point.h"
+
+namespace ulpdp {
+namespace {
+
+using Q4_4 = Fxp<4, 4>;   // tiny: range [-8, 7.9375], LSB 1/16
+using Q8_8 = Fxp<8, 8>;
+
+TEST(FixedPoint, StaticProperties)
+{
+    EXPECT_EQ(Q4_4::word_length, 8);
+    EXPECT_EQ(Q4_4::raw_max, 127);
+    EXPECT_EQ(Q4_4::raw_min, -128);
+    EXPECT_DOUBLE_EQ(Q4_4::resolution(), 1.0 / 16.0);
+    EXPECT_EQ(DpBoxWord::word_length, 20);
+}
+
+TEST(FixedPoint, RoundTripExactValues)
+{
+    for (int64_t raw = Q4_4::raw_min; raw <= Q4_4::raw_max; ++raw) {
+        Q4_4 f = Q4_4::fromRaw(raw);
+        EXPECT_EQ(Q4_4::fromDouble(f.toDouble()).raw(), raw);
+    }
+}
+
+TEST(FixedPoint, FromDoubleRounds)
+{
+    // 0.03 * 16 = 0.48 -> rounds to raw 0; 0.04 * 16 = 0.64 -> raw 1.
+    EXPECT_EQ(Q4_4::fromDouble(0.03).raw(), 0);
+    EXPECT_EQ(Q4_4::fromDouble(0.04).raw(), 1);
+}
+
+TEST(FixedPoint, FromDoubleSaturates)
+{
+    EXPECT_EQ(Q4_4::fromDouble(100.0).raw(), Q4_4::raw_max);
+    EXPECT_EQ(Q4_4::fromDouble(-100.0).raw(), Q4_4::raw_min);
+}
+
+TEST(FixedPoint, NanBecomesZero)
+{
+    EXPECT_EQ(Q4_4::fromDouble(std::nan("")).raw(), 0);
+}
+
+TEST(FixedPoint, FromIntSaturates)
+{
+    EXPECT_EQ(Q4_4::fromInt(3).toDouble(), 3.0);
+    EXPECT_EQ(Q4_4::fromInt(1000).raw(), Q4_4::raw_max);
+    EXPECT_EQ(Q4_4::fromInt(-1000).raw(), Q4_4::raw_min);
+}
+
+TEST(FixedPoint, AdditionExactWhenInRange)
+{
+    Q8_8 a = Q8_8::fromDouble(1.5);
+    Q8_8 b = Q8_8::fromDouble(2.25);
+    EXPECT_DOUBLE_EQ((a + b).toDouble(), 3.75);
+    EXPECT_DOUBLE_EQ((a - b).toDouble(), -0.75);
+}
+
+TEST(FixedPoint, AdditionSaturates)
+{
+    Q4_4 big = Q4_4::max();
+    EXPECT_EQ((big + big).raw(), Q4_4::raw_max);
+    Q4_4 small = Q4_4::min();
+    EXPECT_EQ((small + small).raw(), Q4_4::raw_min);
+}
+
+TEST(FixedPoint, NegationSaturatesAtMin)
+{
+    EXPECT_EQ((-Q4_4::min()).raw(), Q4_4::raw_max);
+    EXPECT_EQ((-Q4_4::fromDouble(2.0)).toDouble(), -2.0);
+}
+
+TEST(FixedPoint, MultiplicationExactForSmallValues)
+{
+    Q8_8 a = Q8_8::fromDouble(1.5);
+    Q8_8 b = Q8_8::fromDouble(2.0);
+    EXPECT_DOUBLE_EQ((a * b).toDouble(), 3.0);
+    Q8_8 c = Q8_8::fromDouble(0.5);
+    Q8_8 d = Q8_8::fromDouble(0.5);
+    EXPECT_DOUBLE_EQ((c * d).toDouble(), 0.25);
+}
+
+TEST(FixedPoint, MultiplicationRoundsToNearest)
+{
+    // (1/256) * (1/256) = 2^-16, far below one LSB (2^-8): rounds to
+    // zero... but exactly half of an LSB rounds away from zero.
+    Q8_8 eps = Q8_8::fromRaw(1);
+    EXPECT_EQ((eps * eps).raw(), 0);
+    Q8_8 half_lsb = Q8_8::fromRaw(16); // 16/256 = 1/16
+    Q8_8 one_eighth = Q8_8::fromRaw(2);
+    // (16 * 2) >> 8 = 0.125 LSB -> rounds to 0.
+    EXPECT_EQ((half_lsb * one_eighth).raw(), 0);
+}
+
+TEST(FixedPoint, MultiplicationSaturates)
+{
+    Q4_4 big = Q4_4::fromDouble(7.0);
+    EXPECT_EQ((big * big).raw(), Q4_4::raw_max);
+    Q4_4 neg = Q4_4::fromDouble(-8.0);
+    EXPECT_EQ((neg * big).raw(), Q4_4::raw_min);
+}
+
+TEST(FixedPoint, ShiftsBehaveLikePowersOfTwo)
+{
+    Q8_8 v = Q8_8::fromDouble(1.25);
+    EXPECT_DOUBLE_EQ(v.shiftLeft(2).toDouble(), 5.0);
+    EXPECT_DOUBLE_EQ(v.shiftRight(1).toDouble(), 0.625);
+}
+
+TEST(FixedPoint, ShiftLeftSaturates)
+{
+    Q4_4 v = Q4_4::fromDouble(4.0);
+    EXPECT_EQ(v.shiftLeft(4).raw(), Q4_4::raw_max);
+}
+
+TEST(FixedPoint, AbsAndComparisons)
+{
+    Q8_8 a = Q8_8::fromDouble(-2.5);
+    EXPECT_DOUBLE_EQ(a.abs().toDouble(), 2.5);
+    EXPECT_LT(a, Q8_8::fromDouble(0.0));
+    EXPECT_EQ(Q8_8::min().abs().raw(), Q8_8::raw_max); // saturating
+}
+
+TEST(FixedPoint, FloorToInt)
+{
+    EXPECT_EQ(Q8_8::fromDouble(2.75).floorToInt(), 2);
+    EXPECT_EQ(Q8_8::fromDouble(-2.25).floorToInt(), -3);
+}
+
+/** Property: double-checked arithmetic on random in-range values. */
+TEST(FixedPointProperty, RandomAddMatchesDouble)
+{
+    std::mt19937_64 rng(11);
+    std::uniform_real_distribution<double> dist(-50.0, 50.0);
+    for (int i = 0; i < 2000; ++i) {
+        double x = dist(rng);
+        double y = dist(rng);
+        Q8_8 fx = Q8_8::fromDouble(x);
+        Q8_8 fy = Q8_8::fromDouble(y);
+        double expect = fx.toDouble() + fy.toDouble();
+        if (expect < 127.99 && expect > -128.0) {
+            EXPECT_DOUBLE_EQ((fx + fy).toDouble(), expect)
+                << "x=" << x << " y=" << y;
+        }
+    }
+}
+
+/** Property: multiplication error bounded by half an LSB. */
+TEST(FixedPointProperty, RandomMulErrorWithinHalfLsb)
+{
+    std::mt19937_64 rng(13);
+    std::uniform_real_distribution<double> dist(-10.0, 10.0);
+    for (int i = 0; i < 2000; ++i) {
+        Q8_8 fx = Q8_8::fromDouble(dist(rng));
+        Q8_8 fy = Q8_8::fromDouble(dist(rng));
+        double exact = fx.toDouble() * fy.toDouble();
+        if (std::abs(exact) < 120.0) {
+            EXPECT_LE(std::abs((fx * fy).toDouble() - exact),
+                      0.5 * Q8_8::resolution() + 1e-12);
+        }
+    }
+}
+
+TEST(FixedPoint, ToStringMentionsRaw)
+{
+    std::string s = Q8_8::fromDouble(1.0).toString();
+    EXPECT_NE(s.find("raw 256"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace ulpdp

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the fixed-point Laplace RNG pipeline (Fig. 3).
+ */
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "rng/fxp_laplace.h"
+
+namespace ulpdp {
+namespace {
+
+FxpLaplaceConfig
+smallConfig()
+{
+    FxpLaplaceConfig cfg;
+    cfg.uniform_bits = 12;
+    cfg.output_bits = 10;
+    cfg.delta = 10.0 / 32.0;
+    cfg.lambda = 20.0;
+    return cfg;
+}
+
+TEST(FxpLaplace, RejectsBadConfig)
+{
+    FxpLaplaceConfig cfg = smallConfig();
+    cfg.uniform_bits = 0;
+    EXPECT_THROW({ FxpLaplaceRng rng(cfg); }, FatalError);
+    cfg = smallConfig();
+    cfg.lambda = 0.0;
+    EXPECT_THROW({ FxpLaplaceRng rng(cfg); }, FatalError);
+    cfg = smallConfig();
+    cfg.delta = -1.0;
+    EXPECT_THROW({ FxpLaplaceRng rng(cfg); }, FatalError);
+}
+
+TEST(FxpLaplace, SampleIsOnGrid)
+{
+    FxpLaplaceRng rng(smallConfig());
+    double delta = rng.quantizer().delta();
+    for (int i = 0; i < 10000; ++i) {
+        double n = rng.sample();
+        double k = n / delta;
+        EXPECT_NEAR(k, std::round(k), 1e-9);
+    }
+}
+
+TEST(FxpLaplace, SupportIsBounded)
+{
+    FxpLaplaceConfig cfg = smallConfig();
+    FxpLaplaceRng rng(cfg);
+    // Max magnitude L = lambda * Bu * ln 2 (Section III-A2), capped
+    // by the quantizer.
+    double l_max = std::min(rng.maxMagnitude(),
+                            rng.quantizer().maxValue());
+    for (int i = 0; i < 50000; ++i) {
+        EXPECT_LE(std::abs(rng.sample()),
+                  l_max + cfg.delta / 2.0 + 1e-9);
+    }
+}
+
+TEST(FxpLaplace, MaxMagnitudeFormula)
+{
+    FxpLaplaceRng rng(smallConfig());
+    EXPECT_DOUBLE_EQ(rng.maxMagnitude(), 20.0 * 12 * std::log(2.0));
+}
+
+TEST(FxpLaplace, PipelineDeterministic)
+{
+    FxpLaplaceRng rng(smallConfig());
+    EXPECT_EQ(rng.pipeline(100, 1), rng.pipeline(100, 1));
+    EXPECT_EQ(rng.pipeline(100, 1), -rng.pipeline(100, -1));
+}
+
+TEST(FxpLaplace, PipelineExtremes)
+{
+    FxpLaplaceConfig cfg = smallConfig();
+    FxpLaplaceRng rng(cfg);
+    // u = 1 (m = 2^Bu): magnitude 0.
+    EXPECT_EQ(rng.pipeline(uint64_t{1} << cfg.uniform_bits, 1), 0);
+    // u = 2^-Bu (m = 1): the largest magnitude, saturated to the
+    // quantizer's top index when L exceeds the representable range.
+    int64_t k_max = rng.pipeline(1, 1);
+    double expect = std::min(
+        -cfg.lambda * std::log(std::ldexp(1.0, -cfg.uniform_bits)) /
+            cfg.delta,
+        static_cast<double>(rng.quantizer().maxIndex()));
+    EXPECT_NEAR(static_cast<double>(k_max), expect, 1.0);
+}
+
+TEST(FxpLaplace, PipelineMonotoneInU)
+{
+    // Larger u -> smaller magnitude, so the output index must be
+    // non-increasing in m.
+    FxpLaplaceConfig cfg = smallConfig();
+    FxpLaplaceRng rng(cfg);
+    int64_t prev = rng.pipeline(1, 1);
+    for (uint64_t m = 2; m <= (uint64_t{1} << cfg.uniform_bits);
+         m += 7) {
+        int64_t k = rng.pipeline(m, 1);
+        EXPECT_LE(k, prev) << "m=" << m;
+        prev = k;
+    }
+}
+
+TEST(FxpLaplace, PipelineRejectsBadInputs)
+{
+    FxpLaplaceRng rng(smallConfig());
+    EXPECT_THROW(rng.pipeline(0, 1), PanicError);
+    EXPECT_THROW(rng.pipeline(1, 0), PanicError);
+    EXPECT_THROW(rng.pipeline(uint64_t{1} << 20, 1), PanicError);
+}
+
+TEST(FxpLaplace, SampleCounterAdvances)
+{
+    FxpLaplaceRng rng(smallConfig());
+    EXPECT_EQ(rng.samplesDrawn(), 0u);
+    rng.sample();
+    rng.sampleIndex();
+    EXPECT_EQ(rng.samplesDrawn(), 2u);
+}
+
+TEST(FxpLaplace, MomentsApproximateIdealLaplace)
+{
+    // In the bulk the FxP RNG matches Lap(lambda): zero mean,
+    // variance ~ 2 lambda^2 (Fig. 4(a)).
+    FxpLaplaceConfig cfg;
+    cfg.uniform_bits = 17;
+    cfg.output_bits = 12;
+    cfg.delta = 10.0 / 32.0;
+    cfg.lambda = 20.0;
+    FxpLaplaceRng rng(cfg, 3);
+
+    RunningStats stats;
+    const int n = 300000;
+    for (int i = 0; i < n; ++i)
+        stats.add(rng.sample());
+
+    double var = 2.0 * cfg.lambda * cfg.lambda;
+    double se_mean = std::sqrt(var / n);
+    EXPECT_NEAR(stats.mean(), 0.0, 6.0 * se_mean);
+    EXPECT_NEAR(stats.variance(), var, 0.05 * var);
+}
+
+TEST(FxpLaplace, CordicModeCloseToReference)
+{
+    // The CORDIC datapath may shift samples near bin edges by one
+    // LSB; over the full URNG enumeration the two modes must agree
+    // almost everywhere.
+    FxpLaplaceConfig ref_cfg = smallConfig();
+    FxpLaplaceConfig hw_cfg = smallConfig();
+    hw_cfg.log_mode = FxpLaplaceConfig::LogMode::Cordic;
+    hw_cfg.cordic_iterations = 32;
+
+    FxpLaplaceRng ref(ref_cfg);
+    FxpLaplaceRng hw(hw_cfg);
+
+    uint64_t states = uint64_t{1} << ref_cfg.uniform_bits;
+    uint64_t mismatches = 0;
+    for (uint64_t m = 1; m <= states; ++m) {
+        int64_t a = ref.pipeline(m, 1);
+        int64_t b = hw.pipeline(m, 1);
+        if (a != b) {
+            ++mismatches;
+            EXPECT_LE(std::abs(a - b), 1) << "m=" << m;
+        }
+    }
+    // Fewer than 0.1% of states may sit exactly on a bin edge.
+    EXPECT_LT(mismatches, states / 1000);
+}
+
+TEST(FxpLaplace, SignSymmetryEmpirical)
+{
+    FxpLaplaceRng rng(smallConfig(), 11);
+    int64_t pos = 0;
+    int64_t neg = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        int64_t k = rng.sampleIndex();
+        if (k > 0)
+            ++pos;
+        else if (k < 0)
+            ++neg;
+    }
+    // Positive and negative halves balanced within 5 sigma.
+    double sigma = std::sqrt(static_cast<double>(pos + neg)) / 2.0;
+    EXPECT_NEAR(static_cast<double>(pos),
+                static_cast<double>(pos + neg) / 2.0, 5.0 * sigma);
+}
+
+} // anonymous namespace
+} // namespace ulpdp

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the exact PMF of the fixed-point Laplace RNG (Eq. 11):
+ * the analytic closed form, the enumerated ground truth, and the
+ * paper's qualitative claims about the distribution (bounded support,
+ * tail gaps, zeroed small probabilities).
+ */
+
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "rng/fxp_laplace_pmf.h"
+
+namespace ulpdp {
+namespace {
+
+FxpLaplaceConfig
+configOf(int bu, int by, double delta, double lambda)
+{
+    FxpLaplaceConfig cfg;
+    cfg.uniform_bits = bu;
+    cfg.output_bits = by;
+    cfg.delta = delta;
+    cfg.lambda = lambda;
+    return cfg;
+}
+
+TEST(FxpLaplacePmf, TotalMassIsOneAnalytic)
+{
+    FxpLaplacePmf pmf(configOf(17, 12, 10.0 / 32.0, 20.0));
+    EXPECT_NEAR(pmf.totalMass(), 1.0, 1e-12);
+}
+
+TEST(FxpLaplacePmf, TotalMassIsOneEnumerated)
+{
+    FxpLaplacePmf pmf(configOf(14, 10, 10.0 / 32.0, 20.0),
+                      FxpLaplacePmf::Mode::Enumerated);
+    EXPECT_NEAR(pmf.totalMass(), 1.0, 1e-12);
+}
+
+TEST(FxpLaplacePmf, EnumeratedRejectsHugeBu)
+{
+    EXPECT_THROW(FxpLaplacePmf(configOf(25, 12, 0.3, 20.0),
+                               FxpLaplacePmf::Mode::Enumerated),
+                 FatalError);
+}
+
+/**
+ * The central test of Eq. (11): the closed form must reproduce the
+ * enumerated pipeline count in (almost) every bin. Floating-point
+ * boundary rounding can shift a single URNG state between adjacent
+ * bins, so per-bin counts may differ by at most 1 and the total
+ * number of shifted states must be tiny.
+ */
+class PmfAgreement
+    : public ::testing::TestWithParam<
+          std::tuple<int, int, double, double>>
+{
+};
+
+TEST_P(PmfAgreement, AnalyticMatchesEnumerated)
+{
+    auto [bu, by, delta, lambda] = GetParam();
+    FxpLaplaceConfig cfg = configOf(bu, by, delta, lambda);
+    FxpLaplacePmf analytic(cfg, FxpLaplacePmf::Mode::Analytic);
+    FxpLaplacePmf enumerated(cfg, FxpLaplacePmf::Mode::Enumerated);
+
+    EXPECT_EQ(analytic.maxIndex(), enumerated.maxIndex());
+
+    uint64_t total_diff = 0;
+    for (int64_t k = 0; k <= analytic.maxIndex(); ++k) {
+        uint64_t a = analytic.magnitudeCount(k);
+        uint64_t e = enumerated.magnitudeCount(k);
+        uint64_t diff = a > e ? a - e : e - a;
+        EXPECT_LE(diff, 1u) << "k=" << k;
+        total_diff += diff;
+    }
+    EXPECT_LE(total_diff, (uint64_t{1} << bu) / 1000 + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PmfAgreement,
+    ::testing::Values(
+        std::make_tuple(12, 12, 10.0 / 32.0, 20.0), // paper-style
+        std::make_tuple(14, 12, 10.0 / 32.0, 20.0),
+        std::make_tuple(16, 12, 10.0 / 32.0, 20.0),
+        std::make_tuple(12, 12, 10.0 / 32.0, 10.0), // eps = 1
+        std::make_tuple(12, 12, 10.0 / 64.0, 20.0), // finer grid
+        std::make_tuple(10, 12, 1.0, 5.0),          // coarse
+        std::make_tuple(14, 12, 0.01, 2.0),         // near-continuous
+        // Saturating: L = 20 * 14 * ln2 / 0.3125 = 621 exceeds the
+        // 8-bit quantizer's top index 127, exercising the saturation
+        // branch of Eq. (11).
+        std::make_tuple(14, 8, 10.0 / 32.0, 20.0)));
+
+TEST(FxpLaplacePmf, SupportBoundMatchesFormula)
+{
+    // max index ~ lambda * Bu * ln 2 / Delta (when the quantizer does
+    // not saturate first).
+    FxpLaplaceConfig cfg = configOf(17, 12, 10.0 / 32.0, 20.0);
+    FxpLaplacePmf pmf(cfg);
+    double l = cfg.lambda * cfg.uniform_bits * std::log(2.0);
+    EXPECT_NEAR(static_cast<double>(pmf.maxIndex()), l / cfg.delta,
+                1.0);
+}
+
+TEST(FxpLaplacePmf, TailHasInteriorGaps)
+{
+    // Fig. 4(b): near the tail the FxP RNG cannot generate all noise
+    // values; some bins in the interior of the support are empty.
+    FxpLaplacePmf pmf(configOf(17, 12, 10.0 / 32.0, 20.0));
+    int64_t gap = pmf.firstInteriorGap();
+    EXPECT_GT(gap, 0);
+    EXPECT_LT(gap, pmf.maxIndex());
+}
+
+TEST(FxpLaplacePmf, NoGapsWhenResolutionIsCoarse)
+{
+    // With a coarse step relative to lambda (Delta/lambda ~ 1) every
+    // bin down to the support edge collects at least one URNG state:
+    // no interior gaps.
+    FxpLaplacePmf pmf(configOf(17, 6, 5.0, 5.0));
+    EXPECT_EQ(pmf.firstInteriorGap(), -1);
+}
+
+TEST(FxpLaplacePmf, ProbabilitiesAreMultiplesOfResolution)
+{
+    // Eq. (11): every probability is a multiple of 2^-(Bu+1).
+    FxpLaplaceConfig cfg = configOf(12, 10, 10.0 / 32.0, 20.0);
+    FxpLaplacePmf pmf(cfg);
+    double unit = std::ldexp(1.0, -(cfg.uniform_bits + 1));
+    for (int64_t k = 1; k <= pmf.maxIndex(); ++k) {
+        double p = pmf.pmf(k);
+        double mult = p / unit;
+        EXPECT_NEAR(mult, std::round(mult), 1e-9) << "k=" << k;
+    }
+}
+
+TEST(FxpLaplacePmf, SymmetricInSign)
+{
+    FxpLaplacePmf pmf(configOf(12, 10, 0.3125, 20.0));
+    for (int64_t k = 1; k <= pmf.maxIndex(); k += 3)
+        EXPECT_DOUBLE_EQ(pmf.pmf(k), pmf.pmf(-k));
+}
+
+TEST(FxpLaplacePmf, MatchesIdealLaplaceInBulk)
+{
+    // Fig. 4(a): in the high-density region the discrete PMF over a
+    // bin approximates the ideal density times the bin width.
+    FxpLaplaceConfig cfg = configOf(17, 12, 10.0 / 32.0, 20.0);
+    FxpLaplacePmf pmf(cfg);
+    for (int64_t k = 0; k <= 100; k += 10) {
+        double x = static_cast<double>(k) * cfg.delta;
+        double ideal = std::exp(-x / cfg.lambda) /
+                       (2.0 * cfg.lambda) * cfg.delta;
+        if (k == 0)
+            ideal *= 1.0; // center bin also width Delta
+        EXPECT_NEAR(pmf.pmf(k), ideal, 0.02 * ideal + 1e-7)
+            << "k=" << k;
+    }
+}
+
+TEST(FxpLaplacePmf, TailMassMatchesPaperFormula)
+{
+    // Pr[n >= k Delta] = floor(m1(k)) / 2^(Bu+1).
+    FxpLaplaceConfig cfg = configOf(12, 10, 0.3125, 20.0);
+    FxpLaplacePmf pmf(cfg);
+    for (int64_t k : {int64_t{1}, int64_t{10}, int64_t{50},
+                      int64_t{200}}) {
+        double expect = std::floor(std::min(
+                            pmf.m1(k), std::ldexp(1.0, 12))) /
+                        std::ldexp(1.0, 13);
+        EXPECT_DOUBLE_EQ(pmf.tailMass(k), std::max(expect, 0.0))
+            << "k=" << k;
+    }
+}
+
+TEST(FxpLaplacePmf, TailMassTelescopesFromPmf)
+{
+    FxpLaplacePmf pmf(configOf(12, 10, 0.3125, 20.0),
+                      FxpLaplacePmf::Mode::Enumerated);
+    for (int64_t k : {int64_t{1}, int64_t{7}, int64_t{100}}) {
+        double sum = 0.0;
+        for (int64_t j = k; j <= pmf.maxIndex(); ++j)
+            sum += pmf.pmf(j);
+        EXPECT_NEAR(pmf.tailMass(k), sum, 1e-12) << "k=" << k;
+    }
+}
+
+TEST(FxpLaplacePmf, UpperMassCoversWholeLine)
+{
+    FxpLaplacePmf pmf(configOf(12, 10, 0.3125, 20.0));
+    EXPECT_NEAR(pmf.upperMass(-pmf.maxIndex() - 1), 1.0, 1e-12);
+    EXPECT_NEAR(pmf.upperMass(pmf.maxIndex() + 1), 0.0, 1e-12);
+    // Decomposition: Pr[n >= 0] + Pr[n <= -1] = 1.
+    EXPECT_NEAR(pmf.upperMass(0) + pmf.tailMass(1), 1.0, 1e-12);
+}
+
+TEST(FxpLaplacePmf, UpperMassMonotoneNonIncreasing)
+{
+    FxpLaplacePmf pmf(configOf(12, 10, 0.3125, 20.0));
+    double prev = 1.0;
+    for (int64_t k = -pmf.maxIndex(); k <= pmf.maxIndex(); k += 5) {
+        double m = pmf.upperMass(k);
+        EXPECT_LE(m, prev + 1e-12) << "k=" << k;
+        prev = m;
+    }
+}
+
+TEST(FxpLaplacePmf, EmpiricalHistogramMatchesPmf)
+{
+    // Sample the actual RNG and compare frequencies against the
+    // enumerated PMF: total variation distance should be small.
+    FxpLaplaceConfig cfg = configOf(12, 10, 0.3125, 20.0);
+    FxpLaplacePmf pmf(cfg, FxpLaplacePmf::Mode::Enumerated);
+    FxpLaplaceRng rng(cfg, 77);
+
+    std::map<int64_t, uint64_t> counts;
+    const int n = 500000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.sampleIndex()];
+
+    double tv = 0.0;
+    for (int64_t k = -pmf.maxIndex(); k <= pmf.maxIndex(); ++k) {
+        double emp = counts.count(k)
+            ? static_cast<double>(counts[k]) / n
+            : 0.0;
+        tv += std::abs(emp - pmf.pmf(k));
+    }
+    tv /= 2.0;
+    EXPECT_LT(tv, 0.02);
+}
+
+} // anonymous namespace
+} // namespace ulpdp

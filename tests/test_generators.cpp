@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests that the synthetic Table I substitutes match their documented
+ * statistics (size, range, mean, spread, shape class).
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace ulpdp {
+namespace {
+
+TEST(Generators, StatlogHeartMatchesTableOne)
+{
+    Dataset d = makeStatlogHeart();
+    EXPECT_EQ(d.size(), 270u);
+    EXPECT_NO_THROW(d.validate());
+    EXPECT_NEAR(d.mean(), 131.3, 4.0);
+    EXPECT_NEAR(d.stddev(), 17.9, 4.0);
+    EXPECT_GE(d.observedMin(), 94.0);
+    EXPECT_LE(d.observedMax(), 200.0);
+}
+
+TEST(Generators, AutoMpgMatchesTableOne)
+{
+    Dataset d = makeAutoMpg();
+    EXPECT_EQ(d.size(), 398u);
+    EXPECT_NO_THROW(d.validate());
+    EXPECT_NEAR(d.mean(), 19.0, 3.0); // right-skewed around lo+scale
+    // Right skew: mean above median.
+    std::vector<double> v = d.values;
+    std::sort(v.begin(), v.end());
+    EXPECT_GT(d.mean(), v[v.size() / 2]);
+}
+
+TEST(Generators, RobotSensorsIsBimodal)
+{
+    Dataset d = makeRobotSensors();
+    EXPECT_EQ(d.size(), 5456u);
+    EXPECT_NO_THROW(d.validate());
+    // Bimodality check: counts near the two modes dominate the
+    // valley between them.
+    auto count_in = [&](double lo, double hi) {
+        size_t c = 0;
+        for (double x : d.values)
+            if (x >= lo && x < hi)
+                ++c;
+        return c;
+    };
+    size_t near_wall = count_in(0.5, 1.1);
+    size_t valley = count_in(2.0, 2.6);
+    size_t open = count_in(3.9, 4.5);
+    EXPECT_GT(near_wall, 2 * valley);
+    EXPECT_GT(open, 2 * valley);
+}
+
+TEST(Generators, HumanActivityMatchesTableOne)
+{
+    Dataset d = makeHumanActivity();
+    EXPECT_EQ(d.size(), 10299u);
+    EXPECT_NO_THROW(d.validate());
+    EXPECT_NEAR(d.mean(), -0.1, 0.05);
+    EXPECT_NEAR(d.stddev(), 0.4, 0.05);
+}
+
+TEST(Generators, LocalizationMatchesTableOne)
+{
+    Dataset d = makeLocalization();
+    EXPECT_EQ(d.size(), 164860u);
+    EXPECT_NO_THROW(d.validate());
+    EXPECT_GT(d.mean(), 1.0);
+    EXPECT_LT(d.mean(), 3.0);
+}
+
+TEST(Generators, UjiIndoorLocMatchesTableOne)
+{
+    Dataset d = makeUjiIndoorLoc();
+    EXPECT_EQ(d.size(), 19937u);
+    EXPECT_NO_THROW(d.validate());
+    EXPECT_GT(d.mean(), -7691.3);
+    EXPECT_LT(d.mean(), -7300.9);
+    EXPECT_GT(d.stddev(), 50.0); // multimodal spread
+}
+
+TEST(Generators, PosturalTransitionsMatchesTableOne)
+{
+    Dataset d = makePosturalTransitions();
+    EXPECT_EQ(d.size(), 10929u);
+    EXPECT_NO_THROW(d.validate());
+    EXPECT_NEAR(d.mean(), 0.15, 0.05);
+    EXPECT_NEAR(d.stddev(), 0.32, 0.05);
+}
+
+TEST(Generators, AllTableOneDatasetsPresent)
+{
+    auto all = makeAllTableOneDatasets();
+    EXPECT_EQ(all.size(), 7u);
+    for (const auto &d : all) {
+        EXPECT_FALSE(d.name.empty());
+        EXPECT_GT(d.size(), 100u);
+        EXPECT_NO_THROW(d.validate());
+    }
+}
+
+TEST(Generators, DeterministicPerSeed)
+{
+    Dataset a = makeStatlogHeart(5);
+    Dataset b = makeStatlogHeart(5);
+    Dataset c = makeStatlogHeart(6);
+    EXPECT_EQ(a.values, b.values);
+    EXPECT_NE(a.values, c.values);
+}
+
+TEST(Generators, GenderColumnIsBinary)
+{
+    Dataset d = makeStatlogGender(270, 0.68);
+    EXPECT_EQ(d.size(), 270u);
+    size_t males = 0;
+    for (double v : d.values) {
+        EXPECT_TRUE(v == 0.0 || v == 1.0);
+        if (v == 1.0)
+            ++males;
+    }
+    EXPECT_NEAR(static_cast<double>(males) / 270.0, 0.68, 0.1);
+}
+
+TEST(Generators, LowLevelBuildersRespectBounds)
+{
+    auto g = gen::clippedGaussian(1000, 0.0, 100.0, -1.0, 1.0, 1);
+    for (double v : g) {
+        EXPECT_GE(v, -1.0);
+        EXPECT_LE(v, 1.0);
+    }
+    auto u = gen::uniform(1000, 2.0, 3.0, 1);
+    for (double v : u) {
+        EXPECT_GE(v, 2.0);
+        EXPECT_LE(v, 3.0);
+    }
+    auto s = gen::rightSkewed(1000, 1.0, 0.0, 5.0, 1);
+    for (double v : s) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 5.0);
+    }
+}
+
+} // anonymous namespace
+} // namespace ulpdp

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for hardened ("no software trusted") DP-Box mode: fused
+ * privacy parameters that untrusted software cannot weaken
+ * (Section IV of the paper).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "dpbox/dpbox.h"
+
+namespace ulpdp {
+namespace {
+
+DpBoxConfig
+hardenedConfig()
+{
+    DpBoxConfig cfg;
+    cfg.frac_bits = 5;
+    cfg.word_bits = 20;
+    cfg.uniform_bits = 17;
+    cfg.threshold_index = 500;
+    cfg.thresholding = true;
+    cfg.hardened = true;
+    cfg.fused_n_m = 1;      // eps fused at 0.5
+    cfg.fused_range_lo = 0; // [0, 10] at LSB 1/32
+    cfg.fused_range_hi = 320;
+    return cfg;
+}
+
+/** Boot a hardened device past initialization. */
+void
+boot(DpBox &box)
+{
+    box.step(DpBoxCommand::SetEpsilon, 256 * 100); // budget
+    box.step(DpBoxCommand::StartNoising);
+}
+
+double
+noiseSpread(DpBox &box, int samples)
+{
+    RunningStats stats;
+    for (int i = 0; i < samples; ++i) {
+        box.step(DpBoxCommand::SetSensorValue, box.toRaw(5.0));
+        box.step(DpBoxCommand::StartNoising);
+        while (!box.ready())
+            box.step(DpBoxCommand::DoNothing);
+        stats.add(box.fromRaw(box.output()));
+    }
+    return stats.stddev();
+}
+
+TEST(Hardened, RejectsInvalidFusing)
+{
+    DpBoxConfig cfg = hardenedConfig();
+    cfg.fused_range_hi = cfg.fused_range_lo;
+    EXPECT_THROW(DpBox box(cfg), FatalError);
+
+    cfg = hardenedConfig();
+    cfg.fused_n_m = 20;
+    EXPECT_THROW(DpBox box(cfg), FatalError);
+}
+
+TEST(Hardened, WorksWithoutAnyConfigurationCommands)
+{
+    // Fused parameters make the device usable straight after boot.
+    DpBox box(hardenedConfig());
+    boot(box);
+    box.step(DpBoxCommand::SetSensorValue, box.toRaw(5.0));
+    box.step(DpBoxCommand::StartNoising);
+    while (!box.ready())
+        box.step(DpBoxCommand::DoNothing);
+    EXPECT_TRUE(box.ready());
+    EXPECT_EQ(box.nm(), 1);
+}
+
+TEST(Hardened, MaliciousEpsilonReductionIgnored)
+{
+    // Attacker tries n_m = 0 (eps = 1: half the noise). The command
+    // must be dead: the register holds and the spread is unchanged.
+    DpBox box(hardenedConfig());
+    boot(box);
+    box.step(DpBoxCommand::SetEpsilon, 0);
+    EXPECT_EQ(box.nm(), 1);
+
+    DpBox honest(hardenedConfig());
+    boot(honest);
+    double attacked = noiseSpread(box, 20000);
+    double clean = noiseSpread(honest, 20000);
+    EXPECT_NEAR(attacked, clean, 0.1 * clean);
+}
+
+TEST(Hardened, RangeShrinkAttackIgnored)
+{
+    // Shrinking the declared range shrinks lambda = d * 2^n_m and
+    // thus the noise. The hardened device must not budge.
+    DpBox box(hardenedConfig());
+    boot(box);
+    box.step(DpBoxCommand::SetRangeLower, box.toRaw(4.9));
+    box.step(DpBoxCommand::SetRangeUpper, box.toRaw(5.1));
+    double spread = noiseSpread(box, 20000);
+
+    DpBox honest(hardenedConfig());
+    boot(honest);
+    EXPECT_NEAR(spread, noiseSpread(honest, 20000),
+                0.1 * spread);
+}
+
+TEST(Hardened, ModeToggleIgnored)
+{
+    DpBox box(hardenedConfig());
+    boot(box);
+    EXPECT_TRUE(box.thresholdingMode());
+    box.step(DpBoxCommand::SetThreshold);
+    EXPECT_TRUE(box.thresholdingMode());
+}
+
+TEST(Hardened, BudgetStillConfigurableAtInit)
+{
+    // Hardening locks privacy parameters, not the secure-boot budget
+    // configuration (which happens before untrusted code runs).
+    DpBox box(hardenedConfig());
+    box.step(DpBoxCommand::SetEpsilon, 256 * 7);
+    box.step(DpBoxCommand::StartNoising);
+    EXPECT_DOUBLE_EQ(box.remainingBudget(), 7.0);
+}
+
+TEST(Hardened, NonHardenedStillConfigurable)
+{
+    // Control case: the same commands do work on a soft device.
+    DpBoxConfig cfg = hardenedConfig();
+    cfg.hardened = false;
+    DpBox box(cfg);
+    boot(box);
+    box.step(DpBoxCommand::SetEpsilon, 3);
+    EXPECT_EQ(box.nm(), 3);
+    box.step(DpBoxCommand::SetThreshold);
+    EXPECT_FALSE(box.thresholdingMode());
+}
+
+} // anonymous namespace
+} // namespace ulpdp

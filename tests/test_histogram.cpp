@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for the binned histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/logging.h"
+
+namespace ulpdp {
+namespace {
+
+TEST(Histogram, RejectsBadRangeAndBins)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 10), FatalError);
+    EXPECT_THROW(Histogram(2.0, 1.0, 10), FatalError);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), FatalError);
+}
+
+TEST(Histogram, BinsCountCorrectly)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);  // bin 0
+    h.add(1.5);  // bin 1
+    h.add(1.6);  // bin 1
+    h.add(9.99); // bin 9
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(9), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UpperEdgeBelongsToLastBin)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(10.0);
+    EXPECT_EQ(h.count(9), 1u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, UnderAndOverflowTracked)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-0.1);
+    h.add(1.1);
+    h.add(0.5);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinCentersAndWidth)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.binWidth(), 2.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(4), 9.0);
+}
+
+TEST(Histogram, DensityIntegratesToCoveredMass)
+{
+    Histogram h(0.0, 1.0, 4);
+    for (int i = 0; i < 100; ++i)
+        h.add(0.125); // all in bin 0
+    double integral = 0.0;
+    for (size_t i = 0; i < h.numBins(); ++i)
+        integral += h.density(i) * h.binWidth();
+    EXPECT_DOUBLE_EQ(integral, 1.0);
+    EXPECT_DOUBLE_EQ(h.mass(0), 1.0);
+}
+
+TEST(Histogram, AddAllMatchesLoop)
+{
+    Histogram a(0.0, 1.0, 2);
+    Histogram b(0.0, 1.0, 2);
+    std::vector<double> xs{0.1, 0.2, 0.7, 0.9};
+    a.addAll(xs);
+    for (double x : xs)
+        b.add(x);
+    EXPECT_EQ(a.count(0), b.count(0));
+    EXPECT_EQ(a.count(1), b.count(1));
+}
+
+TEST(Histogram, AsciiRenderingHasOneRowPerBin)
+{
+    Histogram h(0.0, 1.0, 3);
+    h.add(0.1);
+    std::string art = h.toAscii(10);
+    size_t rows = 0;
+    for (char c : art) {
+        if (c == '\n')
+            ++rows;
+    }
+    EXPECT_EQ(rows, 3u);
+}
+
+} // anonymous namespace
+} // namespace ulpdp

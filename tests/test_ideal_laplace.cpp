@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the ideal (double-precision) Laplace sampler.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "rng/ideal_laplace.h"
+
+namespace ulpdp {
+namespace {
+
+TEST(IdealLaplace, RejectsBadLambda)
+{
+    EXPECT_THROW(IdealLaplace(0.0), FatalError);
+    EXPECT_THROW(IdealLaplace(-1.0), FatalError);
+}
+
+TEST(IdealLaplace, PdfShape)
+{
+    IdealLaplace lap(2.0);
+    EXPECT_DOUBLE_EQ(lap.pdf(0.0), 0.25);
+    EXPECT_DOUBLE_EQ(lap.pdf(2.0), 0.25 * std::exp(-1.0));
+    EXPECT_DOUBLE_EQ(lap.pdf(2.0), lap.pdf(-2.0)); // symmetry
+}
+
+TEST(IdealLaplace, CdfProperties)
+{
+    IdealLaplace lap(1.5);
+    EXPECT_DOUBLE_EQ(lap.cdf(0.0), 0.5);
+    EXPECT_NEAR(lap.cdf(100.0), 1.0, 1e-12);
+    EXPECT_NEAR(lap.cdf(-100.0), 0.0, 1e-12);
+    EXPECT_NEAR(lap.cdf(1.5) + lap.cdf(-1.5), 1.0, 1e-12);
+}
+
+TEST(IdealLaplace, IcdfInvertsCdf)
+{
+    IdealLaplace lap(3.0);
+    for (double p : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99})
+        EXPECT_NEAR(lap.cdf(lap.icdf(p)), p, 1e-12) << "p=" << p;
+}
+
+TEST(IdealLaplace, IcdfRejectsEndpoints)
+{
+    IdealLaplace lap(1.0);
+    EXPECT_THROW(lap.icdf(0.0), PanicError);
+    EXPECT_THROW(lap.icdf(1.0), PanicError);
+}
+
+TEST(IdealLaplace, UpperTail)
+{
+    IdealLaplace lap(2.0);
+    EXPECT_DOUBLE_EQ(lap.upperTail(0.0), 0.5);
+    EXPECT_DOUBLE_EQ(lap.upperTail(2.0), 0.5 * std::exp(-1.0));
+    EXPECT_THROW(lap.upperTail(-1.0), PanicError);
+}
+
+TEST(IdealLaplace, SampleMomentsMatchTheory)
+{
+    // Lap(lambda): mean 0, variance 2 lambda^2.
+    double lambda = 4.0;
+    IdealLaplace lap(lambda, 99);
+    RunningStats stats;
+    const int n = 400000;
+    for (int i = 0; i < n; ++i)
+        stats.add(lap.sample());
+
+    double se_mean = std::sqrt(2.0) * lambda / std::sqrt(n);
+    EXPECT_NEAR(stats.mean(), 0.0, 6.0 * se_mean);
+    EXPECT_NEAR(stats.variance(), 2.0 * lambda * lambda,
+                0.05 * 2.0 * lambda * lambda);
+}
+
+TEST(IdealLaplace, SampleTailFrequencyMatchesCdf)
+{
+    double lambda = 1.0;
+    IdealLaplace lap(lambda, 7);
+    const int n = 200000;
+    int beyond = 0;
+    for (int i = 0; i < n; ++i) {
+        if (std::abs(lap.sample()) > 2.0)
+            ++beyond;
+    }
+    double expect = std::exp(-2.0); // Pr[|X| > 2 lambda]
+    EXPECT_NEAR(static_cast<double>(beyond) / n, expect,
+                5.0 * std::sqrt(expect / n));
+}
+
+TEST(IdealLaplace, DeterministicPerSeed)
+{
+    IdealLaplace a(1.0, 5);
+    IdealLaplace b(1.0, 5);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(a.sample(), b.sample());
+}
+
+} // anonymous namespace
+} // namespace ulpdp

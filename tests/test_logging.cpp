@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the logging / error-reporting utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+namespace {
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad user input %d", 42), FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("internal bug %s", "here"), PanicError);
+}
+
+TEST(Logging, FatalMessageIsFormatted)
+{
+    try {
+        fatal("value %d out of range [%g, %g]", 7, 1.5, 2.5);
+        FAIL() << "fatal() returned";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value 7 out of range [1.5, 2.5]");
+    }
+}
+
+TEST(Logging, PanicMessageIsFormatted)
+{
+    try {
+        panic("impossible state %s/%d", "noising", 3);
+        FAIL() << "panic() returned";
+    } catch (const PanicError &e) {
+        EXPECT_STREQ(e.what(), "impossible state noising/3");
+    }
+}
+
+TEST(Logging, FatalErrorIsRuntimeError)
+{
+    EXPECT_THROW(fatal("x"), std::runtime_error);
+}
+
+TEST(Logging, PanicErrorIsLogicError)
+{
+    EXPECT_THROW(panic("x"), std::logic_error);
+}
+
+TEST(Logging, WarnAndInformDoNotThrow)
+{
+    setLoggingEnabled(false);
+    EXPECT_NO_THROW(warn("suspicious %d", 1));
+    EXPECT_NO_THROW(inform("status %d", 2));
+    setLoggingEnabled(true);
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(ULPDP_ASSERT(1 + 1 == 2));
+}
+
+TEST(Logging, AssertPanicsOnFalse)
+{
+    EXPECT_THROW(ULPDP_ASSERT(1 + 1 == 3), PanicError);
+}
+
+TEST(Logging, AssertMessageNamesCondition)
+{
+    try {
+        ULPDP_ASSERT(2 < 1);
+        FAIL() << "assert passed";
+    } catch (const PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("2 < 1"),
+                  std::string::npos);
+    }
+}
+
+} // anonymous namespace
+} // namespace ulpdp

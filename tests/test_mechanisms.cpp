@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Behavioural tests for the four mechanisms of Tables II-V.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "core/ideal_laplace_mechanism.h"
+#include "core/fxp_mechanism.h"
+#include "core/resampling_mechanism.h"
+#include "core/thresholding_mechanism.h"
+
+namespace ulpdp {
+namespace {
+
+FxpMechanismParams
+testParams()
+{
+    FxpMechanismParams p;
+    p.range = SensorRange(0.0, 10.0);
+    p.epsilon = 0.5;
+    p.uniform_bits = 14;
+    p.output_bits = 12;
+    p.delta = 10.0 / 32.0;
+    return p;
+}
+
+TEST(SensorRange, Basics)
+{
+    SensorRange r(2.0, 6.0);
+    EXPECT_DOUBLE_EQ(r.length(), 4.0);
+    EXPECT_DOUBLE_EQ(r.mid(), 4.0);
+    EXPECT_TRUE(r.contains(2.0));
+    EXPECT_TRUE(r.contains(6.0));
+    EXPECT_FALSE(r.contains(6.1));
+    EXPECT_DOUBLE_EQ(r.clamp(7.0), 6.0);
+    EXPECT_DOUBLE_EQ(r.clamp(1.0), 2.0);
+    EXPECT_DOUBLE_EQ(r.clamp(3.0), 3.0);
+    EXPECT_THROW(SensorRange(1.0, 1.0), FatalError);
+}
+
+TEST(IdealLaplaceMechanism, NoiseIsUnbiased)
+{
+    IdealLaplaceMechanism mech(SensorRange(0.0, 10.0), 0.5, 3);
+    RunningStats stats;
+    for (int i = 0; i < 200000; ++i)
+        stats.add(mech.noise(5.0).value);
+    double lambda = 10.0 / 0.5;
+    EXPECT_NEAR(stats.mean(), 5.0,
+                6.0 * std::sqrt(2.0) * lambda / std::sqrt(200000.0));
+}
+
+TEST(IdealLaplaceMechanism, RejectsOutOfRange)
+{
+    IdealLaplaceMechanism mech(SensorRange(0.0, 1.0), 0.5);
+    EXPECT_THROW(mech.noise(2.0), FatalError);
+}
+
+TEST(IdealLaplaceMechanism, MetadataCorrect)
+{
+    IdealLaplaceMechanism mech(SensorRange(0.0, 1.0), 0.25);
+    EXPECT_TRUE(mech.guaranteesLdp());
+    EXPECT_DOUBLE_EQ(mech.epsilon(), 0.25);
+    EXPECT_EQ(mech.name(), "Ideal Local DP");
+    EXPECT_EQ(mech.noise(0.5).samples_drawn, 1u);
+}
+
+TEST(FxpMechanismParams, DerivedQuantities)
+{
+    FxpMechanismParams p = testParams();
+    EXPECT_DOUBLE_EQ(p.lambda(), 20.0);
+    EXPECT_DOUBLE_EQ(p.resolvedDelta(), 0.3125);
+    EXPECT_EQ(p.rangeIndexSpan(), 32);
+
+    p.delta = 0.0; // default convention: d / 32
+    EXPECT_DOUBLE_EQ(p.resolvedDelta(), 0.3125);
+}
+
+TEST(NaiveFxpMechanism, OutputOnGrid)
+{
+    NaiveFxpMechanism mech(testParams());
+    double delta = mech.delta();
+    for (int i = 0; i < 5000; ++i) {
+        double y = mech.noise(5.0).value;
+        double k = y / delta;
+        EXPECT_NEAR(k, std::round(k), 1e-9);
+    }
+}
+
+TEST(NaiveFxpMechanism, DoesNotClaimLdp)
+{
+    NaiveFxpMechanism mech(testParams());
+    EXPECT_FALSE(mech.guaranteesLdp());
+}
+
+TEST(NaiveFxpMechanism, RejectsFarOutOfRange)
+{
+    NaiveFxpMechanism mech(testParams());
+    EXPECT_THROW(mech.noise(12.0), FatalError);
+    EXPECT_NO_THROW(mech.noise(10.0));
+    EXPECT_NO_THROW(mech.noise(0.0));
+}
+
+TEST(NaiveFxpMechanism, UnbiasedInBulk)
+{
+    NaiveFxpMechanism mech(testParams());
+    RunningStats stats;
+    for (int i = 0; i < 200000; ++i)
+        stats.add(mech.noise(5.0).value);
+    EXPECT_NEAR(stats.mean(), 5.0, 0.5);
+}
+
+TEST(ResamplingMechanism, OutputsConfinedToWindow)
+{
+    FxpMechanismParams p = testParams();
+    int64_t t = 100;
+    ResamplingMechanism mech(p, t);
+    double lo = 0.0 - static_cast<double>(t) * mech.delta();
+    double hi = 10.0 + static_cast<double>(t) * mech.delta();
+    for (int i = 0; i < 20000; ++i) {
+        double y = mech.noise(0.0).value;
+        EXPECT_GE(y, lo - 1e-9);
+        EXPECT_LE(y, hi + 1e-9);
+    }
+}
+
+TEST(ResamplingMechanism, CountsResamples)
+{
+    FxpMechanismParams p = testParams();
+    // Small window: frequent resampling.
+    ResamplingMechanism mech(p, 5);
+    uint64_t n = 5000;
+    for (uint64_t i = 0; i < n; ++i) {
+        NoisedReport r = mech.noise(5.0);
+        EXPECT_GE(r.samples_drawn, 1u);
+    }
+    EXPECT_EQ(mech.totalReports(), n);
+    EXPECT_GE(mech.totalSamplesDrawn(), n);
+    EXPECT_GT(mech.averageSamplesPerReport(), 1.0);
+}
+
+TEST(ResamplingMechanism, WideWindowRarelyResamples)
+{
+    FxpMechanismParams p = testParams();
+    ResamplingMechanism mech(p, 400);
+    for (int i = 0; i < 5000; ++i)
+        mech.noise(5.0);
+    // Fig. 11: resampling never adds more than one extra sample on
+    // average, usually far less.
+    EXPECT_LT(mech.averageSamplesPerReport(), 2.0);
+}
+
+TEST(ResamplingMechanism, RejectsNegativeThreshold)
+{
+    EXPECT_THROW(ResamplingMechanism(testParams(), -1), FatalError);
+}
+
+TEST(ResamplingMechanism, GuaranteesLdpFlag)
+{
+    ResamplingMechanism mech(testParams(), 100);
+    EXPECT_TRUE(mech.guaranteesLdp());
+    EXPECT_EQ(mech.name(), "Resampling");
+}
+
+TEST(ThresholdingMechanism, OutputsConfinedToWindow)
+{
+    FxpMechanismParams p = testParams();
+    int64_t t = 50;
+    ThresholdingMechanism mech(p, t);
+    double lo = -static_cast<double>(t) * mech.delta();
+    double hi = 10.0 + static_cast<double>(t) * mech.delta();
+    bool hit_lo = false;
+    bool hit_hi = false;
+    for (int i = 0; i < 50000; ++i) {
+        double y = mech.noise(5.0).value;
+        EXPECT_GE(y, lo - 1e-9);
+        EXPECT_LE(y, hi + 1e-9);
+        if (std::abs(y - lo) < 1e-9)
+            hit_lo = true;
+        if (std::abs(y - hi) < 1e-9)
+            hit_hi = true;
+    }
+    // Fig. 7: clamping piles visible mass onto the boundary values.
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(ThresholdingMechanism, AlwaysExactlyOneSample)
+{
+    ThresholdingMechanism mech(testParams(), 20);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_EQ(mech.noise(3.0).samples_drawn, 1u);
+    EXPECT_EQ(mech.totalReports(), 2000u);
+}
+
+TEST(ThresholdingMechanism, ClampStatistics)
+{
+    ThresholdingMechanism tight(testParams(), 1);
+    for (int i = 0; i < 5000; ++i)
+        tight.noise(5.0);
+    EXPECT_GT(tight.clampedReports(), 0u);
+    EXPECT_LT(tight.clampedReports(), tight.totalReports());
+}
+
+TEST(ThresholdingMechanism, BoundaryAtomsGrowWithTighterWindow)
+{
+    auto clamp_rate = [](int64_t t) {
+        ThresholdingMechanism mech(testParams(), t);
+        for (int i = 0; i < 20000; ++i)
+            mech.noise(5.0);
+        return static_cast<double>(mech.clampedReports()) /
+               static_cast<double>(mech.totalReports());
+    };
+    double tight = clamp_rate(10);
+    double loose = clamp_rate(200);
+    EXPECT_GT(tight, loose);
+}
+
+TEST(MechanismsAgree, AllFourSimilarUtilityOnMean)
+{
+    // Tables II-V: the four settings produce near-identical bulk
+    // noise, so the average of many reports of the same value agrees
+    // across mechanisms.
+    FxpMechanismParams p = testParams();
+    p.uniform_bits = 17;
+    IdealLaplaceMechanism ideal(p.range, p.epsilon, 3);
+    NaiveFxpMechanism naive(p);
+    ResamplingMechanism resamp(p, 400);
+    ThresholdingMechanism thresh(p, 400);
+
+    const int n = 100000;
+    auto avg = [&](Mechanism &m) {
+        double sum = 0.0;
+        for (int i = 0; i < n; ++i)
+            sum += m.noise(5.0).value;
+        return sum / n;
+    };
+    double tol = 0.6;
+    EXPECT_NEAR(avg(ideal), 5.0, tol);
+    EXPECT_NEAR(avg(naive), 5.0, tol);
+    EXPECT_NEAR(avg(resamp), 5.0, tol);
+    EXPECT_NEAR(avg(thresh), 5.0, tol);
+}
+
+TEST(FxpMechanismBase, GridHelpers)
+{
+    NaiveFxpMechanism mech(testParams());
+    EXPECT_EQ(mech.loIndex(), 0);
+    EXPECT_EQ(mech.hiIndex(), 32);
+    EXPECT_EQ(mech.toIndex(5.0), 16);
+    EXPECT_DOUBLE_EQ(mech.toValue(16), 5.0);
+}
+
+} // anonymous namespace
+} // namespace ulpdp

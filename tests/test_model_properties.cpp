@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Parameterized property tests over all output models: for every
+ * (range-control kind, window, RNG configuration) combination, the
+ * conditional distributions must be proper, sign/shift symmetric,
+ * and consistent with the privacy analysis. These are the invariants
+ * the whole proof machinery rests on, so they get a dense sweep.
+ */
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/constant_time.h"
+#include "core/output_model.h"
+#include "core/privacy_loss.h"
+#include "rng/fxp_laplace_pmf.h"
+
+namespace ulpdp {
+namespace {
+
+enum class Kind
+{
+    Naive,
+    Resampling,
+    Thresholding,
+    ConstantTime,
+};
+
+using Param = std::tuple<Kind, int, double, int64_t>;
+// (kind, uniform_bits, epsilon, threshold)
+
+class ModelProperties : public ::testing::TestWithParam<Param>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto [kind, bu, eps, threshold] = GetParam();
+        kind_ = kind;
+        span_ = 32;
+        FxpLaplaceConfig cfg;
+        cfg.uniform_bits = bu;
+        cfg.output_bits = 12;
+        cfg.delta = 10.0 / 32.0;
+        cfg.lambda = 10.0 / eps;
+        pmf_ = std::make_shared<FxpLaplacePmf>(cfg);
+
+        switch (kind) {
+          case Kind::Naive:
+            model_ = std::make_unique<NaiveOutputModel>(pmf_, span_);
+            break;
+          case Kind::Resampling:
+            model_ = std::make_unique<ResamplingOutputModel>(
+                pmf_, span_, threshold);
+            break;
+          case Kind::Thresholding:
+            model_ = std::make_unique<ThresholdingOutputModel>(
+                pmf_, span_, threshold);
+            break;
+          case Kind::ConstantTime:
+            model_ = std::make_unique<ConstantTimeOutputModel>(
+                pmf_, span_, threshold, 3);
+            break;
+        }
+    }
+
+    Kind kind_ = Kind::Naive;
+    int64_t span_ = 0;
+    std::shared_ptr<const FxpLaplacePmf> pmf_;
+    std::unique_ptr<DiscreteOutputModel> model_;
+};
+
+TEST_P(ModelProperties, RowsAreDistributions)
+{
+    for (int64_t i = 0; i <= span_; i += 8) {
+        double sum = 0.0;
+        for (int64_t j = model_->outputLo(); j <= model_->outputHi();
+             ++j) {
+            double p = model_->prob(j, i);
+            ASSERT_GE(p, 0.0) << "i=" << i << " j=" << j;
+            ASSERT_LE(p, 1.0 + 1e-12);
+            sum += p;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-9) << "i=" << i;
+    }
+}
+
+TEST_P(ModelProperties, MirrorSymmetry)
+{
+    // Reflecting input and output through the range midpoint leaves
+    // the distribution unchanged (the noise is sign-symmetric and
+    // the window is placed symmetrically).
+    for (int64_t i : {int64_t{0}, int64_t{5}, int64_t{16}}) {
+        int64_t i_ref = span_ - i;
+        for (int64_t j = model_->outputLo(); j <= model_->outputHi();
+             j += 3) {
+            int64_t j_ref = span_ - j;
+            ASSERT_NEAR(model_->prob(j, i),
+                        model_->prob(j_ref, i_ref), 1e-12)
+                << "i=" << i << " j=" << j;
+        }
+    }
+}
+
+TEST_P(ModelProperties, CentralOutputsReachableByAll)
+{
+    // Every input can produce every output inside [m, M] (the noise
+    // PMF has no gaps that close to zero for these configs).
+    for (int64_t j = 0; j <= span_; j += 4) {
+        for (int64_t i = 0; i <= span_; i += 4) {
+            EXPECT_GT(model_->prob(j, i), 0.0)
+                << "i=" << i << " j=" << j;
+        }
+    }
+}
+
+TEST_P(ModelProperties, LossAtMidpointIsSmall)
+{
+    // The range midpoint is maximally ambiguous: its loss must be
+    // within the intrinsic RNG loss (< 2 eps for all these sweeps).
+    auto [kind, bu, eps, threshold] = GetParam();
+    (void)bu;
+    (void)threshold;
+    double loss = PrivacyLossAnalyzer::lossAtOutput(*model_,
+                                                    span_ / 2);
+    EXPECT_TRUE(std::isfinite(loss));
+    EXPECT_LT(loss, 2.0 * eps);
+}
+
+TEST_P(ModelProperties, WindowedKindsHaveNoOutsideMass)
+{
+    if (kind_ == Kind::Naive)
+        GTEST_SKIP() << "naive model has unbounded window";
+    EXPECT_DOUBLE_EQ(model_->prob(model_->outputLo() - 1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(model_->prob(model_->outputHi() + 1, span_),
+                     0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ModelProperties,
+    ::testing::Values(
+        // kind, Bu, eps, threshold
+        Param{Kind::Naive, 14, 0.5, 0},
+        Param{Kind::Naive, 17, 1.0, 0},
+        Param{Kind::Resampling, 14, 0.5, 60},
+        Param{Kind::Resampling, 14, 0.5, 250},
+        Param{Kind::Resampling, 17, 1.0, 120},
+        Param{Kind::Thresholding, 14, 0.5, 60},
+        Param{Kind::Thresholding, 14, 0.5, 250},
+        Param{Kind::Thresholding, 17, 1.0, 120},
+        Param{Kind::ConstantTime, 14, 0.5, 60},
+        Param{Kind::ConstantTime, 17, 1.0, 120}));
+
+} // anonymous namespace
+} // namespace ulpdp

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the provisioning layer: intent -> verified DpBoxConfig.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "dpbox/driver.h"
+#include "dpbox/provisioning.h"
+
+namespace ulpdp {
+namespace {
+
+PrivacyIntent
+heartIntent()
+{
+    PrivacyIntent intent;
+    intent.range = SensorRange(94.0, 200.0);
+    intent.epsilon = 0.5;
+    intent.loss_multiple = 2.0;
+    intent.kind = RangeControl::Thresholding;
+    return intent;
+}
+
+TEST(Provisioner, RejectsBadIntent)
+{
+    PrivacyIntent intent = heartIntent();
+    intent.epsilon = 0.0;
+    EXPECT_THROW(Provisioner::plan(intent), FatalError);
+    intent = heartIntent();
+    intent.loss_multiple = 1.0;
+    EXPECT_THROW(Provisioner::plan(intent), FatalError);
+}
+
+TEST(Provisioner, PlanMeetsItsBound)
+{
+    ProvisioningPlan plan = Provisioner::plan(heartIntent());
+    EXPECT_TRUE(std::isfinite(plan.proven_loss));
+    EXPECT_LE(plan.proven_loss, plan.requested_bound + 1e-9);
+    EXPECT_GT(plan.device.threshold_index, 0);
+    EXPECT_TRUE(plan.device.thresholding);
+    EXPECT_DOUBLE_EQ(plan.effective_epsilon, 0.5);
+    EXPECT_EQ(plan.n_m, 1);
+}
+
+TEST(Provisioner, PicksSensibleGrid)
+{
+    // Range of length 106: frac_bits 0 would give span 106 (fine);
+    // the 64-128 target admits frac_bits 0 exactly.
+    ProvisioningPlan plan = Provisioner::plan(heartIntent());
+    double span = plan.range.length() *
+                  std::ldexp(1.0, plan.device.frac_bits);
+    EXPECT_GE(span, 32.0);
+    EXPECT_LT(span, 256.0);
+
+    // A [-1, 1] feature gets a finer LSB.
+    PrivacyIntent small = heartIntent();
+    small.range = SensorRange(-1.0, 1.0);
+    ProvisioningPlan plan2 = Provisioner::plan(small);
+    EXPECT_GT(plan2.device.frac_bits, 3);
+}
+
+TEST(Provisioner, ResamplingKindRespected)
+{
+    PrivacyIntent intent = heartIntent();
+    intent.kind = RangeControl::Resampling;
+    ProvisioningPlan plan = Provisioner::plan(intent);
+    EXPECT_FALSE(plan.device.thresholding);
+    EXPECT_LE(plan.proven_loss, plan.requested_bound + 1e-9);
+}
+
+TEST(Provisioner, NonPowerOfTwoEpsilonRounded)
+{
+    PrivacyIntent intent = heartIntent();
+    intent.epsilon = 0.4;
+    ProvisioningPlan plan = Provisioner::plan(intent);
+    EXPECT_DOUBLE_EQ(plan.effective_epsilon, 0.5);
+}
+
+TEST(Provisioner, BudgetSegmentsWiredIn)
+{
+    PrivacyIntent intent = heartIntent();
+    intent.budget = 20.0;
+    intent.segment_levels = {1.25, 1.5};
+    ProvisioningPlan plan = Provisioner::plan(intent);
+    ASSERT_TRUE(plan.device.budget_enabled);
+    ASSERT_GE(plan.device.segments.size(), 2u);
+    EXPECT_EQ(plan.device.segments.back().threshold_index,
+              plan.device.threshold_index);
+    for (size_t i = 1; i < plan.device.segments.size(); ++i) {
+        EXPECT_GT(plan.device.segments[i].threshold_index,
+                  plan.device.segments[i - 1].threshold_index);
+    }
+}
+
+TEST(Provisioner, VerifyAcceptsFreshPlan)
+{
+    ProvisioningPlan plan = Provisioner::plan(heartIntent());
+    EXPECT_TRUE(Provisioner::verify(plan));
+}
+
+TEST(Provisioner, VerifyCatchesTampering)
+{
+    ProvisioningPlan plan = Provisioner::plan(heartIntent());
+    // An "optimisation" that widens the window voids the proof.
+    plan.device.threshold_index += 500;
+    EXPECT_FALSE(Provisioner::verify(plan));
+}
+
+TEST(Provisioner, PlanDrivesARealDevice)
+{
+    PrivacyIntent intent = heartIntent();
+    intent.budget = 10.0;
+    ProvisioningPlan plan = Provisioner::plan(intent);
+
+    DpBoxDriver drv(plan.device);
+    drv.initialize(intent.budget, 0);
+    drv.configure(plan.effective_epsilon, plan.range);
+    double ext = static_cast<double>(plan.device.threshold_index) *
+                 drv.device().lsb();
+    for (int i = 0; i < 2000; ++i) {
+        double y = drv.noise(130.0).value;
+        EXPECT_GE(y, plan.range.lo - ext - 1e-9);
+        EXPECT_LE(y, plan.range.hi + ext + 1e-9);
+    }
+}
+
+TEST(Provisioner, TextManifestMentionsKeyFacts)
+{
+    ProvisioningPlan plan = Provisioner::plan(heartIntent());
+    std::string text = plan.toText();
+    EXPECT_NE(text.find("thresholding"), std::string::npos);
+    EXPECT_NE(text.find("proven loss"), std::string::npos);
+    EXPECT_NE(text.find("0.5"), std::string::npos);
+}
+
+TEST(Provisioner, WideRangeStillFitsWord)
+{
+    PrivacyIntent intent = heartIntent();
+    intent.range = SensorRange(-7691.3, -7300.9);
+    ProvisioningPlan plan = Provisioner::plan(intent);
+    EXPECT_TRUE(Provisioner::verify(plan));
+}
+
+TEST(Provisioner, ImpossibleBoundFails)
+{
+    PrivacyIntent intent = heartIntent();
+    intent.uniform_bits = 6; // far too coarse
+    intent.loss_multiple = 1.05;
+    EXPECT_THROW(Provisioner::plan(intent), FatalError);
+}
+
+} // anonymous namespace
+} // namespace ulpdp

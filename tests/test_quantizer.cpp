@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the runtime uniform quantizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "fixed/quantizer.h"
+
+namespace ulpdp {
+namespace {
+
+TEST(Quantizer, RejectsBadParameters)
+{
+    EXPECT_THROW(Quantizer(0.0, 8), FatalError);
+    EXPECT_THROW(Quantizer(-1.0, 8), FatalError);
+    EXPECT_THROW(Quantizer(1.0, 1), FatalError);
+    EXPECT_THROW(Quantizer(1.0, 63), FatalError);
+}
+
+TEST(Quantizer, IndexRangeMatchesBits)
+{
+    Quantizer q(0.5, 8);
+    EXPECT_EQ(q.minIndex(), -128);
+    EXPECT_EQ(q.maxIndex(), 127);
+    EXPECT_DOUBLE_EQ(q.minValue(), -64.0);
+    EXPECT_DOUBLE_EQ(q.maxValue(), 63.5);
+}
+
+TEST(Quantizer, RoundsToNearest)
+{
+    Quantizer q(1.0, 8);
+    EXPECT_EQ(q.quantizeToIndex(2.4), 2);
+    EXPECT_EQ(q.quantizeToIndex(2.6), 3);
+    EXPECT_EQ(q.quantizeToIndex(-2.4), -2);
+    EXPECT_EQ(q.quantizeToIndex(-2.6), -3);
+}
+
+TEST(Quantizer, HalfRoundsAwayFromZero)
+{
+    Quantizer q(1.0, 8);
+    EXPECT_EQ(q.quantizeToIndex(2.5), 3);
+    EXPECT_EQ(q.quantizeToIndex(-2.5), -3);
+    EXPECT_EQ(q.quantizeToIndex(0.5), 1);
+    EXPECT_EQ(q.quantizeToIndex(-0.5), -1);
+}
+
+TEST(Quantizer, Saturates)
+{
+    Quantizer q(1.0, 4); // indices [-8, 7]
+    EXPECT_EQ(q.quantizeToIndex(100.0), 7);
+    EXPECT_EQ(q.quantizeToIndex(-100.0), -8);
+}
+
+TEST(Quantizer, QuantizeReturnsGridValue)
+{
+    Quantizer q(0.25, 8);
+    EXPECT_DOUBLE_EQ(q.quantize(0.3), 0.25);
+    EXPECT_DOUBLE_EQ(q.quantize(0.4), 0.5);
+    EXPECT_DOUBLE_EQ(q.quantize(-0.3), -0.25);
+}
+
+TEST(Quantizer, ZeroMapsToZero)
+{
+    Quantizer q(0.125, 12);
+    EXPECT_EQ(q.quantizeToIndex(0.0), 0);
+    EXPECT_DOUBLE_EQ(q.quantize(0.0), 0.0);
+}
+
+TEST(Quantizer, ValueReconstruction)
+{
+    Quantizer q(0.5, 8);
+    EXPECT_DOUBLE_EQ(q.value(3), 1.5);
+    EXPECT_DOUBLE_EQ(q.value(-4), -2.0);
+}
+
+/** Property: quantization error is at most Delta/2 when unsaturated. */
+TEST(QuantizerProperty, ErrorBoundedByHalfStep)
+{
+    Quantizer q(10.0 / 32.0, 12); // the paper's example step
+    for (int i = -1000; i <= 1000; ++i) {
+        double x = 0.173 * i;
+        if (x > q.minValue() && x < q.maxValue()) {
+            EXPECT_LE(std::abs(q.quantize(x) - x),
+                      q.delta() / 2.0 + 1e-12);
+        }
+    }
+}
+
+} // anonymous namespace
+} // namespace ulpdp

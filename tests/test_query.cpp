@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for the statistical queries.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "query/query.h"
+
+namespace ulpdp {
+namespace {
+
+const std::vector<double> kSample{2.0, 4.0, 4.0, 4.0, 5.0,
+                                  5.0, 7.0, 9.0};
+
+TEST(Query, Mean)
+{
+    MeanQuery q;
+    EXPECT_DOUBLE_EQ(q.evaluate(kSample), 5.0);
+    EXPECT_EQ(q.name(), "mean");
+}
+
+TEST(Query, Median)
+{
+    MedianQuery q;
+    EXPECT_DOUBLE_EQ(q.evaluate(kSample), 4.5);
+    EXPECT_DOUBLE_EQ(q.evaluate({1.0, 9.0, 5.0}), 5.0);
+}
+
+TEST(Query, Variance)
+{
+    VarianceQuery q;
+    EXPECT_DOUBLE_EQ(q.evaluate(kSample), 4.0);
+}
+
+TEST(Query, StdDev)
+{
+    StdDevQuery q;
+    EXPECT_DOUBLE_EQ(q.evaluate(kSample), 2.0);
+}
+
+TEST(Query, CountAbove)
+{
+    CountAboveQuery q(5.0);
+    EXPECT_DOUBLE_EQ(q.evaluate(kSample), 4.0); // 5, 5, 7, 9
+    EXPECT_DOUBLE_EQ(q.threshold(), 5.0);
+
+    CountAboveQuery none(100.0);
+    EXPECT_DOUBLE_EQ(none.evaluate(kSample), 0.0);
+
+    CountAboveQuery all(-100.0);
+    EXPECT_DOUBLE_EQ(all.evaluate(kSample), 8.0);
+}
+
+TEST(Query, EmptyVectors)
+{
+    EXPECT_DOUBLE_EQ(MeanQuery().evaluate({}), 0.0);
+    EXPECT_DOUBLE_EQ(MedianQuery().evaluate({}), 0.0);
+    EXPECT_DOUBLE_EQ(VarianceQuery().evaluate({}), 0.0);
+    EXPECT_DOUBLE_EQ(CountAboveQuery(0.0).evaluate({}), 0.0);
+}
+
+TEST(Query, PolymorphicUse)
+{
+    std::vector<std::unique_ptr<Query>> queries;
+    queries.push_back(std::make_unique<MeanQuery>());
+    queries.push_back(std::make_unique<MedianQuery>());
+    queries.push_back(std::make_unique<VarianceQuery>());
+    queries.push_back(std::make_unique<CountAboveQuery>(4.5));
+    std::vector<double> expect{5.0, 4.5, 4.0, 4.0};
+    for (size_t i = 0; i < queries.size(); ++i)
+        EXPECT_DOUBLE_EQ(queries[i]->evaluate(kSample), expect[i]);
+}
+
+} // anonymous namespace
+} // namespace ulpdp

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for randomized response on the DP-Box datapath (Section VI-E).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/randomized_response.h"
+
+namespace ulpdp {
+namespace {
+
+FxpMechanismParams
+rrParams(double epsilon = 1.0)
+{
+    FxpMechanismParams p;
+    p.range = SensorRange(0.0, 1.0);
+    p.epsilon = epsilon;
+    p.uniform_bits = 16;
+    p.output_bits = 12;
+    p.delta = 1.0 / 32.0;
+    return p;
+}
+
+TEST(RandomizedResponse, OutputAlwaysBinary)
+{
+    RandomizedResponse rr(rrParams());
+    for (int i = 0; i < 10000; ++i) {
+        double y = rr.noise(i % 2 == 0 ? 0.0 : 1.0).value;
+        EXPECT_TRUE(y == 0.0 || y == 1.0) << "y=" << y;
+    }
+}
+
+TEST(RandomizedResponse, FlipProbabilityMatchesIdealFormula)
+{
+    // Ideal: q = exp(-eps/2) / 2. The fixed-point tail must be within
+    // a quantization step of it.
+    for (double eps : {0.5, 1.0, 2.0}) {
+        RandomizedResponse rr(rrParams(eps));
+        double ideal = 0.5 * std::exp(-eps / 2.0);
+        EXPECT_NEAR(rr.flipProbability(), ideal, 0.02)
+            << "eps=" << eps;
+    }
+}
+
+TEST(RandomizedResponse, EmpiricalFlipRateMatches)
+{
+    RandomizedResponse rr(rrParams(1.0));
+    const int n = 100000;
+    int flips = 0;
+    for (int i = 0; i < n; ++i) {
+        if (rr.noise(1.0).value == 0.0)
+            ++flips;
+    }
+    double q = rr.flipProbability();
+    EXPECT_NEAR(static_cast<double>(flips) / n, q,
+                5.0 * std::sqrt(q * (1.0 - q) / n));
+}
+
+TEST(RandomizedResponse, ExactLossBoundedByEpsilon)
+{
+    // log((1-q)/q) = log(2 e^{eps/2} - 1) <= eps for the ideal flip
+    // probability; the fixed-point one must stay near it and below a
+    // small slack.
+    for (double eps : {0.5, 1.0, 2.0}) {
+        RandomizedResponse rr(rrParams(eps));
+        double ideal_loss = std::log(2.0 * std::exp(eps / 2.0) - 1.0);
+        EXPECT_NEAR(rr.exactLoss(), ideal_loss, 0.1) << "eps=" << eps;
+        EXPECT_LE(rr.exactLoss(), eps + 0.05) << "eps=" << eps;
+    }
+}
+
+TEST(RandomizedResponse, EstimatorDebiases)
+{
+    RandomizedResponse rr(rrParams(1.0));
+    double q = rr.flipProbability();
+    // If the true proportion is p, the observed hi fraction is
+    // p(1-q) + (1-p)q; the estimator must invert that exactly.
+    for (double p : {0.0, 0.25, 0.68, 1.0}) {
+        double observed = p * (1.0 - q) + (1.0 - p) * q;
+        EXPECT_NEAR(rr.estimateProportion(observed), p, 1e-12);
+    }
+}
+
+TEST(RandomizedResponse, EstimatorClampsToUnitInterval)
+{
+    RandomizedResponse rr(rrParams(1.0));
+    EXPECT_DOUBLE_EQ(rr.estimateProportion(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(rr.estimateProportion(1.0), 1.0);
+}
+
+TEST(RandomizedResponse, EndToEndProportionEstimate)
+{
+    RandomizedResponse rr(rrParams(1.0));
+    const int n = 60000;
+    const double true_p = 0.68;
+    int hi = 0;
+    for (int i = 0; i < n; ++i) {
+        double x = (i % 100) < 68 ? 1.0 : 0.0;
+        if (rr.noise(x).value == 1.0)
+            ++hi;
+    }
+    double est = rr.estimateProportion(static_cast<double>(hi) / n);
+    EXPECT_NEAR(est, true_p, 0.02);
+}
+
+TEST(RandomizedResponse, IntermediateInputsSnapToCategory)
+{
+    RandomizedResponse rr(rrParams(1.0));
+    // 0.9 snaps to category 1; the truthful-report rate for it must
+    // match 1 - q.
+    const int n = 50000;
+    int hi = 0;
+    for (int i = 0; i < n; ++i) {
+        if (rr.noise(0.9).value == 1.0)
+            ++hi;
+    }
+    double expect = 1.0 - rr.flipProbability();
+    EXPECT_NEAR(static_cast<double>(hi) / n, expect, 0.02);
+}
+
+TEST(RandomizedResponse, MoreDataImprovesAccuracy)
+{
+    // Fig. 14's shape: MAE of the estimated count shrinks with n.
+    auto mae = [](int n, uint64_t seed) {
+        FxpMechanismParams p = rrParams(1.0);
+        p.seed = seed;
+        RandomizedResponse rr(p);
+        const double true_p = 0.68;
+        double err_sum = 0.0;
+        const int trials = 30;
+        for (int t = 0; t < trials; ++t) {
+            int hi = 0;
+            for (int i = 0; i < n; ++i) {
+                double x = (i % 100) < 68 ? 1.0 : 0.0;
+                if (rr.noise(x).value == 1.0)
+                    ++hi;
+            }
+            double est =
+                rr.estimateProportion(static_cast<double>(hi) / n);
+            err_sum += std::abs(est - true_p);
+        }
+        return err_sum / trials;
+    };
+    EXPECT_GT(mae(100, 5), mae(10000, 6));
+}
+
+TEST(RandomizedResponse, MetadataCorrect)
+{
+    RandomizedResponse rr(rrParams(1.0));
+    EXPECT_TRUE(rr.guaranteesLdp());
+    EXPECT_EQ(rr.name(), "Randomized Response");
+    EXPECT_EQ(rr.noise(1.0).samples_drawn, 1u);
+}
+
+} // anonymous namespace
+} // namespace ulpdp

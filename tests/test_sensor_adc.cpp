@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the ADC front-end model and its integration with the
+ * noising pipeline.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/thresholding_mechanism.h"
+#include "sim/sensor_adc.h"
+
+namespace ulpdp {
+namespace {
+
+TEST(SensorAdc, RejectsBadBits)
+{
+    SensorRange r(0.0, 1.0);
+    EXPECT_THROW(SensorAdc(r, 1), FatalError);
+    EXPECT_THROW(SensorAdc(r, 17), FatalError);
+}
+
+TEST(SensorAdc, BasicProperties)
+{
+    SensorAdc adc(SensorRange(0.0, 10.0), 10);
+    EXPECT_EQ(adc.bits(), 10);
+    EXPECT_EQ(adc.levels(), 1024u);
+    EXPECT_DOUBLE_EQ(adc.lsb(), 10.0 / 1024.0);
+}
+
+TEST(SensorAdc, CodesCoverRangeMonotonically)
+{
+    SensorAdc adc(SensorRange(0.0, 10.0), 8);
+    EXPECT_EQ(adc.convert(0.0), 0u);
+    EXPECT_EQ(adc.convert(10.0), 255u);
+    uint32_t prev = 0;
+    for (double x = 0.0; x <= 10.0; x += 0.01) {
+        uint32_t code = adc.convert(x);
+        EXPECT_GE(code, prev);
+        prev = code;
+    }
+}
+
+TEST(SensorAdc, ClipsOutOfRange)
+{
+    SensorAdc adc(SensorRange(-5.0, 5.0), 8);
+    EXPECT_EQ(adc.convert(-100.0), 0u);
+    EXPECT_EQ(adc.convert(100.0), 255u);
+}
+
+TEST(SensorAdc, QuantizationErrorBoundedByHalfLsb)
+{
+    SensorAdc adc(SensorRange(94.0, 200.0), 13);
+    for (double x = 94.0; x <= 200.0; x += 0.37) {
+        EXPECT_LE(std::abs(adc.sample(x) - x),
+                  adc.lsb() / 2.0 + 1e-12)
+            << "x=" << x;
+    }
+}
+
+TEST(SensorAdc, ReconstructRejectsBadCode)
+{
+    SensorAdc adc(SensorRange(0.0, 1.0), 4);
+    EXPECT_THROW(adc.reconstruct(16), PanicError);
+}
+
+TEST(SensorAdc, ReconstructedValuesStayInRange)
+{
+    SensorAdc adc(SensorRange(0.0, 1.0), 6);
+    for (uint32_t c = 0; c < adc.levels(); ++c) {
+        double v = adc.reconstruct(c);
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+    }
+}
+
+TEST(SensorAdc, EndToEndThroughNoising)
+{
+    // Physical signal -> 13-bit ADC -> LDP mechanism: the mean of
+    // many reports recovers the (quantized) signal.
+    SensorRange range(0.0, 10.0);
+    SensorAdc adc(range, 13);
+
+    FxpMechanismParams p;
+    p.range = range;
+    p.epsilon = 0.5;
+    p.uniform_bits = 14;
+    p.output_bits = 12;
+    p.delta = 10.0 / 32.0;
+    ThresholdingMechanism mech(p, 200);
+
+    double physical = 7.321;
+    double digital = adc.sample(physical);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += mech.noise(digital).value;
+    EXPECT_NEAR(sum / n, physical, 0.3);
+}
+
+} // anonymous namespace
+} // namespace ulpdp

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Tests for the serial sensor bus timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "sim/sensor_bus.h"
+
+namespace ulpdp {
+namespace {
+
+TEST(SensorBus, RejectsBadClocks)
+{
+    EXPECT_THROW(SensorBus(0.0, 1.0), FatalError);
+    EXPECT_THROW(SensorBus(1e6, 0.0), FatalError);
+    EXPECT_THROW(SensorBus(1e5, 1e6), FatalError); // bus > core
+}
+
+TEST(SensorBus, FramingBits)
+{
+    SensorBus bus(16e6, 400e3);
+    // START + addr(8) + ACK + N*(8+1) + STOP
+    EXPECT_EQ(bus.transferBits(1), 1u + 9u + 9u + 1u);
+    EXPECT_EQ(bus.transferBits(2), 1u + 9u + 18u + 1u);
+}
+
+TEST(SensorBus, CyclesScaleWithClockRatio)
+{
+    SensorBus fast(16e6, 400e3);  // 40 cycles/bit
+    SensorBus slow(16e6, 100e3);  // 160 cycles/bit
+    EXPECT_DOUBLE_EQ(fast.cyclesPerBit(), 40.0);
+    EXPECT_EQ(slow.readCycles(1), 4u * fast.readCycles(1));
+}
+
+TEST(SensorBus, PaperContextTensOfCyclesOrMore)
+{
+    // Section V: sensors take 10s of cycles to access. A 13-bit
+    // sample over 400 kHz I2C from a 16 MHz core costs hundreds of
+    // core cycles -- far above the DP-Box's 2-cycle noising.
+    SensorBus bus(16e6, 400e3);
+    uint64_t cycles = bus.sampleCycles(13);
+    EXPECT_GT(cycles, 100u);
+    EXPECT_LT(cycles, 10000u);
+    EXPECT_GT(cycles, 2u * 50); // noising is noise-level overhead
+}
+
+TEST(SensorBus, SampleRoundsUpToBytes)
+{
+    SensorBus bus(16e6, 400e3);
+    EXPECT_EQ(bus.sampleCycles(8), bus.readCycles(1));
+    EXPECT_EQ(bus.sampleCycles(9), bus.readCycles(2));
+    EXPECT_EQ(bus.sampleCycles(13), bus.readCycles(2));
+    EXPECT_EQ(bus.sampleCycles(16), bus.readCycles(2));
+}
+
+TEST(SensorBus, RejectsBadSensorBits)
+{
+    SensorBus bus(16e6, 400e3);
+    EXPECT_THROW(bus.sampleCycles(0), PanicError);
+    EXPECT_THROW(bus.sampleCycles(33), PanicError);
+}
+
+} // anonymous namespace
+} // namespace ulpdp

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the multi-sensor shared budget pool (Section IV).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/shared_budget.h"
+
+namespace ulpdp {
+namespace {
+
+FxpMechanismParams
+sensorParams(double lo, double hi, uint64_t seed)
+{
+    FxpMechanismParams p;
+    p.range = SensorRange(lo, hi);
+    p.epsilon = 0.5;
+    p.uniform_bits = 14;
+    p.output_bits = 12;
+    p.delta = (hi - lo) / 32.0;
+    p.seed = seed;
+    return p;
+}
+
+std::vector<BudgetSegment>
+segmentsFor(const FxpMechanismParams &p)
+{
+    ThresholdCalculator calc(p);
+    return LossSegments::compute(calc, RangeControl::Thresholding,
+                                 {1.5, 2.0});
+}
+
+TEST(SharedBudgetPool, RejectsBadBudget)
+{
+    EXPECT_THROW(SharedBudgetPool(0.0), FatalError);
+}
+
+TEST(SharedBudgetPool, ChargesUntilEmpty)
+{
+    SharedBudgetPool pool(1.0);
+    EXPECT_TRUE(pool.tryCharge(0.6));
+    EXPECT_FALSE(pool.tryCharge(0.5));
+    EXPECT_DOUBLE_EQ(pool.remaining(), 0.4);
+    EXPECT_TRUE(pool.tryCharge(0.4));
+    EXPECT_DOUBLE_EQ(pool.totalCharged(), 1.0);
+}
+
+TEST(SharedBudgetPool, FailedChargeLeavesPoolIntact)
+{
+    SharedBudgetPool pool(1.0);
+    EXPECT_FALSE(pool.tryCharge(2.0));
+    EXPECT_DOUBLE_EQ(pool.remaining(), 1.0);
+    EXPECT_DOUBLE_EQ(pool.totalCharged(), 0.0);
+}
+
+TEST(SharedBudgetPool, Replenishes)
+{
+    SharedBudgetPool pool(1.0, 100);
+    pool.tryCharge(1.0);
+    EXPECT_FALSE(pool.tryCharge(0.1));
+    pool.advanceTime(99);
+    EXPECT_FALSE(pool.tryCharge(0.1));
+    pool.advanceTime(1);
+    EXPECT_TRUE(pool.tryCharge(0.1));
+    // totalCharged accumulates across epochs.
+    EXPECT_DOUBLE_EQ(pool.totalCharged(), 1.1);
+}
+
+TEST(BudgetedSensor, RejectsBadSegments)
+{
+    SharedBudgetPool pool(10.0);
+    FxpMechanismParams p = sensorParams(0.0, 10.0, 1);
+    EXPECT_THROW(BudgetedSensor("s", p, RangeControl::Thresholding,
+                                {}, pool),
+                 FatalError);
+}
+
+TEST(BudgetedSensor, TwoSensorsDrainOnePool)
+{
+    SharedBudgetPool pool(5.0);
+    FxpMechanismParams pa = sensorParams(0.0, 10.0, 1);
+    FxpMechanismParams pb = sensorParams(-1.0, 1.0, 2);
+    BudgetedSensor accel("accel", pa, RangeControl::Thresholding,
+                         segmentsFor(pa), pool);
+    BudgetedSensor gyro("gyro", pb, RangeControl::Thresholding,
+                        segmentsFor(pb), pool);
+
+    // Alternate requests; the combined charges must never exceed the
+    // shared pool.
+    double charged = 0.0;
+    for (int i = 0; i < 60; ++i) {
+        charged += accel.request(5.0).charged;
+        charged += gyro.request(0.3).charged;
+    }
+    EXPECT_LE(charged, 5.0 + 1e-9);
+    EXPECT_NEAR(charged, pool.totalCharged(), 1e-12);
+    // Both sensors eventually hit the cache.
+    EXPECT_GT(accel.cacheHits() + gyro.cacheHits(), 0u);
+}
+
+TEST(BudgetedSensor, OneGreedySensorStarvesTheOther)
+{
+    // The point of sharing: sensor A's requests consume budget that
+    // sensor B then cannot spend -- combining streams cannot exceed
+    // the pool.
+    SharedBudgetPool pool(3.0);
+    FxpMechanismParams pa = sensorParams(0.0, 10.0, 3);
+    FxpMechanismParams pb = sensorParams(0.0, 10.0, 4);
+    BudgetedSensor greedy("greedy", pa, RangeControl::Thresholding,
+                          segmentsFor(pa), pool);
+    BudgetedSensor victim("victim", pb, RangeControl::Thresholding,
+                          segmentsFor(pb), pool);
+
+    for (int i = 0; i < 50; ++i)
+        greedy.request(5.0);
+    EXPECT_LT(pool.remaining(), 0.8);
+
+    BudgetResponse r = victim.request(5.0);
+    // With the pool nearly dry the victim's first real report likely
+    // cannot be afforded; either way its total spend is bounded by
+    // what the greedy sensor left.
+    double victim_spend = r.charged;
+    for (int i = 0; i < 20; ++i)
+        victim_spend += victim.request(5.0).charged;
+    EXPECT_LE(victim_spend, 0.8 + 1e-9);
+}
+
+TEST(BudgetedSensor, CacheReplaysOwnValueNotOthers)
+{
+    SharedBudgetPool pool(2.0);
+    FxpMechanismParams pa = sensorParams(0.0, 10.0, 5);
+    FxpMechanismParams pb = sensorParams(100.0, 200.0, 6);
+    BudgetedSensor a("a", pa, RangeControl::Thresholding,
+                     segmentsFor(pa), pool);
+    BudgetedSensor b("b", pb, RangeControl::Thresholding,
+                     segmentsFor(pb), pool);
+
+    double a_fresh = a.request(5.0).value;
+    double b_fresh = b.request(150.0).value;
+    // Drain the pool.
+    for (int i = 0; i < 40; ++i) {
+        a.request(5.0);
+        b.request(150.0);
+    }
+    BudgetResponse ra = a.request(5.0);
+    BudgetResponse rb = b.request(150.0);
+    ASSERT_TRUE(ra.from_cache);
+    ASSERT_TRUE(rb.from_cache);
+    // Each sensor's cache lives in its own range.
+    EXPECT_GE(rb.value, 0.0);
+    EXPECT_NE(ra.value, rb.value);
+    (void)a_fresh;
+    (void)b_fresh;
+}
+
+TEST(BudgetedSensor, ResamplingModeWorks)
+{
+    SharedBudgetPool pool(1e9);
+    FxpMechanismParams p = sensorParams(0.0, 10.0, 7);
+    ThresholdCalculator calc(p);
+    auto segs = LossSegments::compute(calc, RangeControl::Resampling,
+                                      {1.5, 2.0});
+    BudgetedSensor s("s", p, RangeControl::Resampling, segs, pool);
+    uint64_t samples = 0;
+    for (int i = 0; i < 2000; ++i)
+        samples += s.request(0.0).samples_drawn;
+    EXPECT_GE(samples, 2000u);
+    EXPECT_EQ(s.freshReports(), 2000u);
+}
+
+TEST(BudgetedSensor, MidpointBeforeAnyFreshReport)
+{
+    SharedBudgetPool pool(1e-6); // too small for any report
+    FxpMechanismParams p = sensorParams(0.0, 10.0, 8);
+    BudgetedSensor s("s", p, RangeControl::Thresholding,
+                     segmentsFor(p), pool);
+    BudgetResponse r = s.request(9.0);
+    EXPECT_TRUE(r.from_cache);
+    EXPECT_DOUBLE_EQ(r.value, 5.0); // range midpoint: data-free
+}
+
+} // anonymous namespace
+} // namespace ulpdp

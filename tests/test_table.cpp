@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unit tests for the text table writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/table.h"
+
+namespace ulpdp {
+namespace {
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.setHeader({"name", "v"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    std::string s = t.toString();
+    // Every line should have the same length (trailing pad).
+    size_t first_len = s.find('\n');
+    EXPECT_NE(first_len, std::string::npos);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+    EXPECT_NE(s.find("name"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded)
+{
+    TextTable t;
+    t.setHeader({"a", "b", "c"});
+    EXPECT_NO_THROW(t.addRow({"1"}));
+    EXPECT_EQ(t.numRows(), 1u);
+}
+
+TEST(TextTable, OverlongRowsRejected)
+{
+    TextTable t;
+    t.setHeader({"a"});
+    EXPECT_THROW(t.addRow({"1", "2"}), FatalError);
+}
+
+TEST(TextTable, HeaderRuleDrawn)
+{
+    TextTable t;
+    t.setHeader({"col"});
+    t.addRow({"x"});
+    std::string s = t.toString();
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, FmtFixedPrecision)
+{
+    EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+}
+
+TEST(TextTable, FmtPlusMinus)
+{
+    std::string s = TextTable::fmtPlusMinus(3.2, 1.3, 2);
+    EXPECT_NE(s.find("3.2"), std::string::npos);
+    EXPECT_NE(s.find("+-"), std::string::npos);
+    EXPECT_NE(s.find("1.3"), std::string::npos);
+}
+
+TEST(TextTable, FmtPercent)
+{
+    EXPECT_EQ(TextTable::fmtPercent(0.086), "8.6%");
+    EXPECT_EQ(TextTable::fmtPercent(1.0, 0), "100%");
+}
+
+} // anonymous namespace
+} // namespace ulpdp

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit and statistical tests for the Tausworthe URNG.
+ */
+
+#include <array>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "rng/tausworthe.h"
+
+namespace ulpdp {
+namespace {
+
+TEST(Tausworthe, Deterministic)
+{
+    Tausworthe a(42);
+    Tausworthe b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next32(), b.next32());
+}
+
+TEST(Tausworthe, DifferentSeedsDiffer)
+{
+    Tausworthe a(1);
+    Tausworthe b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next32() == b.next32())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Tausworthe, DegenerateSeedsStillWork)
+{
+    // Component minimums must be enforced for any seed, including 0.
+    Tausworthe t(0);
+    std::set<uint32_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(t.next32());
+    EXPECT_GT(seen.size(), 990u);
+}
+
+TEST(Tausworthe, MatchesReferenceTaus88)
+{
+    // Independent reference implementation of the taus88 step,
+    // cross-checked against L'Ecuyer's published code.
+    uint32_t s1 = 12345;
+    uint32_t s2 = 67890;
+    uint32_t s3 = 424242;
+    auto reference = [&]() {
+        uint32_t b;
+        b = ((s1 << 13) ^ s1) >> 19;
+        s1 = ((s1 & 0xfffffffeU) << 12) ^ b;
+        b = ((s2 << 2) ^ s2) >> 25;
+        s2 = ((s2 & 0xfffffff8U) << 4) ^ b;
+        b = ((s3 << 3) ^ s3) >> 11;
+        s3 = ((s3 & 0xfffffff0U) << 17) ^ b;
+        return s1 ^ s2 ^ s3;
+    };
+
+    Tausworthe t(7);
+    // Force identical component state through the accessors'
+    // counterparts: re-seed by running a fresh object, then compare
+    // the step function by construction. (The constructor derives
+    // states, so instead verify our step against the reference using
+    // the object's own starting state.)
+    uint32_t r1 = t.s1();
+    uint32_t r2 = t.s2();
+    uint32_t r3 = t.s3();
+    s1 = r1;
+    s2 = r2;
+    s3 = r3;
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(t.next32(), reference());
+}
+
+TEST(Tausworthe, BitsAreInRange)
+{
+    Tausworthe t(9);
+    for (int bits = 1; bits <= 32; ++bits) {
+        uint32_t v = t.nextBits(bits);
+        if (bits < 32) {
+            EXPECT_LT(v, uint32_t{1} << bits);
+        }
+    }
+}
+
+TEST(Tausworthe, NextBitsRejectsBadWidth)
+{
+    Tausworthe t(3);
+    EXPECT_THROW(t.nextBits(0), PanicError);
+    EXPECT_THROW(t.nextBits(33), PanicError);
+}
+
+TEST(Tausworthe, UnitIndexNeverZero)
+{
+    Tausworthe t(5);
+    for (int i = 0; i < 20000; ++i) {
+        uint64_t m = t.nextUnitIndex(8);
+        EXPECT_GE(m, 1u);
+        EXPECT_LE(m, 256u);
+    }
+}
+
+TEST(Tausworthe, UnitIndexCoversFullRange)
+{
+    Tausworthe t(5);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 100000; ++i)
+        seen.insert(t.nextUnitIndex(6)); // 64 possible values
+    EXPECT_EQ(seen.size(), 64u);
+    EXPECT_TRUE(seen.count(64)); // the all-zeros word maps to 2^bu
+}
+
+TEST(Tausworthe, SignIsBalanced)
+{
+    Tausworthe t(17);
+    int pos = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        int s = t.nextSign();
+        EXPECT_TRUE(s == 1 || s == -1);
+        if (s == 1)
+            ++pos;
+    }
+    // Within 5 sigma of fair.
+    double sigma = std::sqrt(n) / 2.0;
+    EXPECT_NEAR(pos, n / 2, 5.0 * sigma);
+}
+
+TEST(Tausworthe, UnitDoubleInHalfOpenInterval)
+{
+    Tausworthe t(23);
+    for (int i = 0; i < 10000; ++i) {
+        double u = t.nextUnitDouble();
+        EXPECT_GT(u, 0.0);
+        EXPECT_LE(u, 1.0);
+    }
+}
+
+TEST(TauswortheStat, UniformityChiSquared)
+{
+    // 16 buckets over 200k draws of 4 bits: chi^2 with 15 dof should
+    // be far below 60 (p ~ 3e-7) for a healthy generator.
+    Tausworthe t(31);
+    std::array<uint64_t, 16> buckets{};
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++buckets[t.nextBits(4)];
+    double expected = n / 16.0;
+    double chi2 = 0.0;
+    for (uint64_t b : buckets) {
+        double d = static_cast<double>(b) - expected;
+        chi2 += d * d / expected;
+    }
+    EXPECT_LT(chi2, 60.0);
+}
+
+TEST(TauswortheStat, SerialCorrelationLow)
+{
+    Tausworthe t(37);
+    const int n = 100000;
+    double prev = t.nextUnitDouble();
+    double sum_xy = 0.0;
+    double sum_x = 0.0;
+    double sum_x2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double cur = t.nextUnitDouble();
+        sum_xy += prev * cur;
+        sum_x += prev;
+        sum_x2 += prev * prev;
+        prev = cur;
+    }
+    double mean = sum_x / n;
+    double var = sum_x2 / n - mean * mean;
+    double cov = sum_xy / n - mean * mean;
+    EXPECT_LT(std::abs(cov / var), 0.02);
+}
+
+} // anonymous namespace
+} // namespace ulpdp

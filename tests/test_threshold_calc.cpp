@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for threshold selection (Eqs. 13/15 and the exact searches),
+ * including the reproduction finding that the paper's Eq. (15)
+ * thresholding bound can admit interior PMF gaps.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/privacy_loss.h"
+#include "core/threshold_calc.h"
+
+namespace ulpdp {
+namespace {
+
+FxpMechanismParams
+paperParams()
+{
+    FxpMechanismParams p;
+    p.range = SensorRange(0.0, 10.0);
+    p.epsilon = 0.5;
+    p.uniform_bits = 17;
+    p.output_bits = 12;
+    p.delta = 10.0 / 32.0;
+    return p;
+}
+
+TEST(ThresholdCalc, RejectsLossMultipleAtMostOne)
+{
+    ThresholdCalculator calc(paperParams());
+    EXPECT_THROW(calc.closedFormIndex(RangeControl::Resampling, 1.0),
+                 FatalError);
+    EXPECT_THROW(calc.closedFormIndex(RangeControl::Resampling, 0.5),
+                 FatalError);
+    EXPECT_THROW(calc.exactIndex(RangeControl::Thresholding, 1.0),
+                 FatalError);
+}
+
+TEST(ThresholdCalc, RejectsDegenerateRange)
+{
+    FxpMechanismParams p = paperParams();
+    p.delta = 100.0; // coarser than the whole range
+    EXPECT_THROW(ThresholdCalculator calc(p), FatalError);
+}
+
+TEST(ThresholdCalc, ClosedFormResamplingIsConservative)
+{
+    // Eq. (13) uses worst-case floor/ceil slack, so its threshold must
+    // not exceed the exact one, and the loss at it must satisfy the
+    // bound.
+    ThresholdCalculator calc(paperParams());
+    for (double n : {1.5, 2.0, 3.0}) {
+        int64_t closed =
+            calc.closedFormIndex(RangeControl::Resampling, n);
+        int64_t exact = calc.exactIndex(RangeControl::Resampling, n);
+        EXPECT_LE(closed, exact) << "n=" << n;
+        EXPECT_LE(calc.exactLossAt(RangeControl::Resampling, closed),
+                  n * 0.5 + 1e-9)
+            << "n=" << n;
+    }
+}
+
+TEST(ThresholdCalc, PaperExampleResamplingValues)
+{
+    // Regression anchors for the paper's running configuration
+    // (Bu=17, Delta=10/32, Lap(20), eps=0.5). Values derived from
+    // the exact analysis; the closed form is a few bins tighter.
+    ThresholdCalculator calc(paperParams());
+    EXPECT_EQ(calc.closedFormIndex(RangeControl::Resampling, 2.0), 376);
+    EXPECT_EQ(calc.exactIndex(RangeControl::Resampling, 2.0), 418);
+}
+
+TEST(ThresholdCalc, ClosedFormThresholdingMatchesEq15Formula)
+{
+    // Direct evaluation of Eq. (15) for the paper configuration.
+    FxpMechanismParams p = paperParams();
+    ThresholdCalculator calc(p);
+    double a = p.resolvedDelta() / p.lambda();
+    for (double n : {1.5, 2.0, 3.0}) {
+        double k = 0.5 +
+                   (17.0 * std::log(2.0) +
+                    std::log(std::exp(-0.5) - std::exp(-n * 0.5))) / a;
+        EXPECT_EQ(calc.closedFormIndex(RangeControl::Thresholding, n),
+                  static_cast<int64_t>(std::floor(k)))
+            << "n=" << n;
+    }
+}
+
+TEST(ThresholdCalc, Eq15AdmitsInteriorGaps)
+{
+    // Reproduction finding: for the paper's configuration the Eq. (15)
+    // window extends past the first interior PMF gap (Fig. 4(b)), so
+    // the *exact* worst-case loss of thresholding at the closed-form
+    // threshold is infinite. The exact search lands below the gap.
+    ThresholdCalculator calc(paperParams());
+    int64_t gap = calc.pmf()->firstInteriorGap();
+    ASSERT_GT(gap, 0);
+
+    int64_t closed =
+        calc.closedFormIndex(RangeControl::Thresholding, 2.0);
+    EXPECT_GT(closed + calc.span(), gap);
+    EXPECT_FALSE(std::isfinite(
+        calc.exactLossAt(RangeControl::Thresholding, closed)));
+
+    int64_t exact = calc.exactIndex(RangeControl::Thresholding, 2.0);
+    ASSERT_GE(exact, 0);
+    EXPECT_LE(exact + calc.span() - 1, gap);
+    EXPECT_TRUE(std::isfinite(
+        calc.exactLossAt(RangeControl::Thresholding, exact)));
+}
+
+TEST(ThresholdCalc, ThresholdsGrowWithLossBudget)
+{
+    ThresholdCalculator calc(paperParams());
+    for (RangeControl kind : {RangeControl::Resampling,
+                              RangeControl::Thresholding}) {
+        int64_t t15 = calc.exactIndex(kind, 1.5);
+        int64_t t20 = calc.exactIndex(kind, 2.0);
+        int64_t t30 = calc.exactIndex(kind, 3.0);
+        EXPECT_LE(t15, t20);
+        EXPECT_LE(t20, t30);
+    }
+}
+
+TEST(ThresholdCalc, ThresholdsGrowWithUniformBits)
+{
+    // More URNG bits -> finer tail probabilities -> the loss bound
+    // holds farther out.
+    FxpMechanismParams lo = paperParams();
+    lo.uniform_bits = 13;
+    FxpMechanismParams hi = paperParams();
+    hi.uniform_bits = 17;
+    ThresholdCalculator calc_lo(lo);
+    ThresholdCalculator calc_hi(hi);
+    EXPECT_LT(calc_lo.exactIndex(RangeControl::Resampling, 2.0),
+              calc_hi.exactIndex(RangeControl::Resampling, 2.0));
+    EXPECT_LT(calc_lo.closedFormIndex(RangeControl::Resampling, 2.0),
+              calc_hi.closedFormIndex(RangeControl::Resampling, 2.0));
+}
+
+TEST(ThresholdCalc, ExactLossAtZeroThresholdFinite)
+{
+    // Even a zero-extension window is a valid LDP mechanism (heavily
+    // clamped); its loss must be finite for both kinds.
+    ThresholdCalculator calc(paperParams());
+    EXPECT_TRUE(std::isfinite(
+        calc.exactLossAt(RangeControl::Thresholding, 0)));
+    EXPECT_TRUE(std::isfinite(
+        calc.exactLossAt(RangeControl::Resampling, 0)));
+}
+
+TEST(ThresholdCalc, CoarseRngMayAdmitNoThreshold)
+{
+    // With very few uniform bits even small windows can distinguish
+    // inputs; exactIndex may legitimately return -1 for a tight bound.
+    FxpMechanismParams p = paperParams();
+    p.uniform_bits = 6;
+    ThresholdCalculator calc(p);
+    int64_t t = calc.exactIndex(RangeControl::Resampling, 1.1);
+    if (t >= 0) {
+        EXPECT_LE(calc.exactLossAt(RangeControl::Resampling, t),
+                  1.1 * 0.5 + 1e-9);
+    } else {
+        SUCCEED();
+    }
+}
+
+TEST(ThresholdCalc, SpanAndPmfAccessors)
+{
+    ThresholdCalculator calc(paperParams());
+    EXPECT_EQ(calc.span(), 32);
+    EXPECT_NE(calc.pmf(), nullptr);
+    EXPECT_NEAR(calc.pmf()->totalMass(), 1.0, 1e-12);
+}
+
+} // anonymous namespace
+} // namespace ulpdp

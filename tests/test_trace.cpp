@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the DP-Box transaction tracer and invariant checker.
+ */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "dpbox/trace.h"
+
+namespace ulpdp {
+namespace {
+
+DpBoxConfig
+traceConfig()
+{
+    DpBoxConfig cfg;
+    cfg.frac_bits = 5;
+    cfg.word_bits = 20;
+    cfg.uniform_bits = 14;
+    cfg.threshold_index = 300;
+    cfg.thresholding = true;
+    return cfg;
+}
+
+void
+bootAndConfigure(DpBoxTracer &t, DpBox &box)
+{
+    t.step(DpBoxCommand::SetEpsilon, 256 * 10);
+    t.step(DpBoxCommand::StartNoising);
+    t.step(DpBoxCommand::SetEpsilon, 1);
+    t.step(DpBoxCommand::SetRangeLower, box.toRaw(0.0));
+    t.step(DpBoxCommand::SetRangeUpper, box.toRaw(10.0));
+}
+
+TEST(Trace, RecordsEveryStep)
+{
+    DpBox box(traceConfig());
+    DpBoxTracer tracer(box);
+    bootAndConfigure(tracer, box);
+    EXPECT_EQ(tracer.trace().size(), 5u);
+    EXPECT_EQ(tracer.trace().back().cycle, box.cycles());
+    EXPECT_EQ(tracer.trace()[0].phase, DpBoxPhase::Initialization);
+    EXPECT_EQ(tracer.trace()[1].phase, DpBoxPhase::Waiting);
+}
+
+TEST(Trace, CleanSessionPassesChecks)
+{
+    DpBox box(traceConfig());
+    DpBoxTracer tracer(box);
+    bootAndConfigure(tracer, box);
+    for (int i = 0; i < 200; ++i) {
+        tracer.step(DpBoxCommand::SetSensorValue, box.toRaw(5.0));
+        tracer.step(DpBoxCommand::StartNoising);
+        while (!box.ready())
+            tracer.step(DpBoxCommand::DoNothing);
+    }
+    TraceCheckResult result = tracer.check();
+    EXPECT_TRUE(result.ok) << result.violation;
+}
+
+TEST(Trace, BudgetedSessionPassesChecks)
+{
+    DpBoxConfig cfg = traceConfig();
+    cfg.budget_enabled = true;
+    cfg.segments = {BudgetSegment{0, 0.5},
+                    BudgetSegment{300, 1.0}};
+    DpBox box(cfg);
+    DpBoxTracer tracer(box);
+    tracer.step(DpBoxCommand::SetEpsilon, 256 * 3);
+    tracer.step(DpBoxCommand::SetRangeUpper, 2000); // replenish
+    tracer.step(DpBoxCommand::StartNoising);
+    tracer.step(DpBoxCommand::SetEpsilon, 1);
+    tracer.step(DpBoxCommand::SetRangeLower, box.toRaw(0.0));
+    tracer.step(DpBoxCommand::SetRangeUpper, box.toRaw(10.0));
+
+    // Drain the budget, idle across a replenish boundary, drain
+    // again: the checker must accept the legal budget increase.
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 15; ++i) {
+            tracer.step(DpBoxCommand::SetSensorValue,
+                        box.toRaw(5.0));
+            tracer.step(DpBoxCommand::StartNoising);
+            while (!box.ready())
+                tracer.step(DpBoxCommand::DoNothing);
+        }
+        for (int i = 0; i < 2100; ++i)
+            tracer.step(DpBoxCommand::DoNothing);
+    }
+    TraceCheckResult result = tracer.check();
+    EXPECT_TRUE(result.ok) << result.violation;
+}
+
+TEST(Trace, DetectsDoctoredContainmentViolation)
+{
+    DpBox box(traceConfig());
+    DpBoxTracer tracer(box);
+    bootAndConfigure(tracer, box);
+    tracer.step(DpBoxCommand::SetSensorValue, box.toRaw(5.0));
+    tracer.step(DpBoxCommand::StartNoising);
+    while (!box.ready())
+        tracer.step(DpBoxCommand::DoNothing);
+    ASSERT_TRUE(tracer.check().ok);
+
+    // Tamper with the recorded output (as a buggy device would
+    // have produced): the checker must flag it.
+    auto &entries = const_cast<std::vector<DpBoxTraceEntry> &>(
+        tracer.trace());
+    entries.back().output = box.toRaw(10.0) + 10000;
+    entries.back().ready = true;
+    TraceCheckResult result = tracer.check();
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.violation.find("outside window"),
+              std::string::npos);
+}
+
+TEST(Trace, DetectsDoctoredBudgetViolation)
+{
+    DpBox box(traceConfig());
+    DpBoxTracer tracer(box);
+    bootAndConfigure(tracer, box);
+    tracer.step(DpBoxCommand::DoNothing);
+    tracer.step(DpBoxCommand::DoNothing);
+
+    auto &entries = const_cast<std::vector<DpBoxTraceEntry> &>(
+        tracer.trace());
+    entries.back().budget = entries[entries.size() - 2].budget + 5.0;
+    TraceCheckResult result = tracer.check();
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.violation.find("budget increased"),
+              std::string::npos);
+}
+
+TEST(Trace, TextRenderingShowsRecentRows)
+{
+    DpBox box(traceConfig());
+    DpBoxTracer tracer(box);
+    bootAndConfigure(tracer, box);
+    std::string text = tracer.toText(3);
+    // Header plus at most 3 rows.
+    size_t rows = 0;
+    for (char c : text) {
+        if (c == '\n')
+            ++rows;
+    }
+    EXPECT_EQ(rows, 4u);
+    EXPECT_NE(text.find("wait"), std::string::npos);
+}
+
+TEST(Trace, ClearDropsHistoryOnly)
+{
+    DpBox box(traceConfig());
+    DpBoxTracer tracer(box);
+    bootAndConfigure(tracer, box);
+    uint64_t cycles = box.cycles();
+    tracer.clear();
+    EXPECT_TRUE(tracer.trace().empty());
+    EXPECT_EQ(box.cycles(), cycles);
+}
+
+TEST(Trace, RandomSessionAlwaysPassesChecks)
+{
+    // Whatever legal commands software throws at the device, the
+    // real model must never violate its own invariants.
+    std::mt19937_64 rng(99);
+    std::uniform_int_distribution<int> pick(0, 3);
+    DpBox box(traceConfig());
+    DpBoxTracer tracer(box);
+    bootAndConfigure(tracer, box);
+    for (int i = 0; i < 4000; ++i) {
+        switch (pick(rng)) {
+          case 0:
+            tracer.step(DpBoxCommand::DoNothing);
+            break;
+          case 1:
+            tracer.step(DpBoxCommand::SetSensorValue,
+                        box.toRaw(5.0 + (i % 11) * 0.4));
+            break;
+          default:
+            tracer.step(DpBoxCommand::StartNoising);
+            break;
+        }
+    }
+    TraceCheckResult result = tracer.check();
+    EXPECT_TRUE(result.ok) << result.violation;
+}
+
+} // anonymous namespace
+} // namespace ulpdp

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the utility (MAE) evaluation harness.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/ideal_laplace_mechanism.h"
+#include "core/thresholding_mechanism.h"
+#include "query/utility.h"
+
+namespace ulpdp {
+namespace {
+
+std::vector<double>
+testData()
+{
+    std::vector<double> data;
+    for (int i = 0; i < 200; ++i)
+        data.push_back(2.0 + 6.0 * (i % 50) / 49.0);
+    return data;
+}
+
+TEST(UtilityEvaluator, RawEvaluationHasZeroError)
+{
+    UtilityEvaluator eval(10);
+    MeanQuery q;
+    UtilityResult r = eval.evaluateRaw(testData(), q);
+    EXPECT_DOUBLE_EQ(r.mae, 0.0);
+    EXPECT_DOUBLE_EQ(r.true_value, q.evaluate(testData()));
+}
+
+TEST(UtilityEvaluator, RejectsEmptyData)
+{
+    UtilityEvaluator eval(10);
+    MeanQuery q;
+    IdealLaplaceMechanism mech(SensorRange(0.0, 10.0), 0.5);
+    std::vector<double> empty;
+    EXPECT_THROW(eval.evaluate(empty, mech, q), FatalError);
+    EXPECT_THROW(eval.evaluateRaw(empty, q), FatalError);
+}
+
+TEST(UtilityEvaluator, MaeIsPositiveUnderNoise)
+{
+    UtilityEvaluator eval(50);
+    IdealLaplaceMechanism mech(SensorRange(0.0, 10.0), 0.5, 3);
+    MeanQuery q;
+    UtilityResult r = eval.evaluate(testData(), mech, q);
+    EXPECT_GT(r.mae, 0.0);
+    EXPECT_GT(r.mae_std, 0.0);
+    EXPECT_EQ(r.reports, 200u * 50u);
+    EXPECT_EQ(r.samples_drawn, r.reports);
+    EXPECT_DOUBLE_EQ(r.avgSamplesPerReport(), 1.0);
+}
+
+TEST(UtilityEvaluator, MeanMaeMatchesTheory)
+{
+    // Mean of N noised reports has std lambda * sqrt(2 / N); for a
+    // half-normal-ish error the MAE is about sqrt(2/pi) of that.
+    const int n_entries = 500;
+    std::vector<double> data(n_entries, 5.0);
+    double eps = 0.5;
+    double d = 10.0;
+    IdealLaplaceMechanism mech(SensorRange(0.0, d), eps, 9);
+    UtilityEvaluator eval(200);
+    UtilityResult r = eval.evaluate(data, mech, MeanQuery());
+
+    double lambda = d / eps;
+    double std_of_mean = lambda * std::sqrt(2.0 / n_entries);
+    double expect_mae = std_of_mean * std::sqrt(2.0 / M_PI);
+    EXPECT_NEAR(r.mae, expect_mae, 0.3 * expect_mae);
+}
+
+TEST(UtilityEvaluator, SmallerEpsilonMeansWorseUtility)
+{
+    UtilityEvaluator eval(60);
+    auto mae_at = [&](double eps) {
+        IdealLaplaceMechanism mech(SensorRange(0.0, 10.0), eps, 4);
+        return eval.evaluate(testData(), mech, MeanQuery()).mae;
+    };
+    EXPECT_GT(mae_at(0.1), mae_at(1.0));
+}
+
+TEST(UtilityEvaluator, TracksResamplingCost)
+{
+    FxpMechanismParams p;
+    p.range = SensorRange(0.0, 10.0);
+    p.epsilon = 0.5;
+    p.uniform_bits = 14;
+    p.output_bits = 12;
+    p.delta = 10.0 / 32.0;
+    ThresholdingMechanism mech(p, 100);
+    UtilityEvaluator eval(5);
+    UtilityResult r = eval.evaluate(testData(), mech, MeanQuery());
+    EXPECT_DOUBLE_EQ(r.avgSamplesPerReport(), 1.0); // thresholding
+}
+
+TEST(UtilityEvaluator, RelativeErrorNormalisesByTruth)
+{
+    UtilityEvaluator eval(20);
+    IdealLaplaceMechanism mech(SensorRange(0.0, 10.0), 0.5, 4);
+    UtilityResult r = eval.evaluate(testData(), mech, MeanQuery());
+    EXPECT_NEAR(r.relative_error, r.mae / std::abs(r.true_value),
+                1e-12);
+}
+
+} // anonymous namespace
+} // namespace ulpdp
