@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_cordic.dir/bench_abl_cordic.cpp.o"
+  "CMakeFiles/bench_abl_cordic.dir/bench_abl_cordic.cpp.o.d"
+  "bench_abl_cordic"
+  "bench_abl_cordic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_cordic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_loss_bound.dir/bench_abl_loss_bound.cpp.o"
+  "CMakeFiles/bench_abl_loss_bound.dir/bench_abl_loss_bound.cpp.o.d"
+  "bench_abl_loss_bound"
+  "bench_abl_loss_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_loss_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_resolution.dir/bench_abl_resolution.cpp.o"
+  "CMakeFiles/bench_abl_resolution.dir/bench_abl_resolution.cpp.o.d"
+  "bench_abl_resolution"
+  "bench_abl_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

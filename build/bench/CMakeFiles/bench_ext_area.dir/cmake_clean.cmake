@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_area.dir/bench_ext_area.cpp.o"
+  "CMakeFiles/bench_ext_area.dir/bench_ext_area.cpp.o.d"
+  "bench_ext_area"
+  "bench_ext_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

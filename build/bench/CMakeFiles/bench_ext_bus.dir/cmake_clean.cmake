@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_bus.dir/bench_ext_bus.cpp.o"
+  "CMakeFiles/bench_ext_bus.dir/bench_ext_bus.cpp.o.d"
+  "bench_ext_bus"
+  "bench_ext_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_float.dir/bench_ext_float.cpp.o"
+  "CMakeFiles/bench_ext_float.dir/bench_ext_float.cpp.o.d"
+  "bench_ext_float"
+  "bench_ext_float.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_float.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

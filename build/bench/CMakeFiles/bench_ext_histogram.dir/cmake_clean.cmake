@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_histogram.dir/bench_ext_histogram.cpp.o"
+  "CMakeFiles/bench_ext_histogram.dir/bench_ext_histogram.cpp.o.d"
+  "bench_ext_histogram"
+  "bench_ext_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

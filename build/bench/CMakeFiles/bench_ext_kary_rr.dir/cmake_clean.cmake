@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_kary_rr.dir/bench_ext_kary_rr.cpp.o"
+  "CMakeFiles/bench_ext_kary_rr.dir/bench_ext_kary_rr.cpp.o.d"
+  "bench_ext_kary_rr"
+  "bench_ext_kary_rr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_kary_rr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

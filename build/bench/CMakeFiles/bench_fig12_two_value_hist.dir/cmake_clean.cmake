@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_two_value_hist.dir/bench_fig12_two_value_hist.cpp.o"
+  "CMakeFiles/bench_fig12_two_value_hist.dir/bench_fig12_two_value_hist.cpp.o.d"
+  "bench_fig12_two_value_hist"
+  "bench_fig12_two_value_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_two_value_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_hw_variants.dir/bench_sec5_hw_variants.cpp.o"
+  "CMakeFiles/bench_sec5_hw_variants.dir/bench_sec5_hw_variants.cpp.o.d"
+  "bench_sec5_hw_variants"
+  "bench_sec5_hw_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_hw_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

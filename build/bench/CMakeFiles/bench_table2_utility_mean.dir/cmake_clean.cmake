@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_utility_mean.dir/bench_table2_utility_mean.cpp.o"
+  "CMakeFiles/bench_table2_utility_mean.dir/bench_table2_utility_mean.cpp.o.d"
+  "bench_table2_utility_mean"
+  "bench_table2_utility_mean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_utility_mean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

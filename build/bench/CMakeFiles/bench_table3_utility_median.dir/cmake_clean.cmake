@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_utility_median.dir/bench_table3_utility_median.cpp.o"
+  "CMakeFiles/bench_table3_utility_median.dir/bench_table3_utility_median.cpp.o.d"
+  "bench_table3_utility_median"
+  "bench_table3_utility_median.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_utility_median.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

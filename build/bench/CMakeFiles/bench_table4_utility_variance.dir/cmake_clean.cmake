@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_utility_variance.dir/bench_table4_utility_variance.cpp.o"
+  "CMakeFiles/bench_table4_utility_variance.dir/bench_table4_utility_variance.cpp.o.d"
+  "bench_table4_utility_variance"
+  "bench_table4_utility_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_utility_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_utility_count.dir/bench_table5_utility_count.cpp.o"
+  "CMakeFiles/bench_table5_utility_count.dir/bench_table5_utility_count.cpp.o.d"
+  "bench_table5_utility_count"
+  "bench_table5_utility_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_utility_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_svm.dir/bench_table6_svm.cpp.o"
+  "CMakeFiles/bench_table6_svm.dir/bench_table6_svm.cpp.o.d"
+  "bench_table6_svm"
+  "bench_table6_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

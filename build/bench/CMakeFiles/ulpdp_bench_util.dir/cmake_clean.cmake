@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulpdp_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/ulpdp_bench_util.dir/bench_util.cpp.o.d"
+  "CMakeFiles/ulpdp_bench_util.dir/utility_table.cpp.o"
+  "CMakeFiles/ulpdp_bench_util.dir/utility_table.cpp.o.d"
+  "libulpdp_bench_util.a"
+  "libulpdp_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulpdp_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heart_monitor.dir/heart_monitor.cpp.o"
+  "CMakeFiles/heart_monitor.dir/heart_monitor.cpp.o.d"
+  "heart_monitor"
+  "heart_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heart_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

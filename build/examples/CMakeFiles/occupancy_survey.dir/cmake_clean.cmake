@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occupancy_survey.dir/occupancy_survey.cpp.o"
+  "CMakeFiles/occupancy_survey.dir/occupancy_survey.cpp.o.d"
+  "occupancy_survey"
+  "occupancy_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occupancy_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

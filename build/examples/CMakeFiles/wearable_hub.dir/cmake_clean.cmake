@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearable_hub.dir/wearable_hub.cpp.o"
+  "CMakeFiles/wearable_hub.dir/wearable_hub.cpp.o.d"
+  "wearable_hub"
+  "wearable_hub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearable_hub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

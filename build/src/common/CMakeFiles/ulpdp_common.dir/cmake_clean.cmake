@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulpdp_common.dir/histogram.cpp.o"
+  "CMakeFiles/ulpdp_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/ulpdp_common.dir/logging.cpp.o"
+  "CMakeFiles/ulpdp_common.dir/logging.cpp.o.d"
+  "CMakeFiles/ulpdp_common.dir/stats.cpp.o"
+  "CMakeFiles/ulpdp_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ulpdp_common.dir/table.cpp.o"
+  "CMakeFiles/ulpdp_common.dir/table.cpp.o.d"
+  "libulpdp_common.a"
+  "libulpdp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulpdp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

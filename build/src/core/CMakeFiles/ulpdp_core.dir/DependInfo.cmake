@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/budget.cpp" "src/core/CMakeFiles/ulpdp_core.dir/budget.cpp.o" "gcc" "src/core/CMakeFiles/ulpdp_core.dir/budget.cpp.o.d"
+  "/root/repo/src/core/constant_time.cpp" "src/core/CMakeFiles/ulpdp_core.dir/constant_time.cpp.o" "gcc" "src/core/CMakeFiles/ulpdp_core.dir/constant_time.cpp.o.d"
+  "/root/repo/src/core/fxp_mechanism.cpp" "src/core/CMakeFiles/ulpdp_core.dir/fxp_mechanism.cpp.o" "gcc" "src/core/CMakeFiles/ulpdp_core.dir/fxp_mechanism.cpp.o.d"
+  "/root/repo/src/core/generic_mechanism.cpp" "src/core/CMakeFiles/ulpdp_core.dir/generic_mechanism.cpp.o" "gcc" "src/core/CMakeFiles/ulpdp_core.dir/generic_mechanism.cpp.o.d"
+  "/root/repo/src/core/ideal_laplace_mechanism.cpp" "src/core/CMakeFiles/ulpdp_core.dir/ideal_laplace_mechanism.cpp.o" "gcc" "src/core/CMakeFiles/ulpdp_core.dir/ideal_laplace_mechanism.cpp.o.d"
+  "/root/repo/src/core/kary_randomized_response.cpp" "src/core/CMakeFiles/ulpdp_core.dir/kary_randomized_response.cpp.o" "gcc" "src/core/CMakeFiles/ulpdp_core.dir/kary_randomized_response.cpp.o.d"
+  "/root/repo/src/core/output_model.cpp" "src/core/CMakeFiles/ulpdp_core.dir/output_model.cpp.o" "gcc" "src/core/CMakeFiles/ulpdp_core.dir/output_model.cpp.o.d"
+  "/root/repo/src/core/privacy_loss.cpp" "src/core/CMakeFiles/ulpdp_core.dir/privacy_loss.cpp.o" "gcc" "src/core/CMakeFiles/ulpdp_core.dir/privacy_loss.cpp.o.d"
+  "/root/repo/src/core/randomized_response.cpp" "src/core/CMakeFiles/ulpdp_core.dir/randomized_response.cpp.o" "gcc" "src/core/CMakeFiles/ulpdp_core.dir/randomized_response.cpp.o.d"
+  "/root/repo/src/core/resampling_mechanism.cpp" "src/core/CMakeFiles/ulpdp_core.dir/resampling_mechanism.cpp.o" "gcc" "src/core/CMakeFiles/ulpdp_core.dir/resampling_mechanism.cpp.o.d"
+  "/root/repo/src/core/shared_budget.cpp" "src/core/CMakeFiles/ulpdp_core.dir/shared_budget.cpp.o" "gcc" "src/core/CMakeFiles/ulpdp_core.dir/shared_budget.cpp.o.d"
+  "/root/repo/src/core/threshold_calc.cpp" "src/core/CMakeFiles/ulpdp_core.dir/threshold_calc.cpp.o" "gcc" "src/core/CMakeFiles/ulpdp_core.dir/threshold_calc.cpp.o.d"
+  "/root/repo/src/core/thresholding_mechanism.cpp" "src/core/CMakeFiles/ulpdp_core.dir/thresholding_mechanism.cpp.o" "gcc" "src/core/CMakeFiles/ulpdp_core.dir/thresholding_mechanism.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ulpdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/ulpdp_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/ulpdp_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulpdp_core.dir/budget.cpp.o"
+  "CMakeFiles/ulpdp_core.dir/budget.cpp.o.d"
+  "CMakeFiles/ulpdp_core.dir/constant_time.cpp.o"
+  "CMakeFiles/ulpdp_core.dir/constant_time.cpp.o.d"
+  "CMakeFiles/ulpdp_core.dir/fxp_mechanism.cpp.o"
+  "CMakeFiles/ulpdp_core.dir/fxp_mechanism.cpp.o.d"
+  "CMakeFiles/ulpdp_core.dir/generic_mechanism.cpp.o"
+  "CMakeFiles/ulpdp_core.dir/generic_mechanism.cpp.o.d"
+  "CMakeFiles/ulpdp_core.dir/ideal_laplace_mechanism.cpp.o"
+  "CMakeFiles/ulpdp_core.dir/ideal_laplace_mechanism.cpp.o.d"
+  "CMakeFiles/ulpdp_core.dir/kary_randomized_response.cpp.o"
+  "CMakeFiles/ulpdp_core.dir/kary_randomized_response.cpp.o.d"
+  "CMakeFiles/ulpdp_core.dir/output_model.cpp.o"
+  "CMakeFiles/ulpdp_core.dir/output_model.cpp.o.d"
+  "CMakeFiles/ulpdp_core.dir/privacy_loss.cpp.o"
+  "CMakeFiles/ulpdp_core.dir/privacy_loss.cpp.o.d"
+  "CMakeFiles/ulpdp_core.dir/randomized_response.cpp.o"
+  "CMakeFiles/ulpdp_core.dir/randomized_response.cpp.o.d"
+  "CMakeFiles/ulpdp_core.dir/resampling_mechanism.cpp.o"
+  "CMakeFiles/ulpdp_core.dir/resampling_mechanism.cpp.o.d"
+  "CMakeFiles/ulpdp_core.dir/shared_budget.cpp.o"
+  "CMakeFiles/ulpdp_core.dir/shared_budget.cpp.o.d"
+  "CMakeFiles/ulpdp_core.dir/threshold_calc.cpp.o"
+  "CMakeFiles/ulpdp_core.dir/threshold_calc.cpp.o.d"
+  "CMakeFiles/ulpdp_core.dir/thresholding_mechanism.cpp.o"
+  "CMakeFiles/ulpdp_core.dir/thresholding_mechanism.cpp.o.d"
+  "libulpdp_core.a"
+  "libulpdp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulpdp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

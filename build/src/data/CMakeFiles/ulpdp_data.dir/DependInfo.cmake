@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cpp" "src/data/CMakeFiles/ulpdp_data.dir/csv.cpp.o" "gcc" "src/data/CMakeFiles/ulpdp_data.dir/csv.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/ulpdp_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/ulpdp_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/generators.cpp" "src/data/CMakeFiles/ulpdp_data.dir/generators.cpp.o" "gcc" "src/data/CMakeFiles/ulpdp_data.dir/generators.cpp.o.d"
+  "/root/repo/src/data/timeseries.cpp" "src/data/CMakeFiles/ulpdp_data.dir/timeseries.cpp.o" "gcc" "src/data/CMakeFiles/ulpdp_data.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ulpdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ulpdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/ulpdp_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/ulpdp_fixed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulpdp_data.dir/csv.cpp.o"
+  "CMakeFiles/ulpdp_data.dir/csv.cpp.o.d"
+  "CMakeFiles/ulpdp_data.dir/dataset.cpp.o"
+  "CMakeFiles/ulpdp_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/ulpdp_data.dir/generators.cpp.o"
+  "CMakeFiles/ulpdp_data.dir/generators.cpp.o.d"
+  "CMakeFiles/ulpdp_data.dir/timeseries.cpp.o"
+  "CMakeFiles/ulpdp_data.dir/timeseries.cpp.o.d"
+  "libulpdp_data.a"
+  "libulpdp_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulpdp_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dpbox/area_model.cpp" "src/dpbox/CMakeFiles/ulpdp_dpbox.dir/area_model.cpp.o" "gcc" "src/dpbox/CMakeFiles/ulpdp_dpbox.dir/area_model.cpp.o.d"
+  "/root/repo/src/dpbox/dpbox.cpp" "src/dpbox/CMakeFiles/ulpdp_dpbox.dir/dpbox.cpp.o" "gcc" "src/dpbox/CMakeFiles/ulpdp_dpbox.dir/dpbox.cpp.o.d"
+  "/root/repo/src/dpbox/driver.cpp" "src/dpbox/CMakeFiles/ulpdp_dpbox.dir/driver.cpp.o" "gcc" "src/dpbox/CMakeFiles/ulpdp_dpbox.dir/driver.cpp.o.d"
+  "/root/repo/src/dpbox/provisioning.cpp" "src/dpbox/CMakeFiles/ulpdp_dpbox.dir/provisioning.cpp.o" "gcc" "src/dpbox/CMakeFiles/ulpdp_dpbox.dir/provisioning.cpp.o.d"
+  "/root/repo/src/dpbox/trace.cpp" "src/dpbox/CMakeFiles/ulpdp_dpbox.dir/trace.cpp.o" "gcc" "src/dpbox/CMakeFiles/ulpdp_dpbox.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ulpdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/ulpdp_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/ulpdp_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ulpdp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulpdp_dpbox.dir/area_model.cpp.o"
+  "CMakeFiles/ulpdp_dpbox.dir/area_model.cpp.o.d"
+  "CMakeFiles/ulpdp_dpbox.dir/dpbox.cpp.o"
+  "CMakeFiles/ulpdp_dpbox.dir/dpbox.cpp.o.d"
+  "CMakeFiles/ulpdp_dpbox.dir/driver.cpp.o"
+  "CMakeFiles/ulpdp_dpbox.dir/driver.cpp.o.d"
+  "CMakeFiles/ulpdp_dpbox.dir/provisioning.cpp.o"
+  "CMakeFiles/ulpdp_dpbox.dir/provisioning.cpp.o.d"
+  "CMakeFiles/ulpdp_dpbox.dir/trace.cpp.o"
+  "CMakeFiles/ulpdp_dpbox.dir/trace.cpp.o.d"
+  "libulpdp_dpbox.a"
+  "libulpdp_dpbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulpdp_dpbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ulpdp_dpbox.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulpdp_fixed.dir/quantizer.cpp.o"
+  "CMakeFiles/ulpdp_fixed.dir/quantizer.cpp.o.d"
+  "libulpdp_fixed.a"
+  "libulpdp_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulpdp_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

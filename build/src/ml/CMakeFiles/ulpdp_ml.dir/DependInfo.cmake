@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/private_training.cpp" "src/ml/CMakeFiles/ulpdp_ml.dir/private_training.cpp.o" "gcc" "src/ml/CMakeFiles/ulpdp_ml.dir/private_training.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/ml/CMakeFiles/ulpdp_ml.dir/svm.cpp.o" "gcc" "src/ml/CMakeFiles/ulpdp_ml.dir/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ulpdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ulpdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/ulpdp_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/ulpdp_fixed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

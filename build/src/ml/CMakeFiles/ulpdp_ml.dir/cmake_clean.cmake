@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulpdp_ml.dir/private_training.cpp.o"
+  "CMakeFiles/ulpdp_ml.dir/private_training.cpp.o.d"
+  "CMakeFiles/ulpdp_ml.dir/svm.cpp.o"
+  "CMakeFiles/ulpdp_ml.dir/svm.cpp.o.d"
+  "libulpdp_ml.a"
+  "libulpdp_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulpdp_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

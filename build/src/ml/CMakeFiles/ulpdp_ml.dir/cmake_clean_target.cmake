@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libulpdp_ml.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulpdp_query.dir/histogram_query.cpp.o"
+  "CMakeFiles/ulpdp_query.dir/histogram_query.cpp.o.d"
+  "CMakeFiles/ulpdp_query.dir/query.cpp.o"
+  "CMakeFiles/ulpdp_query.dir/query.cpp.o.d"
+  "CMakeFiles/ulpdp_query.dir/utility.cpp.o"
+  "CMakeFiles/ulpdp_query.dir/utility.cpp.o.d"
+  "libulpdp_query.a"
+  "libulpdp_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulpdp_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

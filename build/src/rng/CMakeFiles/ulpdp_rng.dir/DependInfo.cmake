@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rng/cordic.cpp" "src/rng/CMakeFiles/ulpdp_rng.dir/cordic.cpp.o" "gcc" "src/rng/CMakeFiles/ulpdp_rng.dir/cordic.cpp.o.d"
+  "/root/repo/src/rng/fxp_inversion.cpp" "src/rng/CMakeFiles/ulpdp_rng.dir/fxp_inversion.cpp.o" "gcc" "src/rng/CMakeFiles/ulpdp_rng.dir/fxp_inversion.cpp.o.d"
+  "/root/repo/src/rng/fxp_laplace.cpp" "src/rng/CMakeFiles/ulpdp_rng.dir/fxp_laplace.cpp.o" "gcc" "src/rng/CMakeFiles/ulpdp_rng.dir/fxp_laplace.cpp.o.d"
+  "/root/repo/src/rng/fxp_laplace_pmf.cpp" "src/rng/CMakeFiles/ulpdp_rng.dir/fxp_laplace_pmf.cpp.o" "gcc" "src/rng/CMakeFiles/ulpdp_rng.dir/fxp_laplace_pmf.cpp.o.d"
+  "/root/repo/src/rng/ideal_laplace.cpp" "src/rng/CMakeFiles/ulpdp_rng.dir/ideal_laplace.cpp.o" "gcc" "src/rng/CMakeFiles/ulpdp_rng.dir/ideal_laplace.cpp.o.d"
+  "/root/repo/src/rng/tausworthe.cpp" "src/rng/CMakeFiles/ulpdp_rng.dir/tausworthe.cpp.o" "gcc" "src/rng/CMakeFiles/ulpdp_rng.dir/tausworthe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ulpdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/ulpdp_fixed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulpdp_rng.dir/cordic.cpp.o"
+  "CMakeFiles/ulpdp_rng.dir/cordic.cpp.o.d"
+  "CMakeFiles/ulpdp_rng.dir/fxp_inversion.cpp.o"
+  "CMakeFiles/ulpdp_rng.dir/fxp_inversion.cpp.o.d"
+  "CMakeFiles/ulpdp_rng.dir/fxp_laplace.cpp.o"
+  "CMakeFiles/ulpdp_rng.dir/fxp_laplace.cpp.o.d"
+  "CMakeFiles/ulpdp_rng.dir/fxp_laplace_pmf.cpp.o"
+  "CMakeFiles/ulpdp_rng.dir/fxp_laplace_pmf.cpp.o.d"
+  "CMakeFiles/ulpdp_rng.dir/ideal_laplace.cpp.o"
+  "CMakeFiles/ulpdp_rng.dir/ideal_laplace.cpp.o.d"
+  "CMakeFiles/ulpdp_rng.dir/tausworthe.cpp.o"
+  "CMakeFiles/ulpdp_rng.dir/tausworthe.cpp.o.d"
+  "libulpdp_rng.a"
+  "libulpdp_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulpdp_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

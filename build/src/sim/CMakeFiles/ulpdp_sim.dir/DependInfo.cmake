@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/adversary.cpp" "src/sim/CMakeFiles/ulpdp_sim.dir/adversary.cpp.o" "gcc" "src/sim/CMakeFiles/ulpdp_sim.dir/adversary.cpp.o.d"
+  "/root/repo/src/sim/energy_model.cpp" "src/sim/CMakeFiles/ulpdp_sim.dir/energy_model.cpp.o" "gcc" "src/sim/CMakeFiles/ulpdp_sim.dir/energy_model.cpp.o.d"
+  "/root/repo/src/sim/msp430_cost.cpp" "src/sim/CMakeFiles/ulpdp_sim.dir/msp430_cost.cpp.o" "gcc" "src/sim/CMakeFiles/ulpdp_sim.dir/msp430_cost.cpp.o.d"
+  "/root/repo/src/sim/sensor_adc.cpp" "src/sim/CMakeFiles/ulpdp_sim.dir/sensor_adc.cpp.o" "gcc" "src/sim/CMakeFiles/ulpdp_sim.dir/sensor_adc.cpp.o.d"
+  "/root/repo/src/sim/sensor_bus.cpp" "src/sim/CMakeFiles/ulpdp_sim.dir/sensor_bus.cpp.o" "gcc" "src/sim/CMakeFiles/ulpdp_sim.dir/sensor_bus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ulpdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ulpdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/ulpdp_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/ulpdp_fixed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulpdp_sim.dir/adversary.cpp.o"
+  "CMakeFiles/ulpdp_sim.dir/adversary.cpp.o.d"
+  "CMakeFiles/ulpdp_sim.dir/energy_model.cpp.o"
+  "CMakeFiles/ulpdp_sim.dir/energy_model.cpp.o.d"
+  "CMakeFiles/ulpdp_sim.dir/msp430_cost.cpp.o"
+  "CMakeFiles/ulpdp_sim.dir/msp430_cost.cpp.o.d"
+  "CMakeFiles/ulpdp_sim.dir/sensor_adc.cpp.o"
+  "CMakeFiles/ulpdp_sim.dir/sensor_adc.cpp.o.d"
+  "CMakeFiles/ulpdp_sim.dir/sensor_bus.cpp.o"
+  "CMakeFiles/ulpdp_sim.dir/sensor_bus.cpp.o.d"
+  "libulpdp_sim.a"
+  "libulpdp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulpdp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_accountant.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_accountant.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_accountant.cpp.o.d"
+  "/root/repo/tests/test_area_model.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_area_model.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_area_model.cpp.o.d"
+  "/root/repo/tests/test_budget.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_budget.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_budget.cpp.o.d"
+  "/root/repo/tests/test_constant_time.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_constant_time.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_constant_time.cpp.o.d"
+  "/root/repo/tests/test_cordic.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_cordic.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_cordic.cpp.o.d"
+  "/root/repo/tests/test_csv.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_csv.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_csv.cpp.o.d"
+  "/root/repo/tests/test_dataset.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_dataset.cpp.o.d"
+  "/root/repo/tests/test_dpbox.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_dpbox.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_dpbox.cpp.o.d"
+  "/root/repo/tests/test_driver.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_driver.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_driver.cpp.o.d"
+  "/root/repo/tests/test_fixed_point.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_fixed_point.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_fixed_point.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_fxp_inversion.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_fxp_inversion.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_fxp_inversion.cpp.o.d"
+  "/root/repo/tests/test_fxp_laplace.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_fxp_laplace.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_fxp_laplace.cpp.o.d"
+  "/root/repo/tests/test_fxp_laplace_pmf.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_fxp_laplace_pmf.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_fxp_laplace_pmf.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_generic_mechanism.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_generic_mechanism.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_generic_mechanism.cpp.o.d"
+  "/root/repo/tests/test_hardened.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_hardened.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_hardened.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_histogram_query.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_histogram_query.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_histogram_query.cpp.o.d"
+  "/root/repo/tests/test_ideal_laplace.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_ideal_laplace.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_ideal_laplace.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_integration_extensions.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_integration_extensions.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_integration_extensions.cpp.o.d"
+  "/root/repo/tests/test_kary_rr.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_kary_rr.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_kary_rr.cpp.o.d"
+  "/root/repo/tests/test_logging.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_logging.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_logging.cpp.o.d"
+  "/root/repo/tests/test_mechanisms.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_mechanisms.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_mechanisms.cpp.o.d"
+  "/root/repo/tests/test_model_properties.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_model_properties.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_model_properties.cpp.o.d"
+  "/root/repo/tests/test_output_models.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_output_models.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_output_models.cpp.o.d"
+  "/root/repo/tests/test_privacy_loss.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_privacy_loss.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_privacy_loss.cpp.o.d"
+  "/root/repo/tests/test_provisioning.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_provisioning.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_provisioning.cpp.o.d"
+  "/root/repo/tests/test_quantizer.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_quantizer.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_quantizer.cpp.o.d"
+  "/root/repo/tests/test_query.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_query.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_query.cpp.o.d"
+  "/root/repo/tests/test_randomized_response.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_randomized_response.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_randomized_response.cpp.o.d"
+  "/root/repo/tests/test_sensor_adc.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_sensor_adc.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_sensor_adc.cpp.o.d"
+  "/root/repo/tests/test_sensor_bus.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_sensor_bus.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_sensor_bus.cpp.o.d"
+  "/root/repo/tests/test_shared_budget.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_shared_budget.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_shared_budget.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_svm.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_svm.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_svm.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_tausworthe.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_tausworthe.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_tausworthe.cpp.o.d"
+  "/root/repo/tests/test_threshold_calc.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_threshold_calc.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_threshold_calc.cpp.o.d"
+  "/root/repo/tests/test_timeseries.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_timeseries.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_timeseries.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_utility.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_utility.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_utility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ulpdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpbox/CMakeFiles/ulpdp_dpbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/ulpdp_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ulpdp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ulpdp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ulpdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/ulpdp_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/ulpdp_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ulpdp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
