@@ -184,9 +184,8 @@ bench/CMakeFiles/bench_ext_distributions.dir/bench_ext_distributions.cpp.o: \
  /root/repo/src/core/sensor_range.h /root/repo/src/common/logging.h \
  /usr/include/c++/12/cstdarg /usr/include/c++/12/sstream \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/rng/fxp_laplace.h \
- /root/repo/src/fixed/quantizer.h /root/repo/src/rng/cordic.h \
- /root/repo/src/rng/tausworthe.h /root/repo/src/core/threshold_calc.h \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \
@@ -226,9 +225,11 @@ bench/CMakeFiles/bench_ext_distributions.dir/bench_ext_distributions.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/fixed/quantizer.h /root/repo/src/rng/cordic.h \
+ /root/repo/src/rng/tausworthe.h /root/repo/src/core/threshold_calc.h \
  /root/repo/src/core/output_model.h /root/repo/src/rng/fxp_laplace_pmf.h \
  /root/repo/src/rng/noise_pmf.h /root/repo/src/data/dataset.h \
  /root/repo/src/query/utility.h /root/repo/src/core/mechanism.h \
  /root/repo/src/query/query.h /root/repo/src/common/stats.h \
- /usr/include/c++/12/cstddef /root/repo/src/common/table.h \
- /root/repo/src/core/privacy_loss.h /root/repo/src/rng/fxp_inversion.h
+ /root/repo/src/common/table.h /root/repo/src/core/privacy_loss.h \
+ /root/repo/src/rng/fxp_inversion.h

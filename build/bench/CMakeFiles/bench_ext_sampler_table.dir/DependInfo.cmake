@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_sampler_table.cpp" "bench/CMakeFiles/bench_ext_sampler_table.dir/bench_ext_sampler_table.cpp.o" "gcc" "bench/CMakeFiles/bench_ext_sampler_table.dir/bench_ext_sampler_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ulpdp_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ulpdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpbox/CMakeFiles/ulpdp_dpbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/ulpdp_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ulpdp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ulpdp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ulpdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/ulpdp_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/ulpdp_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ulpdp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_sampler_table.dir/bench_ext_sampler_table.cpp.o"
+  "CMakeFiles/bench_ext_sampler_table.dir/bench_ext_sampler_table.cpp.o.d"
+  "bench_ext_sampler_table"
+  "bench_ext_sampler_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sampler_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

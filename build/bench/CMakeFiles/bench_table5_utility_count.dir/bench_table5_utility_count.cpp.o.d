@@ -214,9 +214,9 @@ bench/CMakeFiles/bench_table5_utility_count.dir/bench_table5_utility_count.cpp.o
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/rng/fxp_laplace.h \
- /root/repo/src/fixed/quantizer.h /root/repo/src/rng/cordic.h \
- /root/repo/src/rng/tausworthe.h /root/repo/src/core/threshold_calc.h \
- /root/repo/src/core/output_model.h /root/repo/src/rng/fxp_laplace_pmf.h \
- /root/repo/src/rng/noise_pmf.h /root/repo/src/data/dataset.h \
- /root/repo/src/query/utility.h /root/repo/src/core/mechanism.h \
- /root/repo/src/query/query.h
+ /usr/include/c++/12/cstddef /root/repo/src/fixed/quantizer.h \
+ /root/repo/src/rng/cordic.h /root/repo/src/rng/tausworthe.h \
+ /root/repo/src/core/threshold_calc.h /root/repo/src/core/output_model.h \
+ /root/repo/src/rng/fxp_laplace_pmf.h /root/repo/src/rng/noise_pmf.h \
+ /root/repo/src/data/dataset.h /root/repo/src/query/utility.h \
+ /root/repo/src/core/mechanism.h /root/repo/src/query/query.h

@@ -213,13 +213,14 @@ bench/CMakeFiles/ulpdp_bench_util.dir/utility_table.cpp.o: \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/rng/fxp_laplace.h \
- /root/repo/src/fixed/quantizer.h /root/repo/src/rng/cordic.h \
- /root/repo/src/rng/tausworthe.h /root/repo/src/core/threshold_calc.h \
- /root/repo/src/core/output_model.h /root/repo/src/rng/fxp_laplace_pmf.h \
- /root/repo/src/rng/noise_pmf.h /root/repo/src/data/dataset.h \
- /root/repo/src/query/utility.h /root/repo/src/core/mechanism.h \
- /root/repo/src/query/query.h /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/cstddef /root/repo/src/fixed/quantizer.h \
+ /root/repo/src/rng/cordic.h /root/repo/src/rng/tausworthe.h \
+ /root/repo/src/core/threshold_calc.h /root/repo/src/core/output_model.h \
+ /root/repo/src/rng/fxp_laplace_pmf.h /root/repo/src/rng/noise_pmf.h \
+ /root/repo/src/data/dataset.h /root/repo/src/query/utility.h \
+ /root/repo/src/core/mechanism.h /root/repo/src/query/query.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -241,4 +242,4 @@ bench/CMakeFiles/ulpdp_bench_util.dir/utility_table.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/iostream \
- /root/repo/src/common/table.h /usr/include/c++/12/cstddef
+ /root/repo/src/common/table.h

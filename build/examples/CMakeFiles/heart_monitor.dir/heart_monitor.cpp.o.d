@@ -226,12 +226,12 @@ examples/CMakeFiles/heart_monitor.dir/heart_monitor.cpp.o: \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/rng/fxp_laplace.h \
- /root/repo/src/fixed/quantizer.h /root/repo/src/rng/cordic.h \
- /root/repo/src/rng/tausworthe.h /root/repo/src/core/output_model.h \
- /root/repo/src/rng/fxp_laplace_pmf.h /root/repo/src/rng/noise_pmf.h \
- /root/repo/src/data/generators.h /root/repo/src/data/dataset.h \
- /root/repo/src/dpbox/driver.h /root/repo/src/dpbox/dpbox.h \
- /usr/include/c++/12/optional \
+ /usr/include/c++/12/cstddef /root/repo/src/fixed/quantizer.h \
+ /root/repo/src/rng/cordic.h /root/repo/src/rng/tausworthe.h \
+ /root/repo/src/core/output_model.h /root/repo/src/rng/fxp_laplace_pmf.h \
+ /root/repo/src/rng/noise_pmf.h /root/repo/src/data/generators.h \
+ /root/repo/src/data/dataset.h /root/repo/src/dpbox/driver.h \
+ /root/repo/src/dpbox/dpbox.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/core/budget.h /root/repo/src/core/fxp_mechanism.h \
  /root/repo/src/core/mechanism.h /root/repo/src/query/query.h

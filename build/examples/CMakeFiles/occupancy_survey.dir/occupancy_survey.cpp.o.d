@@ -233,6 +233,7 @@ examples/CMakeFiles/occupancy_survey.dir/occupancy_survey.cpp.o: \
  /usr/include/c++/12/cstdarg /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/rng/fxp_laplace.h \
- /root/repo/src/fixed/quantizer.h /root/repo/src/rng/cordic.h \
- /root/repo/src/rng/tausworthe.h /root/repo/src/core/mechanism.h \
- /root/repo/src/rng/fxp_laplace_pmf.h /root/repo/src/rng/noise_pmf.h
+ /usr/include/c++/12/cstddef /root/repo/src/fixed/quantizer.h \
+ /root/repo/src/rng/cordic.h /root/repo/src/rng/tausworthe.h \
+ /root/repo/src/core/mechanism.h /root/repo/src/rng/fxp_laplace_pmf.h \
+ /root/repo/src/rng/noise_pmf.h

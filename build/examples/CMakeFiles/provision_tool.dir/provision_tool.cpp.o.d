@@ -165,9 +165,7 @@ examples/CMakeFiles/provision_tool.dir/provision_tool.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/fxp_mechanism.h \
  /root/repo/src/core/fxp_params.h /root/repo/src/core/sensor_range.h \
- /root/repo/src/rng/fxp_laplace.h /root/repo/src/fixed/quantizer.h \
- /root/repo/src/rng/cordic.h /root/repo/src/rng/tausworthe.h \
- /root/repo/src/core/mechanism.h /root/repo/src/core/threshold_calc.h \
+ /root/repo/src/rng/fxp_laplace.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -208,5 +206,8 @@ examples/CMakeFiles/provision_tool.dir/provision_tool.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/core/output_model.h /root/repo/src/rng/fxp_laplace_pmf.h \
- /root/repo/src/rng/noise_pmf.h /root/repo/src/dpbox/dpbox.h
+ /root/repo/src/fixed/quantizer.h /root/repo/src/rng/cordic.h \
+ /root/repo/src/rng/tausworthe.h /root/repo/src/core/mechanism.h \
+ /root/repo/src/core/threshold_calc.h /root/repo/src/core/output_model.h \
+ /root/repo/src/rng/fxp_laplace_pmf.h /root/repo/src/rng/noise_pmf.h \
+ /root/repo/src/dpbox/dpbox.h

@@ -199,8 +199,9 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/rng/fxp_laplace_pmf.h /root/repo/src/rng/fxp_laplace.h \
- /root/repo/src/fixed/quantizer.h /root/repo/src/rng/cordic.h \
- /root/repo/src/rng/tausworthe.h /root/repo/src/rng/noise_pmf.h \
+ /usr/include/c++/12/cstddef /root/repo/src/fixed/quantizer.h \
+ /root/repo/src/rng/cordic.h /root/repo/src/rng/tausworthe.h \
+ /root/repo/src/rng/noise_pmf.h \
  /root/repo/src/core/resampling_mechanism.h \
  /root/repo/src/core/fxp_mechanism.h /root/repo/src/core/fxp_params.h \
  /root/repo/src/core/sensor_range.h /root/repo/src/common/logging.h \

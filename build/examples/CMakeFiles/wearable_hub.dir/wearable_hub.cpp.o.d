@@ -194,9 +194,7 @@ examples/CMakeFiles/wearable_hub.dir/wearable_hub.cpp.o: \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/rng/fxp_laplace.h \
- /root/repo/src/fixed/quantizer.h /root/repo/src/rng/cordic.h \
- /root/repo/src/rng/tausworthe.h /root/repo/src/core/mechanism.h \
- /root/repo/src/core/output_model.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \
@@ -234,7 +232,10 @@ examples/CMakeFiles/wearable_hub.dir/wearable_hub.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/rng/fxp_laplace_pmf.h /root/repo/src/rng/noise_pmf.h \
+ /root/repo/src/fixed/quantizer.h /root/repo/src/rng/cordic.h \
+ /root/repo/src/rng/tausworthe.h /root/repo/src/core/mechanism.h \
+ /root/repo/src/core/output_model.h /root/repo/src/rng/fxp_laplace_pmf.h \
+ /root/repo/src/rng/noise_pmf.h \
  /root/repo/src/core/kary_randomized_response.h \
  /root/repo/src/core/shared_budget.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \

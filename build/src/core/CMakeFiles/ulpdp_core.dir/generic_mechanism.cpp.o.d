@@ -201,9 +201,9 @@ src/core/CMakeFiles/ulpdp_core.dir/generic_mechanism.cpp.o: \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/core/threshold_calc.h /root/repo/src/core/fxp_params.h \
- /root/repo/src/rng/fxp_laplace.h /root/repo/src/fixed/quantizer.h \
- /root/repo/src/rng/cordic.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
+ /root/repo/src/rng/fxp_laplace.h /usr/include/c++/12/cstddef \
+ /root/repo/src/fixed/quantizer.h /root/repo/src/rng/cordic.h \
+ /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/rng/tausworthe.h \
  /root/repo/src/core/output_model.h /root/repo/src/rng/fxp_laplace_pmf.h \

@@ -200,8 +200,9 @@ src/core/CMakeFiles/ulpdp_core.dir/randomized_response.cpp.o: \
  /usr/include/c++/12/cstdarg /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/rng/fxp_laplace.h \
- /root/repo/src/fixed/quantizer.h /root/repo/src/rng/cordic.h \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/cstddef /root/repo/src/fixed/quantizer.h \
+ /root/repo/src/rng/cordic.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/rng/tausworthe.h \
  /root/repo/src/core/mechanism.h /root/repo/src/rng/fxp_laplace_pmf.h \

@@ -204,11 +204,12 @@ src/core/CMakeFiles/ulpdp_core.dir/shared_budget.cpp.o: \
  /usr/include/c++/12/cstdarg /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/rng/fxp_laplace.h \
- /root/repo/src/fixed/quantizer.h /root/repo/src/rng/cordic.h \
- /root/repo/src/rng/tausworthe.h /root/repo/src/core/mechanism.h \
- /root/repo/src/core/threshold_calc.h /root/repo/src/core/output_model.h \
- /root/repo/src/rng/fxp_laplace_pmf.h /root/repo/src/rng/noise_pmf.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/cstddef /root/repo/src/fixed/quantizer.h \
+ /root/repo/src/rng/cordic.h /root/repo/src/rng/tausworthe.h \
+ /root/repo/src/core/mechanism.h /root/repo/src/core/threshold_calc.h \
+ /root/repo/src/core/output_model.h /root/repo/src/rng/fxp_laplace_pmf.h \
+ /root/repo/src/rng/noise_pmf.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \

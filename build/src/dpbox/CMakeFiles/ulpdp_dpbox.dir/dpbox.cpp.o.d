@@ -166,9 +166,7 @@ src/dpbox/CMakeFiles/ulpdp_dpbox.dir/dpbox.cpp.o: \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/rng/fxp_laplace.h \
- /root/repo/src/fixed/quantizer.h /root/repo/src/rng/cordic.h \
- /root/repo/src/rng/tausworthe.h /root/repo/src/core/mechanism.h \
- /root/repo/src/core/threshold_calc.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -209,9 +207,11 @@ src/dpbox/CMakeFiles/ulpdp_dpbox.dir/dpbox.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/core/output_model.h /root/repo/src/rng/fxp_laplace_pmf.h \
- /root/repo/src/rng/noise_pmf.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/fixed/quantizer.h /root/repo/src/rng/cordic.h \
+ /root/repo/src/rng/tausworthe.h /root/repo/src/core/mechanism.h \
+ /root/repo/src/core/threshold_calc.h /root/repo/src/core/output_model.h \
+ /root/repo/src/rng/fxp_laplace_pmf.h /root/repo/src/rng/noise_pmf.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/rng/fxp_laplace.cpp" "src/rng/CMakeFiles/ulpdp_rng.dir/fxp_laplace.cpp.o" "gcc" "src/rng/CMakeFiles/ulpdp_rng.dir/fxp_laplace.cpp.o.d"
   "/root/repo/src/rng/fxp_laplace_pmf.cpp" "src/rng/CMakeFiles/ulpdp_rng.dir/fxp_laplace_pmf.cpp.o" "gcc" "src/rng/CMakeFiles/ulpdp_rng.dir/fxp_laplace_pmf.cpp.o.d"
   "/root/repo/src/rng/ideal_laplace.cpp" "src/rng/CMakeFiles/ulpdp_rng.dir/ideal_laplace.cpp.o" "gcc" "src/rng/CMakeFiles/ulpdp_rng.dir/ideal_laplace.cpp.o.d"
+  "/root/repo/src/rng/laplace_table.cpp" "src/rng/CMakeFiles/ulpdp_rng.dir/laplace_table.cpp.o" "gcc" "src/rng/CMakeFiles/ulpdp_rng.dir/laplace_table.cpp.o.d"
   "/root/repo/src/rng/tausworthe.cpp" "src/rng/CMakeFiles/ulpdp_rng.dir/tausworthe.cpp.o" "gcc" "src/rng/CMakeFiles/ulpdp_rng.dir/tausworthe.cpp.o.d"
   )
 

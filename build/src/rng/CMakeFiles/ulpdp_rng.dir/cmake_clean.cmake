@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/ulpdp_rng.dir/fxp_laplace_pmf.cpp.o.d"
   "CMakeFiles/ulpdp_rng.dir/ideal_laplace.cpp.o"
   "CMakeFiles/ulpdp_rng.dir/ideal_laplace.cpp.o.d"
+  "CMakeFiles/ulpdp_rng.dir/laplace_table.cpp.o"
+  "CMakeFiles/ulpdp_rng.dir/laplace_table.cpp.o.d"
   "CMakeFiles/ulpdp_rng.dir/tausworthe.cpp.o"
   "CMakeFiles/ulpdp_rng.dir/tausworthe.cpp.o.d"
   "libulpdp_rng.a"

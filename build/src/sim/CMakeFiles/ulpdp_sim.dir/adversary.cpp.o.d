@@ -165,9 +165,7 @@ src/sim/CMakeFiles/ulpdp_sim.dir/adversary.cpp.o: \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/rng/fxp_laplace.h \
- /root/repo/src/fixed/quantizer.h /root/repo/src/rng/cordic.h \
- /root/repo/src/rng/tausworthe.h /root/repo/src/core/mechanism.h \
- /root/repo/src/core/threshold_calc.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -208,9 +206,12 @@ src/sim/CMakeFiles/ulpdp_sim.dir/adversary.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/core/output_model.h /root/repo/src/rng/fxp_laplace_pmf.h \
- /root/repo/src/rng/noise_pmf.h /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/fixed/quantizer.h /root/repo/src/rng/cordic.h \
+ /root/repo/src/rng/tausworthe.h /root/repo/src/core/mechanism.h \
+ /root/repo/src/core/threshold_calc.h /root/repo/src/core/output_model.h \
+ /root/repo/src/rng/fxp_laplace_pmf.h /root/repo/src/rng/noise_pmf.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

@@ -40,6 +40,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_quantizer.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_quantizer.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_quantizer.cpp.o.d"
   "/root/repo/tests/test_query.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_query.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_query.cpp.o.d"
   "/root/repo/tests/test_randomized_response.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_randomized_response.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_randomized_response.cpp.o.d"
+  "/root/repo/tests/test_sampler_table.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_sampler_table.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_sampler_table.cpp.o.d"
   "/root/repo/tests/test_sensor_adc.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_sensor_adc.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_sensor_adc.cpp.o.d"
   "/root/repo/tests/test_sensor_bus.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_sensor_bus.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_sensor_bus.cpp.o.d"
   "/root/repo/tests/test_shared_budget.cpp" "tests/CMakeFiles/ulpdp_tests.dir/test_shared_budget.cpp.o" "gcc" "tests/CMakeFiles/ulpdp_tests.dir/test_shared_budget.cpp.o.d"

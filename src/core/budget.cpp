@@ -8,6 +8,59 @@
 
 namespace ulpdp {
 
+int64_t
+drawConfinedOutput(FxpLaplaceRng &rng, RangeControl kind, int64_t xi,
+                   int64_t win_lo, int64_t win_hi,
+                   uint64_t attempt_limit, uint64_t &samples,
+                   uint64_t &overflows, const char *who)
+{
+    ULPDP_ASSERT(win_lo <= xi && xi <= win_hi);
+
+    if (kind == RangeControl::Thresholding) {
+        samples = 1;
+        return std::clamp(xi + rng.sampleIndexFast(), win_lo, win_hi);
+    }
+
+    if (rng.fastPathEnabled()) {
+        // Truncated direct inversion: one uniform rank over the URNG
+        // states whose output lands inside the window -- the exact
+        // accept-reject conditional distribution without the redraw
+        // loop.
+        samples = 1;
+        int64_t k;
+        if (rng.sampleIndexTruncated(win_lo - xi, win_hi - xi, k))
+            return xi + k;
+        warn("%s: resampling window [%lld, %lld] holds no URNG "
+             "state; clamping at the window edge", who,
+             static_cast<long long>(win_lo),
+             static_cast<long long>(win_hi));
+        ++overflows;
+        return std::clamp(xi + rng.sampleIndexFast(), win_lo, win_hi);
+    }
+
+    uint64_t attempts = 0;
+    while (true) {
+        ++attempts;
+        int64_t yi = xi + rng.sampleIndex();
+        if (yi >= win_lo && yi <= win_hi) {
+            samples = attempts;
+            return yi;
+        }
+        if (attempts >= attempt_limit) {
+            // A mis-provisioned window must not hang the device:
+            // report a still window-bounded value instead.
+            warn("%s: no accepted sample after %llu redraws "
+                 "(window [%lld, %lld]); clamping at the window edge",
+                 who, static_cast<unsigned long long>(attempts),
+                 static_cast<long long>(win_lo),
+                 static_cast<long long>(win_hi));
+            ++overflows;
+            samples = attempts;
+            return std::clamp(yi, win_lo, win_hi);
+        }
+    }
+}
+
 std::vector<BudgetSegment>
 LossSegments::compute(const ThresholdCalculator &calc, RangeControl kind,
                       const std::vector<double> &loss_multiples)
@@ -107,34 +160,59 @@ BudgetController::segmentLoss(int64_t extension) const
           "segment", static_cast<long long>(extension));
 }
 
+const BudgetSegment *
+BudgetController::affordableSegment() const
+{
+    // Losses are non-decreasing outward, so scan from the outermost
+    // segment inward for the first the budget still covers.
+    for (auto it = config_.segments.rbegin();
+         it != config_.segments.rend(); ++it) {
+        if (budgetCovers(budget_, it->loss))
+            return &*it;
+    }
+    return nullptr;
+}
+
 BudgetResponse
 BudgetController::request(double x)
 {
+    // Algorithm 1 orders halt-then-serve: whether this request can be
+    // afforded is decided from the budget alone, *before* any noise
+    // is drawn. A halted request must not advance the URNG or burn
+    // sampling energy -- and because the decision depends only on
+    // already-public state (the budget is a function of previously
+    // released outputs), the halt event itself leaks nothing about x.
+    const BudgetSegment *afford = affordableSegment();
+    if (afford == nullptr) {
+        // Replay the cache. Before any fresh report exists, the range
+        // midpoint is returned -- a constant, so it carries no
+        // information about x.
+        BudgetResponse resp;
+        resp.value = cache_.value_or(params_.range.mid());
+        resp.from_cache = true;
+        resp.charged = 0.0;
+        resp.samples_drawn = 0;
+        ++cache_hits_;
+        return resp;
+    }
+
     double delta = params_.resolvedDelta();
     int64_t xi = static_cast<int64_t>(std::llround(x / delta));
     xi = std::clamp(xi, lo_index_, hi_index_);
 
-    int64_t outer = config_.segments.back().threshold_index;
+    // Confine the output to the widest window the budget can pay
+    // for: every reachable segment is then affordable by
+    // construction, so the charge below can never fail.
+    int64_t outer = afford->threshold_index;
     int64_t win_lo = lo_index_ - outer;
     int64_t win_hi = hi_index_ + outer;
 
-    // Draw the noised output according to the configured range
-    // control. Resampling redraws; thresholding clamps.
     uint64_t samples = 0;
-    int64_t yi = 0;
-    if (config_.kind == RangeControl::Resampling) {
-        while (true) {
-            ++samples;
-            if (samples > (uint64_t{1} << 20))
-                panic("BudgetController: resampling never accepted");
-            yi = xi + rng_.sampleIndex();
-            if (yi >= win_lo && yi <= win_hi)
-                break;
-        }
-    } else {
-        samples = 1;
-        yi = std::clamp(xi + rng_.sampleIndex(), win_lo, win_hi);
-    }
+    int64_t yi = drawConfinedOutput(rng_, config_.kind, xi, win_lo,
+                                    win_hi,
+                                    config_.resample_attempt_limit,
+                                    samples, resample_overflows_,
+                                    "BudgetController");
 
     int64_t ext = 0;
     if (yi < lo_index_)
@@ -142,21 +220,10 @@ BudgetController::request(double x)
     else if (yi > hi_index_)
         ext = yi - hi_index_;
     double loss = segmentLoss(ext);
+    ULPDP_ASSERT(budgetCovers(budget_, loss));
 
     BudgetResponse resp;
     resp.samples_drawn = samples;
-
-    if (budget_ + 1e-12 < loss) {
-        // Budget cannot cover this report: replay the cache. Before
-        // any fresh report exists, the range midpoint is returned --
-        // a constant, so it carries no information about x.
-        resp.value = cache_.value_or(params_.range.mid());
-        resp.from_cache = true;
-        resp.charged = 0.0;
-        ++cache_hits_;
-        return resp;
-    }
-
     budget_ -= loss;
     resp.value = static_cast<double>(yi) * delta;
     resp.charged = loss;

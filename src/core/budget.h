@@ -33,6 +33,40 @@
 
 namespace ulpdp {
 
+/**
+ * The single authoritative halt condition of Algorithm 1: can a
+ * budget of @p remaining cover a report of privacy loss @p loss? The
+ * tolerance absorbs the floating-point error accumulated by repeated
+ * charging. The per-device controller and the shared pool must never
+ * drift on this condition, so both call this one helper.
+ */
+inline bool
+budgetCovers(double remaining, double loss)
+{
+    return remaining + 1e-12 >= loss;
+}
+
+/**
+ * Draw a noised output confined to [win_lo, win_hi] (grid indices)
+ * for input index @p xi, the common sampling step of both budget
+ * controllers.
+ *
+ * Thresholding clamps one draw. Resampling serves the accept-reject
+ * conditional distribution: through the table fast path when the RNG
+ * supports it (one truncated-inversion lookup, no redraw loop), else
+ * by redrawing up to @p attempt_limit times. When no sample can be
+ * accepted -- a mis-provisioned window -- the draw degrades to
+ * clamping at the window edge (still window-bounded, so still
+ * privacy-classifiable) instead of aborting; @p overflows counts
+ * those degradations and @p who names the caller in the warning.
+ *
+ * @param samples Out: samples drawn (energy/latency accounting).
+ */
+int64_t drawConfinedOutput(FxpLaplaceRng &rng, RangeControl kind,
+                           int64_t xi, int64_t win_lo, int64_t win_hi,
+                           uint64_t attempt_limit, uint64_t &samples,
+                           uint64_t &overflows, const char *who);
+
 /** One output segment: window extension and the loss charged for it. */
 struct BudgetSegment
 {
@@ -86,7 +120,9 @@ struct BudgetResponse
     /** True when the cached previous output was replayed. */
     bool from_cache = false;
 
-    /** Laplace samples drawn (resampling latency accounting). */
+    /** Laplace samples drawn (resampling latency accounting). A
+     *  halted request is served before any sampling, so this is 0
+     *  whenever from_cache is true. */
     uint64_t samples_drawn = 0;
 };
 
@@ -104,6 +140,13 @@ struct BudgetControllerConfig
 
     /** Output segments, innermost first (see LossSegments::compute). */
     std::vector<BudgetSegment> segments;
+
+    /**
+     * Redraw cap for the naive resampling loop before degrading to a
+     * window-edge clamp (the table fast path needs no redraws and
+     * ignores this).
+     */
+    uint64_t resample_attempt_limit = uint64_t{1} << 20;
 };
 
 /**
@@ -145,10 +188,24 @@ class BudgetController
     /** The mechanism parameters in effect. */
     const FxpMechanismParams &params() const { return params_; }
 
+    /** The noise RNG (tests assert halted requests never advance it). */
+    const FxpLaplaceRng &rng() const { return rng_; }
+
+    /** Resampling draws degraded to a window-edge clamp. */
+    uint64_t resampleOverflows() const { return resample_overflows_; }
+
   private:
     /** Classify a noised output index into a segment; returns the
      *  charged loss. */
     double segmentLoss(int64_t extension) const;
+
+    /**
+     * Widest segment the remaining budget can still pay for, or
+     * nullptr when even the central segment is unaffordable (the
+     * Algorithm 1 halt). Depends only on the budget -- public state --
+     * so it is evaluated *before* any randomness is consumed.
+     */
+    const BudgetSegment *affordableSegment() const;
 
     FxpMechanismParams params_;
     BudgetControllerConfig config_;
@@ -159,6 +216,7 @@ class BudgetController
     std::optional<double> cache_;
     uint64_t cache_hits_ = 0;
     uint64_t fresh_reports_ = 0;
+    uint64_t resample_overflows_ = 0;
     uint64_t ticks_since_replenish_ = 0;
 };
 

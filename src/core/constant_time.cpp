@@ -30,11 +30,13 @@ ConstantTimeResamplingMechanism::noise(double x)
 
     // Always draw all K samples (the hardware generates the batch
     // unconditionally, which is what makes the timing constant).
+    batch_.resize(static_cast<size_t>(batch_size_));
+    rng_.sampleBatch(batch_.data(), batch_.size());
     int64_t chosen = 0;
     bool found = false;
     int64_t last = 0;
-    for (int i = 0; i < batch_size_; ++i) {
-        int64_t yi = xi + rng_.sampleIndex();
+    for (int64_t k : batch_) {
+        int64_t yi = xi + k;
         last = yi;
         if (!found && yi >= win_lo && yi <= win_hi) {
             chosen = yi;

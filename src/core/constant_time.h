@@ -29,6 +29,8 @@
 #ifndef ULPDP_CORE_CONSTANT_TIME_H
 #define ULPDP_CORE_CONSTANT_TIME_H
 
+#include <vector>
+
 #include "core/fxp_mechanism.h"
 #include "core/output_model.h"
 
@@ -70,6 +72,8 @@ class ConstantTimeResamplingMechanism : public FxpMechanismBase
   private:
     int64_t threshold_index_;
     int batch_size_;
+    /** Reused per-report buffer for the batched K draws. */
+    std::vector<int64_t> batch_;
     uint64_t clamp_fallbacks_ = 0;
     uint64_t total_reports_ = 0;
 };

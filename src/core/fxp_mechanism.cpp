@@ -63,7 +63,7 @@ NoisedReport
 NaiveFxpMechanism::noise(double x)
 {
     int64_t xi = checkAndIndex(x);
-    int64_t k = rng_.sampleIndex();
+    int64_t k = rng_.sampleIndexFast();
     return NoisedReport{toValue(xi + k), 1};
 }
 

@@ -44,6 +44,10 @@ struct FxpMechanismParams
     FxpLaplaceConfig::LogMode log_mode =
         FxpLaplaceConfig::LogMode::Reference;
 
+    /** Sample serving path (table fast path vs naive pipeline). */
+    FxpLaplaceConfig::SamplePath sample_path =
+        FxpLaplaceConfig::SamplePath::Auto;
+
     /** PRNG seed. */
     uint64_t seed = 1;
 
@@ -71,6 +75,7 @@ struct FxpMechanismParams
         cfg.delta = resolvedDelta();
         cfg.lambda = lambda();
         cfg.log_mode = log_mode;
+        cfg.sample_path = sample_path;
         return cfg;
     }
 

@@ -36,7 +36,9 @@ ResamplingMechanism::noise(double x)
                   static_cast<long long>(win_hi),
                   static_cast<long long>(xi));
         }
-        int64_t k = rng_.sampleIndex();
+        // The redraw loop is kept (it is what the latency benches
+        // model); only the per-draw cost drops to a table lookup.
+        int64_t k = rng_.sampleIndexFast();
         int64_t yi = xi + k;
         if (yi >= win_lo && yi <= win_hi) {
             total_samples_ += attempts;

@@ -18,10 +18,16 @@ SharedBudgetPool::SharedBudgetPool(double initial_budget,
 }
 
 bool
+SharedBudgetPool::covers(double loss) const
+{
+    return budgetCovers(remaining_, loss);
+}
+
+bool
 SharedBudgetPool::tryCharge(double loss)
 {
     ULPDP_ASSERT(loss >= 0.0);
-    if (remaining_ + 1e-12 < loss)
+    if (!covers(loss))
         return false;
     remaining_ -= loss;
     total_charged_ += loss;
@@ -79,34 +85,48 @@ BudgetedSensor::segmentLoss(int64_t extension) const
           "segment", name_.c_str(), static_cast<long long>(extension));
 }
 
+const BudgetSegment *
+BudgetedSensor::affordableSegment() const
+{
+    for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
+        if (pool_.covers(it->loss))
+            return &*it;
+    }
+    return nullptr;
+}
+
 BudgetResponse
 BudgetedSensor::request(double x)
 {
+    // Same halt-then-serve ordering as BudgetController::request:
+    // affordability is decided from the shared pool alone before any
+    // noise is drawn, so a halted sensor consumes neither URNG state
+    // nor sampling energy.
+    const BudgetSegment *afford = affordableSegment();
+    if (afford == nullptr) {
+        BudgetResponse resp;
+        resp.value = cache_.value_or(params_.range.mid());
+        resp.from_cache = true;
+        resp.charged = 0.0;
+        resp.samples_drawn = 0;
+        ++cache_hits_;
+        return resp;
+    }
+
     double delta = params_.resolvedDelta();
     int64_t xi = std::clamp(
         static_cast<int64_t>(std::llround(x / delta)), lo_index_,
         hi_index_);
 
-    int64_t outer = segments_.back().threshold_index;
+    int64_t outer = afford->threshold_index;
     int64_t win_lo = lo_index_ - outer;
     int64_t win_hi = hi_index_ + outer;
 
     uint64_t samples = 0;
-    int64_t yi = 0;
-    if (kind_ == RangeControl::Resampling) {
-        while (true) {
-            ++samples;
-            if (samples > (uint64_t{1} << 20))
-                panic("BudgetedSensor %s: resampling never accepted",
-                      name_.c_str());
-            yi = xi + rng_.sampleIndex();
-            if (yi >= win_lo && yi <= win_hi)
-                break;
-        }
-    } else {
-        samples = 1;
-        yi = std::clamp(xi + rng_.sampleIndex(), win_lo, win_hi);
-    }
+    int64_t yi = drawConfinedOutput(rng_, kind_, xi, win_lo, win_hi,
+                                    uint64_t{1} << 20, samples,
+                                    resample_overflows_,
+                                    name_.c_str());
 
     int64_t ext = 0;
     if (yi < lo_index_)
@@ -115,15 +135,14 @@ BudgetedSensor::request(double x)
         ext = yi - hi_index_;
     double loss = segmentLoss(ext);
 
+    // Every segment inside the affordable window is covered, so the
+    // charge cannot fail (the pool only changes through this sensor
+    // between the check and here).
+    bool charged = pool_.tryCharge(loss);
+    ULPDP_ASSERT(charged);
+
     BudgetResponse resp;
     resp.samples_drawn = samples;
-    if (!pool_.tryCharge(loss)) {
-        resp.value = cache_.value_or(params_.range.mid());
-        resp.from_cache = true;
-        resp.charged = 0.0;
-        ++cache_hits_;
-        return resp;
-    }
     resp.value = static_cast<double>(yi) * delta;
     resp.charged = loss;
     cache_ = resp.value;

@@ -45,6 +45,10 @@ class SharedBudgetPool
     /** Try to charge @p loss; false leaves the pool untouched. */
     bool tryCharge(double loss);
 
+    /** Whether a charge of @p loss would succeed right now (the
+     *  shared budgetCovers condition, without charging). */
+    bool covers(double loss) const;
+
     /** Budget remaining in the current epoch. */
     double remaining() const { return remaining_; }
 
@@ -93,8 +97,18 @@ class BudgetedSensor
     /** Cache replays served. */
     uint64_t cacheHits() const { return cache_hits_; }
 
+    /** Resampling draws degraded to a window-edge clamp. */
+    uint64_t resampleOverflows() const { return resample_overflows_; }
+
+    /** The noise RNG (tests assert halted requests never advance it). */
+    const FxpLaplaceRng &rng() const { return rng_; }
+
   private:
     double segmentLoss(int64_t extension) const;
+
+    /** Widest segment the pool can still pay for, or nullptr (the
+     *  halt); evaluated before any randomness is consumed. */
+    const BudgetSegment *affordableSegment() const;
 
     std::string name_;
     FxpMechanismParams params_;
@@ -107,6 +121,7 @@ class BudgetedSensor
     std::optional<double> cache_;
     uint64_t fresh_reports_ = 0;
     uint64_t cache_hits_ = 0;
+    uint64_t resample_overflows_ = 0;
 };
 
 } // namespace ulpdp

@@ -18,7 +18,7 @@ NoisedReport
 ThresholdingMechanism::noise(double x)
 {
     int64_t xi = checkAndIndex(x);
-    int64_t k = rng_.sampleIndex();
+    int64_t k = rng_.sampleIndexFast();
     int64_t yi = xi + k;
 
     bool clamped = false;

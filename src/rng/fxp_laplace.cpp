@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "rng/laplace_table.h"
 
 namespace ulpdp {
 
@@ -57,6 +58,104 @@ double
 FxpLaplaceRng::sample()
 {
     return quantizer_.value(sampleIndex());
+}
+
+bool
+FxpLaplaceRng::fastPathEnabled() const
+{
+    switch (config_.sample_path) {
+      case FxpLaplaceConfig::SamplePath::Naive:
+        return false;
+      case FxpLaplaceConfig::SamplePath::Table:
+        return true;
+      case FxpLaplaceConfig::SamplePath::Auto:
+        return LaplaceSampleTable::supports(config_.uniform_bits,
+                                            quantizer_.maxIndex());
+    }
+    panic("FxpLaplaceRng: invalid sample_path");
+}
+
+const LaplaceSampleTable &
+FxpLaplaceRng::table()
+{
+    if (!table_)
+        table_ = std::make_shared<const LaplaceSampleTable>(*this);
+    return *table_;
+}
+
+const LaplaceSampleTable *
+FxpLaplaceRng::ensureTable()
+{
+    if (!fastPathEnabled())
+        return nullptr;
+    return &table();
+}
+
+int64_t
+FxpLaplaceRng::sampleIndexFast()
+{
+    const LaplaceSampleTable *t = ensureTable();
+    if (t == nullptr)
+        return sampleIndex();
+    ++samples_drawn_;
+    uint64_t m = urng_.nextUnitIndex(config_.uniform_bits);
+    int sign = urng_.nextSign();
+    int64_t k = t->lookup(m);
+    return sign > 0 ? k : -k;
+}
+
+void
+FxpLaplaceRng::sampleBatch(int64_t *out, size_t n)
+{
+    const LaplaceSampleTable *t = ensureTable();
+    if (t == nullptr) {
+        for (size_t i = 0; i < n; ++i)
+            out[i] = sampleIndex();
+        return;
+    }
+    samples_drawn_ += n;
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t m = urng_.nextUnitIndex(config_.uniform_bits);
+        int sign = urng_.nextSign();
+        int64_t k = t->lookup(m);
+        out[i] = sign > 0 ? k : -k;
+    }
+}
+
+bool
+FxpLaplaceRng::sampleIndexTruncated(int64_t lo, int64_t hi,
+                                    int64_t &out)
+{
+    ULPDP_ASSERT(lo <= 0 && hi >= 0);
+    ULPDP_ASSERT(fastPathEnabled());
+    const LaplaceSampleTable &t = table();
+
+    // Accepted URNG states: sign +1 needs magnitude <= hi, sign -1
+    // needs magnitude <= -lo (magnitude 0 is accepted on both signs,
+    // exactly as accept-reject accepts both sign draws of 0).
+    uint64_t plus = t.cumulativeCount(hi);
+    uint64_t minus = t.cumulativeCount(-lo);
+    uint64_t total = plus + minus;
+    if (total == 0)
+        return false;
+
+    // One unbiased uniform rank over the accepted states: draw the
+    // smallest covering power of two and reject overshoot (< 2
+    // expected draws; total <= 2^(Bu+1) so the width fits 32 bits).
+    int width = 1;
+    while ((uint64_t{1} << width) < total)
+        ++width;
+    uint64_t r;
+    do {
+        r = urng_.nextBits(width);
+    } while (r >= total);
+
+    ++samples_drawn_;
+    if (r < plus)
+        out = t.lookupByRank(r);
+    else
+        out = -t.lookupByRank(r - plus);
+    return true;
 }
 
 double

@@ -20,13 +20,17 @@
 #ifndef ULPDP_RNG_FXP_LAPLACE_H
 #define ULPDP_RNG_FXP_LAPLACE_H
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 
 #include "fixed/quantizer.h"
 #include "rng/cordic.h"
 #include "rng/tausworthe.h"
 
 namespace ulpdp {
+
+class LaplaceSampleTable;
 
 /** Static configuration of a fixed-point Laplace RNG. */
 struct FxpLaplaceConfig
@@ -49,6 +53,21 @@ struct FxpLaplaceConfig
 
     /** CORDIC micro-rotations (Cordic mode only). */
     int cordic_iterations = 32;
+
+    /**
+     * How samples are served. The pipeline is a fixed map from URNG
+     * words to output indices, so draws can come from a table
+     * enumerated once at configuration time instead of evaluating the
+     * logarithm per draw; both paths are bit-identical.
+     *  - Auto: use the table whenever the configuration supports it
+     *    (LaplaceSampleTable::supports), else the naive pipeline.
+     *  - Table: require the table; building one for an unsupported
+     *    configuration is a fatal user error.
+     *  - Naive: always run the per-draw log pipeline (the reference
+     *    implementation the table is validated against).
+     */
+    enum class SamplePath { Auto, Table, Naive };
+    SamplePath sample_path = SamplePath::Auto;
 };
 
 /**
@@ -76,6 +95,44 @@ class FxpLaplaceRng
     int64_t sampleIndex();
 
     /**
+     * Draw one noise sample through the table fast path: the same
+     * URNG words, the same output index, but one table load instead
+     * of a logarithm. Falls back to sampleIndex() when the fast path
+     * is disabled or unsupported, so callers can use it
+     * unconditionally.
+     */
+    int64_t sampleIndexFast();
+
+    /** Draw @p n noise indices into @p out (fast path when enabled). */
+    void sampleBatch(int64_t *out, size_t n);
+
+    /**
+     * Draw one noise index conditioned on landing inside [lo, hi]
+     * (which must contain 0), with exactly the conditional
+     * distribution of accept-reject resampling -- accept-reject is
+     * uniform over the URNG states whose output lies in the window,
+     * and this draws one uniform rank over those states directly.
+     * Requires the fast path (fastPathEnabled()).
+     *
+     * @return false without consuming randomness if no URNG state
+     *         lands in the window (a mis-provisioned device; the
+     *         naive loop would redraw forever).
+     */
+    bool sampleIndexTruncated(int64_t lo, int64_t hi, int64_t &out);
+
+    /**
+     * Whether draws are served from the precomputed table. Resolves
+     * SamplePath::Auto against the configuration limits.
+     */
+    bool fastPathEnabled() const;
+
+    /**
+     * The sampling table, built on first use (fatal when the
+     * configuration cannot support one -- check fastPathEnabled()).
+     */
+    const LaplaceSampleTable &table();
+
+    /**
      * Deterministically map one URNG magnitude index m (1..2^Bu) and a
      * sign to an output index, without consuming randomness. This is
      * the pure pipeline function; tests enumerate it over all m.
@@ -97,11 +154,20 @@ class FxpLaplaceRng
     /** Number of samples drawn so far (latency accounting). */
     uint64_t samplesDrawn() const { return samples_drawn_; }
 
+    /** The uniform source (tests assert it stays untouched on
+     *  budget-halted requests). */
+    const Tausworthe &urng() const { return urng_; }
+
   private:
+    /** Table pointer when the fast path is usable, else nullptr. */
+    const LaplaceSampleTable *ensureTable();
+
     FxpLaplaceConfig config_;
     Quantizer quantizer_;
     Tausworthe urng_;
     CordicLog cordic_;
+    /** Shared so copies of a configured RNG reuse the enumeration. */
+    std::shared_ptr<const LaplaceSampleTable> table_;
     uint64_t samples_drawn_ = 0;
 };
 

@@ -1,0 +1,78 @@
+#include "rng/laplace_table.h"
+
+#include "common/logging.h"
+#include "rng/fxp_laplace.h"
+
+namespace ulpdp {
+
+bool
+LaplaceSampleTable::supports(int uniform_bits,
+                             int64_t max_magnitude_index)
+{
+    return uniform_bits >= 1 && uniform_bits <= kMaxUniformBits &&
+           max_magnitude_index <= kMaxMagnitudeIndex;
+}
+
+LaplaceSampleTable::LaplaceSampleTable(const FxpLaplaceRng &rng)
+{
+    const FxpLaplaceConfig &cfg = rng.config();
+    int64_t sat = rng.quantizer().maxIndex();
+    if (!supports(cfg.uniform_bits, sat))
+        fatal("LaplaceSampleTable: unsupported configuration "
+              "(uniform_bits %d, max index %lld); the table needs "
+              "uniform_bits <= %d and indices <= %lld",
+              cfg.uniform_bits, static_cast<long long>(sat),
+              kMaxUniformBits,
+              static_cast<long long>(kMaxMagnitudeIndex));
+
+    states_ = uint64_t{1} << cfg.uniform_bits;
+    direct_.resize(static_cast<size_t>(states_));
+
+    // One pass of the real pipeline per URNG state; per-index counts
+    // fall out of the same pass.
+    std::vector<uint64_t> counts(static_cast<size_t>(sat) + 1, 0);
+    for (uint64_t m = 1; m <= states_; ++m) {
+        int64_t k = rng.pipeline(m, 1);
+        ULPDP_ASSERT(k >= 0 && k <= sat);
+        direct_[static_cast<size_t>(m - 1)] =
+            static_cast<uint16_t>(k);
+        ++counts[static_cast<size_t>(k)];
+    }
+
+    max_index_ = 0;
+    for (int64_t k = sat; k >= 0; --k) {
+        if (counts[static_cast<size_t>(k)] > 0) {
+            max_index_ = k;
+            break;
+        }
+    }
+
+    // cum_[k] = #states with output <= k, for k in [0, max_index_).
+    // cumulativeCount() serves k >= max_index_ as the full state
+    // count, so the array stops one short of the support top.
+    cum_.resize(static_cast<size_t>(max_index_));
+    uint64_t running = 0;
+    for (int64_t k = 0; k < max_index_; ++k) {
+        running += counts[static_cast<size_t>(k)];
+        cum_[static_cast<size_t>(k)] = running;
+    }
+
+    // rank_ inverts cum_: ranks [cum(k-1), cum(k)) map to index k.
+    rank_.resize(static_cast<size_t>(states_));
+    size_t r = 0;
+    for (int64_t k = 0; k <= max_index_; ++k) {
+        for (uint64_t c = counts[static_cast<size_t>(k)]; c > 0; --c)
+            rank_[r++] = static_cast<uint16_t>(k);
+    }
+    ULPDP_ASSERT(r == static_cast<size_t>(states_));
+}
+
+size_t
+LaplaceSampleTable::memoryBytes() const
+{
+    return direct_.size() * sizeof(uint16_t) +
+           rank_.size() * sizeof(uint16_t) +
+           cum_.size() * sizeof(uint64_t);
+}
+
+} // namespace ulpdp

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Precomputed sampling tables for the fixed-point Laplace RNG.
+ *
+ * The Fig. 3 pipeline is a *fixed* deterministic map from the Bu-bit
+ * URNG magnitude index m to an output index k: the discrete output
+ * distribution is a static object fully determined at configuration
+ * time (the same observation that drives the exact PMF of Eq. (11)
+ * and, in the bounded/truncated-noise literature, lets the output
+ * distribution be treated as a precomputed discrete table). There is
+ * therefore no need to evaluate a logarithm per draw: enumerate the
+ * pipeline once over all 2^Bu URNG states and serve every subsequent
+ * draw from the resulting tables in O(1).
+ *
+ * Three views of the same enumeration are stored:
+ *  - direct:  m -> k, the pipeline itself (one load per sample),
+ *  - rank:    r -> k over states sorted by magnitude index, which
+ *    turns "uniform over the URNG states whose output lies in a
+ *    window" into a single indexed load, and
+ *  - cumulative: k -> number of states with output <= k, giving the
+ *    acceptance mass of any truncation window in O(1).
+ *
+ * The rank and cumulative tables make *truncated* sampling exact and
+ * loop-free: instead of redrawing until a sample lands inside
+ * [lo, hi] (the resampling range control), draw one uniform rank over
+ * the accepted states and look it up -- the conditional distribution
+ * is bit-identical to accept-reject because accept-reject is, by
+ * definition, uniform over the accepted URNG states.
+ *
+ * Because the tables are built by running the *actual* pipeline
+ * (Reference or CORDIC log mode alike), lookups reproduce the naive
+ * datapath bit for bit, CORDIC quirks included.
+ */
+
+#ifndef ULPDP_RNG_LAPLACE_TABLE_H
+#define ULPDP_RNG_LAPLACE_TABLE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ulpdp {
+
+class FxpLaplaceRng;
+
+/** O(1) sampling tables enumerated from one FxpLaplaceRng pipeline. */
+class LaplaceSampleTable
+{
+  public:
+    /** Largest Bu the enumeration supports (2^Bu pipeline runs). */
+    static constexpr int kMaxUniformBits = 24;
+
+    /** Largest magnitude index a table entry can hold (uint16). */
+    static constexpr int64_t kMaxMagnitudeIndex = 65535;
+
+    /**
+     * Whether a table can be built for this pipeline: the URNG state
+     * space must be enumerable and every magnitude index must fit a
+     * table entry.
+     */
+    static bool supports(int uniform_bits, int64_t max_magnitude_index);
+
+    /**
+     * Build the tables by running @p rng's pure pipeline function over
+     * all 2^Bu URNG magnitude states. The RNG itself is not advanced.
+     */
+    explicit LaplaceSampleTable(const FxpLaplaceRng &rng);
+
+    /** Pipeline lookup: magnitude index for URNG index m (1..2^Bu). */
+    int64_t
+    lookup(uint64_t m) const
+    {
+        return direct_[static_cast<size_t>(m - 1)];
+    }
+
+    /**
+     * Magnitude index of the state with rank @p r (0-based) when all
+     * 2^Bu states are ordered by their output magnitude index. Ranks
+     * [0, cumulativeCount(k)) are exactly the states with output <= k.
+     */
+    int64_t
+    lookupByRank(uint64_t r) const
+    {
+        return rank_[static_cast<size_t>(r)];
+    }
+
+    /** Number of URNG states whose output magnitude index is <= k. */
+    uint64_t
+    cumulativeCount(int64_t k) const
+    {
+        if (k < 0)
+            return 0;
+        if (k >= max_index_)
+            return states_;
+        return cum_[static_cast<size_t>(k)];
+    }
+
+    /** Largest magnitude index with at least one URNG state. */
+    int64_t maxIndex() const { return max_index_; }
+
+    /** Total URNG magnitude states (2^Bu). */
+    uint64_t states() const { return states_; }
+
+    /** Table footprint in bytes (hardware ROM sizing). */
+    size_t memoryBytes() const;
+
+  private:
+    std::vector<uint16_t> direct_;
+    std::vector<uint16_t> rank_;
+    std::vector<uint64_t> cum_;
+    uint64_t states_;
+    int64_t max_index_;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_RNG_LAPLACE_TABLE_H

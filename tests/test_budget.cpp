@@ -201,6 +201,9 @@ TEST(BudgetController, TotalChargedNeverExceedsBudget)
 TEST(BudgetController, ResamplingModeDrawsExtraSamples)
 {
     FxpMechanismParams p = testParams();
+    // The naive reference pipeline redraws on rejection; pin it so
+    // the accept-reject loop itself stays covered.
+    p.sample_path = FxpLaplaceConfig::SamplePath::Naive;
     // Tight outer window to force resampling. Build custom segments:
     ThresholdCalculator calc(p);
     BudgetControllerConfig cfg;
@@ -214,6 +217,32 @@ TEST(BudgetController, ResamplingModeDrawsExtraSamples)
     for (int i = 0; i < n; ++i)
         total_samples += ctrl.request(0.0).samples_drawn;
     EXPECT_GT(total_samples, static_cast<uint64_t>(n));
+}
+
+TEST(BudgetController, FastPathResamplesInOneDraw)
+{
+    // The table fast path serves the accept-reject conditional by
+    // truncated direct inversion: exactly one sample per report, and
+    // every output stays inside the window.
+    FxpMechanismParams p = testParams();
+    ASSERT_EQ(p.sample_path, FxpLaplaceConfig::SamplePath::Auto);
+    ThresholdCalculator calc(p);
+    BudgetControllerConfig cfg;
+    cfg.initial_budget = 1e9;
+    cfg.kind = RangeControl::Resampling;
+    cfg.segments = LossSegments::compute(calc, cfg.kind, {1.2, 1.5});
+    BudgetController ctrl(p, cfg);
+
+    double ext = static_cast<double>(
+                     cfg.segments.back().threshold_index) *
+                 p.resolvedDelta();
+    for (int i = 0; i < 3000; ++i) {
+        BudgetResponse r = ctrl.request(0.0);
+        EXPECT_EQ(r.samples_drawn, 1u);
+        EXPECT_GE(r.value, 0.0 - ext - 1e-9);
+        EXPECT_LE(r.value, 10.0 + ext + 1e-9);
+    }
+    EXPECT_EQ(ctrl.resampleOverflows(), 0u);
 }
 
 TEST(BudgetController, ReplenishmentRestoresBudget)
@@ -243,6 +272,110 @@ TEST(BudgetController, NoReplenishWhenDisabled)
     double drained = ctrl.remainingBudget();
     ctrl.advanceTime(1u << 20);
     EXPECT_DOUBLE_EQ(ctrl.remainingBudget(), drained);
+}
+
+TEST(BudgetController, HaltedRequestConsumesNoRandomness)
+{
+    // Algorithm 1 halts *before* sampling: a request the budget
+    // cannot cover must leave the URNG state and the sample counter
+    // untouched (the seed bug drew noise first and burned both).
+    FxpMechanismParams p = testParams();
+    BudgetController ctrl(p,
+                          makeConfig(p, 1e-3,
+                                     RangeControl::Thresholding));
+    const Tausworthe &u = ctrl.rng().urng();
+    uint32_t s1 = u.s1(), s2 = u.s2(), s3 = u.s3();
+
+    BudgetResponse r = ctrl.request(7.0);
+    EXPECT_TRUE(r.from_cache);
+    EXPECT_EQ(r.samples_drawn, 0u);
+    EXPECT_DOUBLE_EQ(r.value, 5.0); // midpoint: no fresh report yet
+    EXPECT_EQ(ctrl.rng().samplesDrawn(), 0u);
+    EXPECT_EQ(u.s1(), s1);
+    EXPECT_EQ(u.s2(), s2);
+    EXPECT_EQ(u.s3(), s3);
+}
+
+TEST(BudgetController, CacheHitsAfterExhaustionConsumeNoRandomness)
+{
+    FxpMechanismParams p = testParams();
+    BudgetController ctrl(p,
+                          makeConfig(p, 2.0,
+                                     RangeControl::Thresholding));
+    for (int i = 0; i < 100; ++i)
+        ctrl.request(5.0);
+    ASSERT_GT(ctrl.cacheHits(), 0u);
+
+    const Tausworthe &u = ctrl.rng().urng();
+    uint32_t s1 = u.s1(), s2 = u.s2(), s3 = u.s3();
+    uint64_t drawn = ctrl.rng().samplesDrawn();
+    for (int i = 0; i < 20; ++i) {
+        BudgetResponse r = ctrl.request(5.0);
+        EXPECT_TRUE(r.from_cache);
+        EXPECT_EQ(r.samples_drawn, 0u);
+    }
+    EXPECT_EQ(ctrl.rng().samplesDrawn(), drawn);
+    EXPECT_EQ(u.s1(), s1);
+    EXPECT_EQ(u.s2(), s2);
+    EXPECT_EQ(u.s3(), s3);
+}
+
+TEST(BudgetController, PartialBudgetNarrowsTheWindow)
+{
+    // With the feasibility check ahead of sampling, a budget that
+    // covers only the central segment confines outputs to the sensor
+    // range and charges exactly the central loss -- it does not
+    // gamble on where the sample lands.
+    FxpMechanismParams p = testParams();
+    auto cfg = makeConfig(p, 1.0, RangeControl::Thresholding);
+    ASSERT_GE(cfg.segments.size(), 2u);
+    double central = cfg.segments.front().loss;
+    double next = cfg.segments[1].loss;
+    cfg.initial_budget = 0.5 * (central + next);
+    ASSERT_LT(cfg.initial_budget, next);
+    ASSERT_GT(cfg.initial_budget, central);
+
+    BudgetController ctrl(p, cfg);
+    bool fresh_seen = false;
+    for (int i = 0; i < 10; ++i) {
+        BudgetResponse r = ctrl.request(9.5);
+        if (r.from_cache)
+            continue;
+        fresh_seen = true;
+        EXPECT_DOUBLE_EQ(r.charged, central);
+        EXPECT_GE(r.value, 0.0 - 1e-9);
+        EXPECT_LE(r.value, 10.0 + 1e-9);
+    }
+    EXPECT_TRUE(fresh_seen);
+}
+
+TEST(BudgetController, ResampleOverflowDegradesToClamp)
+{
+    // A redraw cap of 1 makes rejection certain to occur; the
+    // controller must warn and clamp at the window edge instead of
+    // panicking, and count the degradation.
+    FxpMechanismParams p = testParams();
+    p.sample_path = FxpLaplaceConfig::SamplePath::Naive;
+    ThresholdCalculator calc(p);
+    BudgetControllerConfig cfg;
+    cfg.initial_budget = 1e9;
+    cfg.kind = RangeControl::Resampling;
+    cfg.segments = LossSegments::compute(calc, cfg.kind, {1.2, 1.5});
+    cfg.resample_attempt_limit = 1;
+    BudgetController ctrl(p, cfg);
+
+    setLoggingEnabled(false);
+    double ext = static_cast<double>(
+                     cfg.segments.back().threshold_index) *
+                 p.resolvedDelta();
+    for (int i = 0; i < 200; ++i) {
+        BudgetResponse r = ctrl.request(0.0);
+        EXPECT_FALSE(r.from_cache);
+        EXPECT_GE(r.value, 0.0 - ext - 1e-9);
+        EXPECT_LE(r.value, 10.0 + ext + 1e-9);
+    }
+    setLoggingEnabled(true);
+    EXPECT_GT(ctrl.resampleOverflows(), 0u);
 }
 
 TEST(BudgetController, SpentSinceReplenish)

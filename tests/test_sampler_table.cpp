@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Tests for the table-driven sampling fast path: bit-exactness
+ * against the naive pipeline, exact PMF equivalence across
+ * configuration sweeps, and truncated direct inversion matching the
+ * accept-reject conditional distribution.
+ */
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "rng/fxp_laplace.h"
+#include "rng/fxp_laplace_pmf.h"
+#include "rng/laplace_table.h"
+
+namespace ulpdp {
+namespace {
+
+FxpLaplaceConfig
+sweepConfig(int uniform_bits, double delta,
+            FxpLaplaceConfig::LogMode log_mode =
+                FxpLaplaceConfig::LogMode::Reference)
+{
+    FxpLaplaceConfig cfg;
+    cfg.uniform_bits = uniform_bits;
+    cfg.output_bits = 12;
+    cfg.delta = delta;
+    cfg.lambda = 20.0;
+    cfg.log_mode = log_mode;
+    return cfg;
+}
+
+/** The (Bu, Delta) sweep the equivalence tests run over. */
+const std::vector<std::pair<int, double>> kSweep = {
+    {8, 10.0 / 8.0},  {10, 10.0 / 32.0}, {12, 10.0 / 32.0},
+    {14, 10.0 / 32.0}, {14, 10.0 / 128.0}, {17, 10.0 / 32.0},
+};
+
+TEST(LaplaceSampleTable, StreamBitExactWithNaivePipeline)
+{
+    for (auto [bu, delta] : kSweep) {
+        FxpLaplaceConfig naive = sweepConfig(bu, delta);
+        naive.sample_path = FxpLaplaceConfig::SamplePath::Naive;
+        FxpLaplaceConfig fast = sweepConfig(bu, delta);
+        fast.sample_path = FxpLaplaceConfig::SamplePath::Table;
+
+        FxpLaplaceRng a(naive, 42);
+        FxpLaplaceRng b(fast, 42);
+        ASSERT_FALSE(a.fastPathEnabled());
+        ASSERT_TRUE(b.fastPathEnabled());
+        for (int i = 0; i < 2000; ++i)
+            ASSERT_EQ(a.sampleIndex(), b.sampleIndexFast())
+                << "Bu=" << bu << " delta=" << delta << " draw " << i;
+    }
+}
+
+TEST(LaplaceSampleTable, CordicStreamBitExactWithNaivePipeline)
+{
+    // The table is enumerated from the actual datapath, so it must
+    // reproduce the CORDIC log's LSB quirks too.
+    FxpLaplaceConfig naive =
+        sweepConfig(14, 10.0 / 32.0, FxpLaplaceConfig::LogMode::Cordic);
+    naive.sample_path = FxpLaplaceConfig::SamplePath::Naive;
+    FxpLaplaceConfig fast = naive;
+    fast.sample_path = FxpLaplaceConfig::SamplePath::Table;
+
+    FxpLaplaceRng a(naive, 7);
+    FxpLaplaceRng b(fast, 7);
+    for (int i = 0; i < 2000; ++i)
+        ASSERT_EQ(a.sampleIndex(), b.sampleIndexFast());
+}
+
+TEST(LaplaceSampleTable, BatchMatchesScalarDraws)
+{
+    FxpLaplaceConfig cfg = sweepConfig(14, 10.0 / 32.0);
+    FxpLaplaceRng scalar(cfg, 11);
+    FxpLaplaceRng batched(cfg, 11);
+
+    std::vector<int64_t> batch(512);
+    batched.sampleBatch(batch.data(), batch.size());
+    for (size_t i = 0; i < batch.size(); ++i)
+        ASSERT_EQ(batch[i], scalar.sampleIndexFast()) << "draw " << i;
+    EXPECT_EQ(batched.samplesDrawn(), scalar.samplesDrawn());
+
+    // Naive-path batches fall back to the reference pipeline and
+    // still consume the identical URNG stream.
+    cfg.sample_path = FxpLaplaceConfig::SamplePath::Naive;
+    FxpLaplaceRng naive_scalar(cfg, 11);
+    FxpLaplaceRng naive_batched(cfg, 11);
+    naive_batched.sampleBatch(batch.data(), batch.size());
+    for (size_t i = 0; i < batch.size(); ++i)
+        ASSERT_EQ(batch[i], naive_scalar.sampleIndex());
+}
+
+TEST(LaplaceSampleTable, CountsMatchExactPmfAcrossSweep)
+{
+    // The table's cumulative counts are exactly the enumerated PMF's
+    // per-index state counts -- the table *is* the PMF, reorganised
+    // for O(1) serving.
+    for (auto [bu, delta] : kSweep) {
+        FxpLaplaceConfig cfg = sweepConfig(bu, delta);
+        FxpLaplaceRng rng(cfg);
+        const LaplaceSampleTable &table = rng.table();
+        FxpLaplacePmf pmf(cfg, FxpLaplacePmf::Mode::Enumerated);
+
+        ASSERT_EQ(table.maxIndex(), pmf.maxIndex());
+        uint64_t cum = 0;
+        for (int64_t k = 0; k <= table.maxIndex(); ++k) {
+            cum += pmf.magnitudeCount(k);
+            ASSERT_EQ(table.cumulativeCount(k), cum)
+                << "Bu=" << bu << " delta=" << delta << " k=" << k;
+        }
+        ASSERT_EQ(table.cumulativeCount(table.maxIndex()),
+                  uint64_t{1} << bu);
+
+        // The rank table inverts the cumulative table run for run.
+        for (int64_t k = 0; k <= table.maxIndex(); ++k) {
+            uint64_t lo = table.cumulativeCount(k - 1);
+            uint64_t hi = table.cumulativeCount(k);
+            for (uint64_t r = lo; r < hi; ++r)
+                ASSERT_EQ(table.lookupByRank(r), k);
+        }
+    }
+}
+
+TEST(LaplaceSampleTable, EmpiricalDistributionMatchesPmf)
+{
+    FxpLaplaceConfig cfg = sweepConfig(12, 10.0 / 32.0);
+    FxpLaplaceRng rng(cfg, 3);
+    FxpLaplacePmf pmf(cfg, FxpLaplacePmf::Mode::Enumerated);
+
+    const int n = 400000;
+    std::map<int64_t, int> counts;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.sampleIndexFast()];
+
+    // Total-variation distance between the empirical draw histogram
+    // and the exact PMF; fixed seed keeps this deterministic.
+    double tv = 0.0;
+    for (int64_t k = -pmf.maxIndex(); k <= pmf.maxIndex(); ++k) {
+        auto it = counts.find(k);
+        double emp =
+            it == counts.end()
+                ? 0.0
+                : static_cast<double>(it->second) / n;
+        tv += std::abs(emp - pmf.pmf(k));
+    }
+    EXPECT_LT(0.5 * tv, 0.02);
+}
+
+TEST(LaplaceSampleTable, TruncatedInversionMatchesAcceptReject)
+{
+    // Accept-reject over a window is, by definition, uniform over the
+    // URNG states whose output lands inside it. The truncated sampler
+    // draws a uniform rank over those states, so enumerating every
+    // rank must reproduce the accept-reject conditional state counts
+    // exactly -- no statistics involved.
+    FxpLaplaceConfig cfg = sweepConfig(12, 10.0 / 32.0);
+    FxpLaplaceRng rng(cfg);
+    const LaplaceSampleTable &table = rng.table();
+    FxpLaplacePmf pmf(cfg, FxpLaplacePmf::Mode::Enumerated);
+
+    const std::vector<std::pair<int64_t, int64_t>> windows = {
+        {-5, 5}, {-80, 3}, {-1, 200}, {0, 0}, {-2, 0},
+    };
+    for (auto [lo, hi] : windows) {
+        uint64_t plus = table.cumulativeCount(hi);
+        uint64_t minus = table.cumulativeCount(-lo);
+        uint64_t total = plus + minus;
+        ASSERT_GT(total, 0u);
+
+        // Tally every rank through the same mapping the sampler uses.
+        std::map<int64_t, uint64_t> tally;
+        for (uint64_t r = 0; r < total; ++r) {
+            int64_t k = r < plus ? table.lookupByRank(r)
+                                 : -table.lookupByRank(r - plus);
+            ++tally[k];
+        }
+
+        // Accept-reject state counts: one sign per nonzero index,
+        // both signs collapse onto zero.
+        for (int64_t j = lo; j <= hi; ++j) {
+            uint64_t expected =
+                pmf.magnitudeCount(j >= 0 ? j : -j);
+            if (j == 0)
+                expected *= 2;
+            uint64_t got = tally.count(j) ? tally[j] : 0;
+            ASSERT_EQ(got, expected)
+                << "window [" << lo << ", " << hi << "] j=" << j;
+            tally.erase(j);
+        }
+        // Nothing outside the window is reachable.
+        ASSERT_TRUE(tally.empty());
+    }
+}
+
+TEST(LaplaceSampleTable, TruncatedEmpiricalMatchesAcceptRejectDraws)
+{
+    // End-to-end: the actual truncated sampler against an actual
+    // accept-reject loop, same window, independent streams.
+    FxpLaplaceConfig cfg = sweepConfig(12, 10.0 / 32.0);
+    const int64_t lo = -10, hi = 25;
+    const int n = 200000;
+
+    FxpLaplaceRng fast(cfg, 5);
+    std::map<int64_t, int> fast_counts;
+    for (int i = 0; i < n; ++i) {
+        int64_t k;
+        ASSERT_TRUE(fast.sampleIndexTruncated(lo, hi, k));
+        ASSERT_GE(k, lo);
+        ASSERT_LE(k, hi);
+        ++fast_counts[k];
+    }
+
+    cfg.sample_path = FxpLaplaceConfig::SamplePath::Naive;
+    FxpLaplaceRng naive(cfg, 6);
+    std::map<int64_t, int> naive_counts;
+    for (int i = 0; i < n; ++i) {
+        int64_t k;
+        do {
+            k = naive.sampleIndex();
+        } while (k < lo || k > hi);
+        ++naive_counts[k];
+    }
+
+    double tv = 0.0;
+    for (int64_t k = lo; k <= hi; ++k) {
+        double a = fast_counts.count(k)
+                       ? static_cast<double>(fast_counts[k]) / n
+                       : 0.0;
+        double b = naive_counts.count(k)
+                       ? static_cast<double>(naive_counts[k]) / n
+                       : 0.0;
+        tv += std::abs(a - b);
+    }
+    EXPECT_LT(0.5 * tv, 0.02);
+}
+
+TEST(LaplaceSampleTable, AutoPathResolvesAgainstLimits)
+{
+    FxpLaplaceConfig cfg = sweepConfig(14, 10.0 / 32.0);
+    EXPECT_TRUE(FxpLaplaceRng(cfg).fastPathEnabled());
+
+    // A URNG too wide to enumerate falls back to the naive pipeline.
+    cfg.uniform_bits = 30;
+    EXPECT_FALSE(FxpLaplaceRng(cfg).fastPathEnabled());
+    EXPECT_FALSE(LaplaceSampleTable::supports(30, 100));
+
+    // Demanding the table for it is a configuration error.
+    cfg.sample_path = FxpLaplaceConfig::SamplePath::Table;
+    FxpLaplaceRng rng(cfg);
+    EXPECT_THROW(rng.table(), FatalError);
+}
+
+TEST(LaplaceSampleTable, ReportsMemoryFootprint)
+{
+    FxpLaplaceConfig cfg = sweepConfig(14, 10.0 / 32.0);
+    FxpLaplaceRng rng(cfg);
+    const LaplaceSampleTable &table = rng.table();
+    EXPECT_EQ(table.states(), uint64_t{1} << 14);
+    // direct + rank at two bytes a state, plus the cumulative ROM.
+    EXPECT_GE(table.memoryBytes(), 2 * 2 * table.states());
+}
+
+} // anonymous namespace
+} // namespace ulpdp

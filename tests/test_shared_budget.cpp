@@ -181,5 +181,29 @@ TEST(BudgetedSensor, MidpointBeforeAnyFreshReport)
     EXPECT_DOUBLE_EQ(r.value, 5.0); // range midpoint: data-free
 }
 
+TEST(BudgetedSensor, HaltedRequestConsumesNoRandomness)
+{
+    // Halt-then-serve: a sensor the pool cannot afford must not
+    // advance its URNG or draw samples -- the halted stream stays
+    // energy-free and its RNG state stays in lockstep with an
+    // untouched twin.
+    SharedBudgetPool pool(1e-6);
+    FxpMechanismParams p = sensorParams(0.0, 10.0, 9);
+    BudgetedSensor s("s", p, RangeControl::Thresholding,
+                     segmentsFor(p), pool);
+    const Tausworthe &u = s.rng().urng();
+    uint32_t s1 = u.s1(), s2 = u.s2(), s3 = u.s3();
+
+    for (int i = 0; i < 10; ++i) {
+        BudgetResponse r = s.request(9.0);
+        EXPECT_TRUE(r.from_cache);
+        EXPECT_EQ(r.samples_drawn, 0u);
+    }
+    EXPECT_EQ(s.rng().samplesDrawn(), 0u);
+    EXPECT_EQ(u.s1(), s1);
+    EXPECT_EQ(u.s2(), s2);
+    EXPECT_EQ(u.s3(), s3);
+}
+
 } // anonymous namespace
 } // namespace ulpdp
