@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Extension: fault-injection campaign report. Runs seeded 10k-
+ * transaction chaos campaigns against the budget-controlled device
+ * with every fault site firing (URNG bit flips and stuck-at faults,
+ * sampler-table SEUs, sensor-bus NACK/timeout/corruption, power loss
+ * with checkpoint corruption) and tabulates injected vs detected
+ * faults and the empirical worst-case privacy loss of every released
+ * report, computed by whole-support enumeration of the output model.
+ * The same campaign with hardening disabled shows the invariant
+ * violations the hardening exists to prevent.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "core/budget.h"
+#include "core/output_model.h"
+#include "core/threshold_calc.h"
+#include "rng/health.h"
+#include "rng/laplace_table.h"
+#include "sim/fault_injector.h"
+#include "sim/sensor_bus.h"
+
+namespace {
+
+using namespace ulpdp;
+
+struct CampaignReport
+{
+    uint64_t injected = 0;
+    uint64_t detected = 0;
+    uint64_t fresh = 0;
+    uint64_t cached = 0;
+    uint64_t boots = 1;
+    uint64_t violations = 0;
+    double worst_loss = 0.0;
+    double charged = 0.0;
+    double spend_cap = 0.0;
+};
+
+CampaignReport
+runCampaign(uint64_t seed, bool hardened, uint64_t transactions)
+{
+    FxpMechanismParams p;
+    p.range = SensorRange(0.0, 10.0);
+    p.epsilon = 0.5;
+    p.uniform_bits = 14;
+    p.output_bits = 12;
+    p.delta = 10.0 / 32.0;
+    p.seed = seed;
+    p.rng_integrity_checks = hardened;
+
+    ThresholdCalculator calc(p);
+    BudgetControllerConfig cfg;
+    cfg.initial_budget = 20.0;
+    cfg.replenish_period = 1000;
+    cfg.kind = RangeControl::Resampling;
+    cfg.segments =
+        LossSegments::compute(calc, cfg.kind, {1.5, 2.0, 3.0});
+    cfg.resample_attempt_limit = 4096;
+    cfg.fail_secure = hardened;
+    cfg.table_scrub_period = hardened ? 256 : 0;
+
+    int64_t outer = cfg.segments.back().threshold_index;
+    ResamplingOutputModel model(calc.pmf(), calc.span(), outer);
+    double bound = 3.0 * p.epsilon + 1e-9;
+    double delta = p.resolvedDelta();
+    std::vector<double> loss;
+    for (int64_t j = model.outputLo(); j <= model.outputHi(); ++j) {
+        double mx = 0.0;
+        double mn = std::numeric_limits<double>::infinity();
+        for (int64_t i = 0; i <= model.span(); ++i) {
+            mx = std::max(mx, model.prob(j, i));
+            mn = std::min(mn, model.prob(j, i));
+        }
+        loss.push_back(mn > 0.0
+                           ? std::log(mx / mn)
+                           : std::numeric_limits<double>::infinity());
+    }
+
+    FaultCampaignConfig fc;
+    fc.seed = seed * 7919 + 1;
+    fc.urng_flip_rate = 0.01;
+    fc.urng_stuck_rate = 0.0002;
+    fc.table_seu_rate = 0.002;
+    fc.bus_nack_rate = 0.02;
+    fc.bus_timeout_rate = 0.01;
+    fc.bus_corrupt_rate = 0.02;
+    fc.power_loss_rate = 0.001;
+    fc.checkpoint_corrupt_rate = 0.25;
+    FaultInjector injector(fc);
+
+    SensorBus bus(16e6, 400e3);
+    RngHealthMonitor health;
+    CampaignReport report;
+    FaultStats device;
+
+    auto boot = [&](uint64_t n) {
+        FxpMechanismParams bp = p;
+        bp.seed = seed + 1000 * n;
+        auto ctrl = std::make_unique<BudgetController>(bp, cfg);
+        health.reset();
+        ctrl->rng().urng().setFaultHook(&injector);
+        if (hardened) {
+            ctrl->rng().urng().attachHealthMonitor(&health);
+            ctrl->attachHealthMonitor(&health);
+        }
+        return ctrl;
+    };
+
+    auto ctrl = boot(0);
+    BudgetCheckpoint cp = ctrl->checkpoint();
+    uint64_t refills_possible = 1;
+    uint64_t ticks_accumulated = 0;
+
+    for (uint64_t t = 0; t < transactions; ++t) {
+        injector.tick();
+
+        if (injector.powerLossPending()) {
+            device += ctrl->faultStats();
+            ++report.boots;
+            ctrl = boot(report.boots);
+            if (hardened) {
+                injector.corruptCheckpointMaybe(&cp, sizeof cp);
+                ctrl->restoreFromCheckpoint(cp);
+            }
+        }
+
+        LaplaceSampleTable *table = ctrl->rng().mutableTable();
+        size_t seu_byte = 0;
+        int seu_bit = 0;
+        if (injector.tableSeuPending(
+                seu_byte, seu_bit,
+                table != nullptr ? table->faultableBytes() : 0)) {
+            table->flipBit(seu_byte, seu_bit);
+        }
+
+        double x = static_cast<double>(t % 101) * 0.1;
+        int64_t wire = std::llround(x / 10.0 * 8191.0);
+        FaultStats bus_stats;
+        BusReadResult read =
+            bus.readSample(13, wire, &injector, {}, &bus_stats);
+        device += bus_stats;
+
+        BudgetResponse resp;
+        try {
+            if (read.ok) {
+                double x_used = std::clamp(
+                    static_cast<double>(read.value) / 8191.0 * 10.0,
+                    0.0, 10.0);
+                resp = ctrl->request(x_used);
+            } else {
+                resp = ctrl->serveCached();
+            }
+        } catch (const PanicError &) {
+            ++report.violations; // escaped the analysed support
+            continue;
+        }
+
+        // Device time advances; one refill is legal per
+        // replenish_period ticks. The unhardened device additionally
+        // replays its budget on every reboot, which the spend cap
+        // below exposes.
+        ctrl->advanceTime(10);
+        ticks_accumulated += 10;
+        if (ticks_accumulated >= cfg.replenish_period) {
+            ticks_accumulated -= cfg.replenish_period;
+            ++refills_possible;
+        }
+        cp = ctrl->checkpoint();
+
+        if (resp.from_cache) {
+            ++report.cached;
+            continue;
+        }
+        ++report.fresh;
+        report.charged += resp.charged;
+        int64_t j = std::llround(resp.value / delta);
+        if (j < model.outputLo() || j > model.outputHi()) {
+            ++report.violations;
+            continue;
+        }
+        double l = loss[static_cast<size_t>(j - model.outputLo())];
+        report.worst_loss = std::max(report.worst_loss, l);
+        if (!(l <= bound))
+            ++report.violations;
+    }
+
+    report.spend_cap =
+        static_cast<double>(refills_possible) * cfg.initial_budget;
+    if (report.charged > report.spend_cap + 1e-6)
+        ++report.violations; // budget replayed across power loss
+
+    device += ctrl->faultStats();
+    report.injected = injector.stats().total();
+    report.detected = device.detections();
+    return report;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    using namespace ulpdp;
+    bench::banner(
+        "Extension: fault-injection campaign",
+        "10k transactions per seed; URNG/table/bus/power/timer fault "
+        "sites all firing; empirical worst-case loss by whole-support "
+        "enumeration against the 3*eps bound (eps = 0.5).");
+
+    setLoggingEnabled(false); // the campaigns warn on every detection
+    TextTable table;
+    table.setHeader({"Config", "seed", "injected", "detected", "fresh",
+                     "cached", "boots", "worst loss", "charged",
+                     "cap", "violations"});
+
+    uint64_t hardened_violations = 0;
+    uint64_t unhardened_violations = 0;
+    for (uint64_t seed : {1, 2, 3}) {
+        for (bool hardened : {true, false}) {
+            CampaignReport r = runCampaign(seed, hardened, 10000);
+            (hardened ? hardened_violations : unhardened_violations) +=
+                r.violations;
+            table.addRow({
+                hardened ? "hardened" : "unhardened",
+                std::to_string(seed),
+                std::to_string(r.injected),
+                std::to_string(r.detected),
+                std::to_string(r.fresh),
+                std::to_string(r.cached),
+                std::to_string(r.boots),
+                std::isinf(r.worst_loss) ? "inf"
+                                         : TextTable::fmt(r.worst_loss, 3),
+                TextTable::fmt(r.charged, 1),
+                TextTable::fmt(r.spend_cap, 1),
+                std::to_string(r.violations),
+            });
+        }
+    }
+    setLoggingEnabled(true);
+    table.print(std::cout);
+
+    std::printf("\nReading: the hardened device ends every campaign "
+                "with zero invariant violations (%llu total) -- every "
+                "detected fault degrades to cache replay, which leaks "
+                "nothing new. The unhardened device racks up %llu "
+                "violations from the very same fault stream.\n",
+                static_cast<unsigned long long>(hardened_violations),
+                static_cast<unsigned long long>(unhardened_violations));
+    return hardened_violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+#include "common/fault.h"
+
+namespace ulpdp {
+
+namespace {
+
+/** Build the reflected CRC-32 table once, at first use. */
+const uint32_t *
+crc32Table()
+{
+    static uint32_t table[256];
+    static bool built = false;
+    if (!built) {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            table[i] = c;
+        }
+        built = true;
+    }
+    return table;
+}
+
+} // anonymous namespace
+
+uint32_t
+crc32(const void *data, size_t len, uint32_t seed)
+{
+    const uint32_t *table = crc32Table();
+    const uint8_t *bytes = static_cast<const uint8_t *>(data);
+    uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (size_t i = 0; i < len; ++i)
+        c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+uint8_t
+crc8(const void *data, size_t len)
+{
+    const uint8_t *bytes = static_cast<const uint8_t *>(data);
+    uint8_t crc = 0xFF;
+    for (size_t i = 0; i < len; ++i) {
+        crc ^= bytes[i];
+        for (int k = 0; k < 8; ++k)
+            crc = (crc & 0x80u) ? static_cast<uint8_t>((crc << 1) ^ 0x31u)
+                                : static_cast<uint8_t>(crc << 1);
+    }
+    return crc;
+}
+
+} // namespace ulpdp

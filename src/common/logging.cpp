@@ -8,6 +8,7 @@ namespace ulpdp {
 namespace {
 
 bool logging_enabled = true;
+uint64_t warning_count = 0;
 
 } // anonymous namespace
 
@@ -43,7 +44,8 @@ panic(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = detail::formatMessage(fmt, args);
     va_end(args);
-    detail::emit("panic", msg);
+    if (logging_enabled)
+        detail::emit("panic", msg);
     throw PanicError(msg);
 }
 
@@ -54,13 +56,15 @@ fatal(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = detail::formatMessage(fmt, args);
     va_end(args);
-    detail::emit("fatal", msg);
+    if (logging_enabled)
+        detail::emit("fatal", msg);
     throw FatalError(msg);
 }
 
 void
 warn(const char *fmt, ...)
 {
+    ++warning_count;
     if (!logging_enabled)
         return;
     va_list args;
@@ -86,6 +90,18 @@ void
 setLoggingEnabled(bool enabled)
 {
     logging_enabled = enabled;
+}
+
+uint64_t
+warningCount()
+{
+    return warning_count;
+}
+
+void
+resetWarningCount()
+{
+    warning_count = 0;
 }
 
 } // namespace ulpdp

@@ -12,6 +12,7 @@
 #define ULPDP_COMMON_LOGGING_H
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
@@ -67,8 +68,24 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Print an informational status message. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Enable or disable warn()/inform() output (useful in tests). */
+/**
+ * Enable or disable logging output (useful in tests -- fault
+ * campaigns trigger thousands of expected detections). Disabling
+ * silences warn()/inform() entirely and suppresses the stderr line of
+ * panic()/fatal(); the thrown exception still carries the message.
+ */
 void setLoggingEnabled(bool enabled);
+
+/**
+ * Number of warn() calls since process start (or the last reset).
+ * Counted even while output is disabled: a warning a fault campaign
+ * silenced is still a warning the device raised, and the fault-stat
+ * plumbing reports it alongside the detection counters.
+ */
+uint64_t warningCount();
+
+/** Reset warningCount() to zero (between test campaigns). */
+void resetWarningCount();
 
 /**
  * Check a runtime invariant; panic with the stringised condition when it

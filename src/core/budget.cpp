@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstring>
 
 #include "common/logging.h"
 #include "core/privacy_loss.h"
+#include "rng/health.h"
 
 namespace ulpdp {
 
@@ -30,12 +33,19 @@ drawConfinedOutput(FxpLaplaceRng &rng, RangeControl kind, int64_t xi,
         int64_t k;
         if (rng.sampleIndexTruncated(win_lo - xi, win_hi - xi, k))
             return xi + k;
-        warn("%s: resampling window [%lld, %lld] holds no URNG "
-             "state; clamping at the window edge", who,
-             static_cast<long long>(win_lo),
-             static_cast<long long>(win_hi));
-        ++overflows;
-        return std::clamp(xi + rng.sampleIndexFast(), win_lo, win_hi);
+        if (!rng.integrityFault()) {
+            warn("%s: resampling window [%lld, %lld] holds no URNG "
+                 "state; clamping at the window edge", who,
+                 static_cast<long long>(win_lo),
+                 static_cast<long long>(win_hi));
+            ++overflows;
+            return std::clamp(xi + rng.sampleIndexFast(), win_lo,
+                              win_hi);
+        }
+        // The truncated draw tripped an integrity check and the
+        // table is now quarantined: fall through to the naive
+        // accept-reject loop, which runs entirely on the log
+        // datapath and never touches the suspect memory.
     }
 
     uint64_t attempts = 0;
@@ -121,6 +131,20 @@ LossSegments::centralLoss(const ThresholdCalculator &calc,
     return loss;
 }
 
+uint32_t
+BudgetCheckpoint::computeCrc() const
+{
+    // Every field before `crc`, in declaration order, no padding
+    // (four 32/64-bit fields on natural alignment).
+    return crc32(this, offsetof(BudgetCheckpoint, crc));
+}
+
+bool
+BudgetCheckpoint::valid() const
+{
+    return magic == kMagic && crc == computeCrc();
+}
+
 BudgetController::BudgetController(const FxpMechanismParams &params,
                                    const BudgetControllerConfig &config)
     : params_(params), config_(config), rng_(params.rngConfig(),
@@ -176,6 +200,36 @@ BudgetController::affordableSegment() const
 BudgetResponse
 BudgetController::request(double x)
 {
+    // Fail-secure gate, evaluated before Algorithm 1 even looks at
+    // the budget: a latched fault, a tripped URNG health test, or a
+    // failed periodic table scrub all mean the noise state cannot be
+    // trusted, and an untrusted draw must never be released. The
+    // cache is a function of already-released data, so replaying it
+    // costs zero additional privacy regardless of how broken the
+    // noise datapath is.
+    if (config_.fail_secure) {
+        if (fault_latched_)
+            return serveCached();
+        if (health_ != nullptr && health_->alarmed()) {
+            ++fault_stats_.urng_health_alarms;
+            latchFault("URNG continuous health test tripped");
+            return serveCached();
+        }
+        if (config_.table_scrub_period > 0 &&
+            ++requests_since_scrub_ >= config_.table_scrub_period) {
+            requests_since_scrub_ = 0;
+            if (!rng_.verifyTableIntegrity()) {
+                ++fault_stats_.table_crc_failures;
+                // The scrub already quarantined the table inside the
+                // RNG; fold its detection into ours so the post-draw
+                // check below does not double count it.
+                rng_integrity_seen_ = rng_.integrityDetections();
+                latchFault("sampler table CRC scrub failed");
+                return serveCached();
+            }
+        }
+    }
+
     // Algorithm 1 orders halt-then-serve: whether this request can be
     // afforded is decided from the budget alone, *before* any noise
     // is drawn. A halted request must not advance the URNG or burn
@@ -187,13 +241,7 @@ BudgetController::request(double x)
         // Replay the cache. Before any fresh report exists, the range
         // midpoint is returned -- a constant, so it carries no
         // information about x.
-        BudgetResponse resp;
-        resp.value = cache_.value_or(params_.range.mid());
-        resp.from_cache = true;
-        resp.charged = 0.0;
-        resp.samples_drawn = 0;
-        ++cache_hits_;
-        return resp;
+        return cachedResponse();
     }
 
     double delta = params_.resolvedDelta();
@@ -213,6 +261,22 @@ BudgetController::request(double x)
                                     config_.resample_attempt_limit,
                                     samples, resample_overflows_,
                                     "BudgetController");
+    fault_stats_.resample_overflows = resample_overflows_;
+
+    // A lookup-time integrity fault during *this* draw means the
+    // value in hand passed through suspect table state at least once
+    // (the RNG recomputes through the log datapath, but fail-secure
+    // hardware discards the whole transaction rather than reason
+    // about which intermediate was poisoned).
+    if (rng_.integrityDetections() > rng_integrity_seen_) {
+        fault_stats_.table_bounds_faults +=
+            rng_.integrityDetections() - rng_integrity_seen_;
+        rng_integrity_seen_ = rng_.integrityDetections();
+        if (config_.fail_secure) {
+            latchFault("sampler table lookup integrity fault");
+            return serveCached();
+        }
+    }
 
     int64_t ext = 0;
     if (yi < lo_index_)
@@ -230,6 +294,91 @@ BudgetController::request(double x)
     cache_ = resp.value;
     ++fresh_reports_;
     return resp;
+}
+
+BudgetResponse
+BudgetController::cachedResponse()
+{
+    BudgetResponse resp;
+    resp.value = cache_.value_or(params_.range.mid());
+    resp.from_cache = true;
+    resp.charged = 0.0;
+    resp.samples_drawn = 0;
+    ++cache_hits_;
+    return resp;
+}
+
+BudgetResponse
+BudgetController::serveCached()
+{
+    ++fault_stats_.fail_secure_reports;
+    return cachedResponse();
+}
+
+void
+BudgetController::latchFault(const char *what)
+{
+    if (!fault_latched_)
+        warn("BudgetController: %s; latching cache-only service",
+             what);
+    fault_latched_ = true;
+}
+
+BudgetCheckpoint
+BudgetController::checkpoint() const
+{
+    BudgetCheckpoint cp;
+    cp.magic = BudgetCheckpoint::kMagic;
+    cp.flags = cache_.has_value() ? 1u : 0u;
+    std::memcpy(&cp.budget_bits, &budget_, sizeof budget_);
+    double cached = cache_.value_or(0.0);
+    std::memcpy(&cp.cache_bits, &cached, sizeof cached);
+    cp.ticks_since_replenish = ticks_since_replenish_;
+    cp.crc = cp.computeCrc();
+    return cp;
+}
+
+bool
+BudgetController::restoreFromCheckpoint(const BudgetCheckpoint &cp)
+{
+    if (!cp.valid()) {
+        ++fault_stats_.checkpoint_restore_failures;
+        warn("BudgetController: checkpoint rejected (%s); restoring "
+             "to zero remaining budget",
+             cp.magic == BudgetCheckpoint::kMagic ? "bad CRC"
+                                                  : "bad magic");
+        budget_ = 0.0;
+        cache_.reset();
+        ticks_since_replenish_ = 0;
+        return false;
+    }
+
+    double saved;
+    std::memcpy(&saved, &cp.budget_bits, sizeof saved);
+    // NaN or negative collapses to zero; above-initial clamps down.
+    // Then min() with the live value: a stale checkpoint (power cut
+    // after a spend it never recorded) can only *reduce* spendable
+    // budget, never hand back what was already used.
+    if (!(saved >= 0.0))
+        saved = 0.0;
+    saved = std::min(saved, config_.initial_budget);
+    budget_ = std::min(budget_, saved);
+
+    if (cp.flags & 1u) {
+        double cached;
+        std::memcpy(&cached, &cp.cache_bits, sizeof cached);
+        if (std::isfinite(cached))
+            cache_ = cached;
+    }
+
+    // Same monotonicity for the replenishment timer: restoring a
+    // *larger* tick count would bring the refill forward, so take the
+    // minimum -- a restore can delay replenishment but never advance
+    // it. (A freshly constructed controller sits at 0, so a restore
+    // right after reset always restarts the timer.)
+    ticks_since_replenish_ = std::min(ticks_since_replenish_,
+                                      cp.ticks_since_replenish);
+    return true;
 }
 
 void

@@ -28,10 +28,13 @@
 #include <optional>
 #include <vector>
 
+#include "common/fault.h"
 #include "core/fxp_mechanism.h"
 #include "core/threshold_calc.h"
 
 namespace ulpdp {
+
+class RngHealthMonitor;
 
 /**
  * The single authoritative halt condition of Algorithm 1: can a
@@ -108,6 +111,52 @@ class LossSegments
                               RangeControl kind);
 };
 
+/**
+ * CRC-protected image of the budget state a device persists across
+ * power cycles (in FRAM/flash on a real MSP430-class node).
+ *
+ * The danger of persisting budget is *replay*: an adversary who can
+ * cut power after spending budget but before the spend is recorded
+ * gets the device to re-release fresh reports against budget it
+ * already used. The restore path is therefore monotone by
+ * construction -- see BudgetController::restoreFromCheckpoint():
+ * remaining budget after restore is min(initial, checkpointed), so a
+ * replayed or stale checkpoint can only make the device *more*
+ * conservative, and a corrupted one (bad CRC or magic) restores to
+ * zero remaining budget with an empty cache -- the device serves the
+ * range midpoint (a constant) until a legitimate replenishment.
+ */
+struct BudgetCheckpoint
+{
+    /** Layout tag, so a blank or wrong-format FRAM page never parses. */
+    static constexpr uint32_t kMagic = 0x42504331; // "BPC1"
+
+    uint32_t magic = 0;
+
+    /** Bit 0: cache_bits holds a cached report. */
+    uint32_t flags = 0;
+
+    /** Remaining budget, as the raw IEEE-754 bit pattern (bitwise
+     *  storage keeps the CRC meaningful; value semantics would not
+     *  round-trip NaNs and signed zeros). */
+    uint64_t budget_bits = 0;
+
+    /** Cached previous report (bit pattern; valid when flags bit 0). */
+    uint64_t cache_bits = 0;
+
+    /** Device ticks since the last replenishment. */
+    uint64_t ticks_since_replenish = 0;
+
+    /** CRC-32 over every preceding byte of this struct. */
+    uint32_t crc = 0;
+
+    /** Compute the CRC the preceding fields imply. */
+    uint32_t computeCrc() const;
+
+    /** Magic and CRC both check out. */
+    bool valid() const;
+};
+
 /** Outcome of one data request served by the controller. */
 struct BudgetResponse
 {
@@ -147,6 +196,23 @@ struct BudgetControllerConfig
      * ignores this).
      */
     uint64_t resample_attempt_limit = uint64_t{1} << 20;
+
+    /**
+     * Requests between CRC scrubs of the sampler table (0 disables
+     * the periodic scrub; the lookup-time bounds checks remain).
+     */
+    uint64_t table_scrub_period = 256;
+
+    /**
+     * Fail-secure policy switch. When true (the default), any
+     * detected fault -- a tripped URNG health test, a failed table
+     * scrub, or a lookup-time integrity fault -- latches the
+     * controller into cache-only service: every subsequent request
+     * replays the cached report (zero additional privacy loss) and
+     * no randomness is drawn from suspect state. When false the
+     * device models unhardened silicon: detections are not acted on.
+     */
+    bool fail_secure = true;
 };
 
 /**
@@ -167,8 +233,47 @@ class BudgetController
     /** Serve one sensor data request for true reading @p x. */
     BudgetResponse request(double x);
 
+    /**
+     * Serve the cached report without touching the budget or the
+     * RNG -- the fail-secure degradation a caller invokes when the
+     * *input* cannot be trusted (e.g. the sensor bus exhausted its
+     * retries). Replaying already-released data costs zero budget.
+     */
+    BudgetResponse serveCached();
+
     /** Advance device time by @p ticks (drives replenishment). */
     void advanceTime(uint64_t ticks);
+
+    /** Snapshot the budget state for persistence across power loss. */
+    BudgetCheckpoint checkpoint() const;
+
+    /**
+     * Restore from a persisted checkpoint after a reset. Monotone:
+     * the remaining budget becomes min(current, checkpointed) and is
+     * clamped into [0, initial], so neither a stale nor a corrupted
+     * checkpoint can ever *increase* spendable budget (no replay).
+     * An invalid checkpoint (CRC/magic) restores to zero remaining
+     * budget and an empty cache. Returns false in that case.
+     */
+    bool restoreFromCheckpoint(const BudgetCheckpoint &cp);
+
+    /**
+     * Attach a continuous health monitor on the noise URNG (borrowed
+     * pointer; must outlive the controller). The controller checks
+     * the alarm latch before every fresh draw and fails secure on a
+     * trip. The caller is responsible for also attaching the monitor
+     * to the URNG itself (rng().urng().attachHealthMonitor()).
+     */
+    void attachHealthMonitor(const RngHealthMonitor *monitor)
+    {
+        health_ = monitor;
+    }
+
+    /** True once a detected fault latched cache-only service. */
+    bool faultLatched() const { return fault_latched_; }
+
+    /** Detection/degradation counters of the hardening logic. */
+    const FaultStats &faultStats() const { return fault_stats_; }
 
     /** Budget remaining right now. */
     double remainingBudget() const { return budget_; }
@@ -191,10 +296,19 @@ class BudgetController
     /** The noise RNG (tests assert halted requests never advance it). */
     const FxpLaplaceRng &rng() const { return rng_; }
 
+    /** Mutable noise RNG, for wiring fault hooks and corrupting the
+     *  sampler table in fault-injection experiments. */
+    FxpLaplaceRng &rng() { return rng_; }
+
     /** Resampling draws degraded to a window-edge clamp. */
     uint64_t resampleOverflows() const { return resample_overflows_; }
 
   private:
+    /** Latch fail-secure service and count the detection. */
+    void latchFault(const char *what);
+
+    /** Build the cache-replay response (shared by halt and faults). */
+    BudgetResponse cachedResponse();
     /** Classify a noised output index into a segment; returns the
      *  charged loss. */
     double segmentLoss(int64_t extension) const;
@@ -218,6 +332,13 @@ class BudgetController
     uint64_t fresh_reports_ = 0;
     uint64_t resample_overflows_ = 0;
     uint64_t ticks_since_replenish_ = 0;
+
+    // Hardening state.
+    const RngHealthMonitor *health_ = nullptr;
+    bool fault_latched_ = false;
+    uint64_t requests_since_scrub_ = 0;
+    uint64_t rng_integrity_seen_ = 0;
+    FaultStats fault_stats_;
 };
 
 } // namespace ulpdp

@@ -48,6 +48,10 @@ struct FxpMechanismParams
     FxpLaplaceConfig::SamplePath sample_path =
         FxpLaplaceConfig::SamplePath::Auto;
 
+    /** Harden table lookups (see FxpLaplaceConfig::integrity_checks).
+     *  Off models unhardened silicon in fault experiments. */
+    bool rng_integrity_checks = true;
+
     /** PRNG seed. */
     uint64_t seed = 1;
 
@@ -76,6 +80,7 @@ struct FxpMechanismParams
         cfg.lambda = lambda();
         cfg.log_mode = log_mode;
         cfg.sample_path = sample_path;
+        cfg.integrity_checks = rng_integrity_checks;
         return cfg;
     }
 

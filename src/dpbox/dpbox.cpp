@@ -10,8 +10,13 @@ namespace ulpdp {
 DpBox::DpBox(const DpBoxConfig &config)
     : config_(config), urng_(config.seed),
       cordic_(config.cordic_iterations),
-      thresholding_(config.thresholding)
+      thresholding_(config.thresholding), health_(config.health)
 {
+    if (config.harden_faults) {
+        // The monitor observes the URNG *after* any fault hook, i.e.
+        // exactly the words the noising datapath consumes.
+        urng_.attachHealthMonitor(&health_);
+    }
     if (config.word_bits < 8 || config.word_bits > 62)
         fatal("DpBox: word_bits must be in [8, 62], got %d",
               config.word_bits);
@@ -53,6 +58,13 @@ DpBox::DpBox(const DpBoxConfig &config)
         r_l_ = std::clamp(config.fused_range_lo, raw_min_, raw_max_);
         r_u_ = std::clamp(config.fused_range_hi, raw_min_, raw_max_);
     }
+}
+
+void
+DpBox::attachFaultHook(FaultHook *hook)
+{
+    fault_hook_ = hook;
+    urng_.setFaultHook(hook);
 }
 
 double
@@ -117,6 +129,26 @@ DpBox::chargeBudget(int64_t out)
 bool
 DpBox::noisingCycle()
 {
+    // Fail-secure gate: a tripped URNG health test means the
+    // precomputed sample (and every future draw) comes from suspect
+    // state. Latch cache-only service -- replaying already-released
+    // data costs zero additional privacy no matter how broken the
+    // noise source is.
+    if (config_.harden_faults && !fault_latched_ && health_.alarmed()) {
+        ++fault_stats_.urng_health_alarms;
+        fault_latched_ = true;
+        warn("DpBox: URNG continuous health test tripped; latching "
+             "cache-only service");
+    }
+    if (fault_latched_) {
+        ++fault_stats_.fail_secure_reports;
+        ++stats_.cache_hits;
+        output_ = cache_.value_or((r_l_ + r_u_) / 2);
+        ready_ = true;
+        sample_valid_ = false;
+        return true;
+    }
+
     ULPDP_ASSERT(sample_valid_);
 
     // Scale factor s_f = (r_u - r_l) * 2^{n_m} (Eqs. 16, 19): the
@@ -234,19 +266,35 @@ DpBox::step(DpBoxCommand cmd, int64_t input)
     ++stats_.cycles;
 
     // Replenishment timer runs every cycle regardless of phase
-    // (after initialization has sealed the configuration).
-    if (phase_ != DpBoxPhase::Initialization &&
-        replenish_period_ > 0 &&
-        stats_.cycles - last_replenish_cycle_ >= replenish_period_) {
-        budget_ = initial_budget_;
-        last_replenish_cycle_ = stats_.cycles;
+    // (after initialization has sealed the configuration). The timer
+    // comparator is a fault site: a glitch makes it claim the period
+    // elapsed early, which would refill spent budget ahead of
+    // schedule -- a direct privacy violation. The hardened device
+    // cross-checks against a redundant shadow counter (modelled by
+    // the elapsed-cycles arithmetic below) and refuses a refill the
+    // shadow does not confirm.
+    if (phase_ != DpBoxPhase::Initialization && replenish_period_ > 0) {
+        bool elapsed =
+            stats_.cycles - last_replenish_cycle_ >= replenish_period_;
+        bool timer_fired = elapsed ||
+            (fault_hook_ != nullptr && fault_hook_->replenishGlitch());
+        if (timer_fired) {
+            if (!elapsed && config_.harden_faults) {
+                ++fault_stats_.timer_glitches_rejected;
+            } else {
+                budget_ = initial_budget_;
+                last_replenish_cycle_ = stats_.cycles;
+            }
+        }
     }
 
     if (phase_ == DpBoxPhase::Noising) {
         // Device is busy; port commands are ignored this cycle.
         if (noisingCycle())
             phase_ = DpBoxPhase::Waiting;
-        if (!sample_valid_)
+        // Once latched, the URNG is never advanced again: no fresh
+        // randomness may be drawn from suspect state.
+        if (!sample_valid_ && !fault_latched_)
             precomputeSample();
         return;
     }

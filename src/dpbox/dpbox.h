@@ -38,8 +38,10 @@
 #include <optional>
 #include <vector>
 
+#include "common/fault.h"
 #include "core/budget.h"
 #include "rng/cordic.h"
+#include "rng/health.h"
 #include "rng/tausworthe.h"
 
 namespace ulpdp {
@@ -133,6 +135,19 @@ struct DpBoxConfig
 
     /** Fused sensor range upper limit (raw word). */
     int64_t fused_range_hi = 0;
+
+    /**
+     * Fault-hardening logic (Section IV hardening extension): run
+     * the SP 800-90B-style continuous health tests on the URNG,
+     * cross-check the replenishment timer against a redundant shadow
+     * counter, and latch fail-secure (cache-only) service on any
+     * detection. Off models unhardened silicon for fault-injection
+     * experiments.
+     */
+    bool harden_faults = true;
+
+    /** Tuning of the URNG continuous health tests. */
+    RngHealthConfig health;
 };
 
 /** Aggregate statistics the model keeps for evaluation. */
@@ -189,6 +204,22 @@ class DpBox
     /** Replenishment period configured at initialization. */
     uint64_t replenishPeriod() const { return replenish_period_; }
 
+    /**
+     * Attach a fault injector to the device's fault sites (URNG
+     * output register, replenishment-timer comparator). Borrowed
+     * pointer; nullptr detaches. Production devices leave this unset.
+     */
+    void attachFaultHook(FaultHook *hook);
+
+    /** True once a detected fault latched cache-only service. */
+    bool faultLatched() const { return fault_latched_; }
+
+    /** Detection/degradation counters of the hardening logic. */
+    const FaultStats &faultStats() const { return fault_stats_; }
+
+    /** The URNG health monitor (active when harden_faults). */
+    const RngHealthMonitor &healthMonitor() const { return health_; }
+
     /** Configuration (immutable after construction). */
     const DpBoxConfig &config() const { return config_; }
 
@@ -243,6 +274,13 @@ class DpBox
 
     // Cache register for budget-exhausted replay.
     std::optional<int64_t> cache_;
+
+    // Fault hardening: continuous health tests on the URNG, the
+    // injector hook, and the fail-secure latch.
+    RngHealthMonitor health_;
+    FaultHook *fault_hook_ = nullptr;
+    bool fault_latched_ = false;
+    FaultStats fault_stats_;
 
     int64_t raw_min_;
     int64_t raw_max_;

@@ -14,6 +14,8 @@ DpBoxDriver::initialize(double budget, uint64_t replenish_period)
     if (initialized_)
         fatal("DpBoxDriver: initialize() may only run once (the "
               "device seals its budget configuration)");
+    if (!(budget > 0.0))
+        fatal("DpBoxDriver: budget must be positive, got %g", budget);
     ULPDP_ASSERT(box_.phase() == DpBoxPhase::Initialization);
 
     // Budget register is Q.8 fixed point on the input port.
@@ -40,6 +42,7 @@ DpBoxDriver::configure(double epsilon, const SensorRange &range)
         n_m = 16;
     double effective = std::ldexp(1.0, -n_m);
     if (std::abs(effective - epsilon) > 1e-12 * epsilon) {
+        ++epsilon_rounding_warnings_;
         warn("DpBoxDriver: epsilon %g is not a power of two; the "
              "device will use %g (n_m = %d)", epsilon, effective, n_m);
     }
@@ -87,6 +90,14 @@ double
 DpBoxDriver::effectiveEpsilon() const
 {
     return std::ldexp(1.0, -box_.nm());
+}
+
+FaultStats
+DpBoxDriver::faultStats() const
+{
+    FaultStats stats = box_.faultStats();
+    stats.epsilon_rounding_warnings = epsilon_rounding_warnings_;
+    return stats;
 }
 
 } // namespace ulpdp

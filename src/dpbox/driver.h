@@ -59,6 +59,20 @@ class DpBoxDriver
     /** Epsilon actually in effect after power-of-two rounding. */
     double effectiveEpsilon() const;
 
+    /** configure() calls whose epsilon had to be rounded to a power
+     *  of two (each one also warns through common/logging). */
+    uint64_t epsilonRoundingWarnings() const
+    {
+        return epsilon_rounding_warnings_;
+    }
+
+    /**
+     * The device's fault counters with the driver's own contribution
+     * (epsilon roundings) folded in -- the single FaultStats view a
+     * deployment would export.
+     */
+    FaultStats faultStats() const;
+
     /** Direct access to the device model (tests, stats). */
     DpBox &device() { return box_; }
     const DpBox &device() const { return box_; }
@@ -67,6 +81,7 @@ class DpBoxDriver
     DpBox box_;
     bool initialized_ = false;
     bool configured_ = false;
+    uint64_t epsilon_rounding_warnings_ = 0;
 };
 
 } // namespace ulpdp

@@ -63,6 +63,8 @@ DpBoxTracer::step(DpBoxCommand cmd, int64_t input)
     e.range_lo = box_.rangeLoRaw();
     e.range_hi = box_.rangeHiRaw();
     e.budget = box_.remainingBudget();
+    e.fault_detections = box_.faultStats().detections();
+    e.fault_latched = box_.faultLatched();
     trace_.push_back(e);
 }
 
@@ -82,6 +84,10 @@ DpBoxTracer::check() const
     // The device's replenishment timer starts when initialization is
     // sealed; track the last legal refill point accordingly.
     uint64_t last_refill = 0;
+    // Fail-secure discipline state: the last output released before
+    // the latch is the only data a latched device may replay.
+    bool have_frozen = false;
+    int64_t frozen = 0;
 
     for (size_t i = 0; i < trace_.size() && result.ok; ++i) {
         const DpBoxTraceEntry &e = trace_[i];
@@ -105,6 +111,26 @@ DpBoxTracer::check() const
                          std::to_string(e.range_lo - window) + ", " +
                          std::to_string(e.range_hi + window) + "]",
                      e.cycle);
+            }
+        }
+
+        // 4. Fail-secure discipline: a latched device only replays
+        //    the frozen pre-latch output (or the midpoint constant).
+        if (e.ready) {
+            if (e.fault_latched) {
+                int64_t allowed = have_frozen
+                    ? frozen
+                    : (e.range_lo + e.range_hi) / 2;
+                if (e.output != allowed) {
+                    fail("latched device released " +
+                             std::to_string(e.output) +
+                             " instead of replaying " +
+                             std::to_string(allowed),
+                         e.cycle);
+                }
+            } else {
+                frozen = e.output;
+                have_frozen = true;
             }
         }
 

@@ -14,7 +14,11 @@
  *  2. budget soundness -- the budget register never increases except
  *     across a replenishment boundary;
  *  3. phase discipline -- outputs only appear out of the noising
- *     phase, and initialization is never re-entered.
+ *     phase, and initialization is never re-entered;
+ *  4. fail-secure discipline -- once the device latched a fault,
+ *     every subsequent ready output replays already-released data
+ *     (the frozen last output, or the range midpoint when none
+ *     exists), i.e. a latched device never leaks anything new.
  */
 
 #ifndef ULPDP_DPBOX_TRACE_H
@@ -39,6 +43,12 @@ struct DpBoxTraceEntry
     int64_t range_lo = 0;
     int64_t range_hi = 0;
     double budget = 0.0;
+
+    /** Cumulative fault detections at this edge (FaultStats sum). */
+    uint64_t fault_detections = 0;
+
+    /** Fail-secure latch state after this edge. */
+    bool fault_latched = false;
 };
 
 /** Outcome of an invariant check over a trace. */

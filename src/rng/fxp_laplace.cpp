@@ -1,5 +1,6 @@
 #include "rng/fxp_laplace.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
@@ -63,6 +64,10 @@ FxpLaplaceRng::sample()
 bool
 FxpLaplaceRng::fastPathEnabled() const
 {
+    // A quarantined table is never consulted again: the log datapath
+    // computes the same pipeline without the suspect memory.
+    if (integrity_fault_)
+        return false;
     switch (config_.sample_path) {
       case FxpLaplaceConfig::SamplePath::Naive:
         return false;
@@ -79,8 +84,40 @@ const LaplaceSampleTable &
 FxpLaplaceRng::table()
 {
     if (!table_)
-        table_ = std::make_shared<const LaplaceSampleTable>(*this);
+        table_ = std::make_shared<LaplaceSampleTable>(*this);
     return *table_;
+}
+
+LaplaceSampleTable *
+FxpLaplaceRng::mutableTable()
+{
+    if (integrity_fault_)
+        return table_.get();
+    if (ensureTable() == nullptr)
+        return nullptr;
+    return table_.get();
+}
+
+void
+FxpLaplaceRng::noteIntegrityFault(const char *what)
+{
+    integrity_fault_ = true;
+    ++integrity_detections_;
+    warn("FxpLaplaceRng: sampler-table integrity fault (%s); table "
+         "quarantined, serving draws from the log datapath", what);
+}
+
+bool
+FxpLaplaceRng::verifyTableIntegrity()
+{
+    if (integrity_fault_)
+        return false;
+    if (!table_)
+        return true; // nothing enumerated yet, nothing to corrupt
+    if (table_->verify())
+        return true;
+    noteIntegrityFault("CRC scrub mismatch");
+    return false;
 }
 
 const LaplaceSampleTable *
@@ -101,6 +138,13 @@ FxpLaplaceRng::sampleIndexFast()
     uint64_t m = urng_.nextUnitIndex(config_.uniform_bits);
     int sign = urng_.nextSign();
     int64_t k = t->lookup(m);
+    if (config_.integrity_checks && k > quantizer_.maxIndex()) {
+        // The comparator caught a corrupted entry: quarantine the
+        // table and recompute this draw through the log datapath
+        // (same m and sign, so the sample itself stays sound).
+        noteIntegrityFault("direct entry out of range");
+        return pipeline(m, sign);
+    }
     return sign > 0 ? k : -k;
 }
 
@@ -113,11 +157,22 @@ FxpLaplaceRng::sampleBatch(int64_t *out, size_t n)
             out[i] = sampleIndex();
         return;
     }
-    samples_drawn_ += n;
+    int64_t sat = quantizer_.maxIndex();
     for (size_t i = 0; i < n; ++i) {
+        if (integrity_fault_) {
+            // Table quarantined mid-batch: finish on the log path.
+            out[i] = sampleIndex();
+            continue;
+        }
+        ++samples_drawn_;
         uint64_t m = urng_.nextUnitIndex(config_.uniform_bits);
         int sign = urng_.nextSign();
         int64_t k = t->lookup(m);
+        if (config_.integrity_checks && k > sat) {
+            noteIntegrityFault("direct entry out of range");
+            out[i] = pipeline(m, sign);
+            continue;
+        }
         out[i] = sign > 0 ? k : -k;
     }
 }
@@ -135,6 +190,18 @@ FxpLaplaceRng::sampleIndexTruncated(int64_t lo, int64_t hi,
     // exactly as accept-reject accepts both sign draws of 0).
     uint64_t plus = t.cumulativeCount(hi);
     uint64_t minus = t.cumulativeCount(-lo);
+    if (plus > t.states() || minus > t.states()) {
+        // An intact table can never count more accepted states than
+        // states exist; this is SRAM corruption in the cumulative
+        // array.
+        if (config_.integrity_checks) {
+            noteIntegrityFault("cumulative count exceeds state count");
+            return false;
+        }
+        // Unhardened silicon: the rank address simply truncates.
+        plus = std::min(plus, t.states());
+        minus = std::min(minus, t.states());
+    }
     uint64_t total = plus + minus;
     if (total == 0)
         return false;
@@ -155,6 +222,12 @@ FxpLaplaceRng::sampleIndexTruncated(int64_t lo, int64_t hi,
         out = t.lookupByRank(r);
     else
         out = -t.lookupByRank(r - plus);
+    if (config_.integrity_checks && (out < lo || out > hi)) {
+        // The rank table promised this state lands inside the window;
+        // an entry outside it means the rank array was corrupted.
+        noteIntegrityFault("rank entry escapes the truncation window");
+        return false;
+    }
     return true;
 }
 

@@ -68,6 +68,17 @@ struct FxpLaplaceConfig
      */
     enum class SamplePath { Auto, Table, Naive };
     SamplePath sample_path = SamplePath::Auto;
+
+    /**
+     * Harden table lookups against SRAM corruption: every served
+     * entry is range-checked (a hardware comparator), cumulative
+     * counts are sanity-checked against the state count, and any
+     * mismatch permanently quarantines the table -- the RNG falls
+     * back to the log datapath, which computes the same pipeline
+     * without the suspect memory. Disable only to model unhardened
+     * silicon in fault-injection experiments.
+     */
+    bool integrity_checks = true;
 };
 
 /**
@@ -133,6 +144,32 @@ class FxpLaplaceRng
     const LaplaceSampleTable &table();
 
     /**
+     * Mutable access to the sampling table for fault injection
+     * (SEUs flip bits in the table SRAM). Returns nullptr when the
+     * configuration has no table. Production code never calls this.
+     */
+    LaplaceSampleTable *mutableTable();
+
+    /**
+     * CRC-scrub the sampling table against its enumeration-time
+     * signature (the periodic scrub of the hardening logic). Returns
+     * false -- and quarantines the table -- on a mismatch; true when
+     * the table is intact or was never built.
+     */
+    bool verifyTableIntegrity();
+
+    /** True once any integrity check failed; the table is then
+     *  quarantined for good (fastPathEnabled() goes false) and every
+     *  draw runs through the log datapath instead. */
+    bool integrityFault() const { return integrity_fault_; }
+
+    /** Integrity-check failures observed so far. */
+    uint64_t integrityDetections() const
+    {
+        return integrity_detections_;
+    }
+
+    /**
      * Deterministically map one URNG magnitude index m (1..2^Bu) and a
      * sign to an output index, without consuming randomness. This is
      * the pure pipeline function; tests enumerate it over all m.
@@ -158,17 +195,26 @@ class FxpLaplaceRng
      *  budget-halted requests). */
     const Tausworthe &urng() const { return urng_; }
 
+    /** Mutable uniform source, for wiring fault hooks and health
+     *  monitors into the URNG output register. */
+    Tausworthe &urng() { return urng_; }
+
   private:
     /** Table pointer when the fast path is usable, else nullptr. */
     const LaplaceSampleTable *ensureTable();
+
+    /** Latch an integrity fault and quarantine the table. */
+    void noteIntegrityFault(const char *what);
 
     FxpLaplaceConfig config_;
     Quantizer quantizer_;
     Tausworthe urng_;
     CordicLog cordic_;
     /** Shared so copies of a configured RNG reuse the enumeration. */
-    std::shared_ptr<const LaplaceSampleTable> table_;
+    std::shared_ptr<LaplaceSampleTable> table_;
     uint64_t samples_drawn_ = 0;
+    bool integrity_fault_ = false;
+    uint64_t integrity_detections_ = 0;
 };
 
 } // namespace ulpdp

@@ -1,0 +1,73 @@
+#include "rng/health.h"
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+RngHealthMonitor::RngHealthMonitor(const RngHealthConfig &config)
+    : config_(config)
+{
+    if (config.repetition_cutoff < 2)
+        fatal("RngHealthMonitor: repetition_cutoff must be >= 2, "
+              "got %d", config.repetition_cutoff);
+    if (config.proportion_window > 0 &&
+        config.proportion_tolerance * 2 >= config.proportion_window) {
+        fatal("RngHealthMonitor: proportion tolerance %u is vacuous "
+              "for window %u", config.proportion_tolerance,
+              config.proportion_window);
+    }
+}
+
+void
+RngHealthMonitor::observe(uint32_t word)
+{
+    ++observed_;
+
+    // Repetition count: a run of C identical words.
+    if (observed_ > 1 && word == last_word_) {
+        if (++run_length_ >= config_.repetition_cutoff) {
+            ++repetition_alarms_;
+            alarmed_ = true;
+            run_length_ = 1; // re-arm so the count stays meaningful
+        }
+    } else {
+        run_length_ = 1;
+    }
+    last_word_ = word;
+
+    // Adaptive proportion, per bit lane.
+    if (config_.proportion_window == 0)
+        return;
+    for (int b = 0; b < 32; ++b)
+        lane_ones_[b] += (word >> b) & 1u;
+    if (++window_fill_ < config_.proportion_window)
+        return;
+
+    uint32_t half = config_.proportion_window / 2;
+    uint32_t tol = config_.proportion_tolerance;
+    for (int b = 0; b < 32; ++b) {
+        uint32_t ones = lane_ones_[b];
+        if (ones + tol < half || ones > half + tol) {
+            ++proportion_alarms_;
+            alarmed_ = true;
+        }
+        lane_ones_[b] = 0;
+    }
+    window_fill_ = 0;
+}
+
+void
+RngHealthMonitor::reset()
+{
+    alarmed_ = false;
+    observed_ = 0;
+    repetition_alarms_ = 0;
+    proportion_alarms_ = 0;
+    run_length_ = 0;
+    last_word_ = 0;
+    window_fill_ = 0;
+    for (int b = 0; b < 32; ++b)
+        lane_ones_[b] = 0;
+}
+
+} // namespace ulpdp

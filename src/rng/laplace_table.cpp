@@ -1,5 +1,6 @@
 #include "rng/laplace_table.h"
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "rng/fxp_laplace.h"
 
@@ -65,6 +66,44 @@ LaplaceSampleTable::LaplaceSampleTable(const FxpLaplaceRng &rng)
             rank_[r++] = static_cast<uint16_t>(k);
     }
     ULPDP_ASSERT(r == static_cast<size_t>(states_));
+
+    crc_ = computeCrc();
+}
+
+uint32_t
+LaplaceSampleTable::computeCrc() const
+{
+    uint32_t c = crc32(direct_.data(),
+                       direct_.size() * sizeof(uint16_t));
+    c = crc32(rank_.data(), rank_.size() * sizeof(uint16_t), c);
+    return crc32(cum_.data(), cum_.size() * sizeof(uint64_t), c);
+}
+
+bool
+LaplaceSampleTable::verify() const
+{
+    return computeCrc() == crc_;
+}
+
+void
+LaplaceSampleTable::flipBit(size_t byte_offset, int bit)
+{
+    ULPDP_ASSERT(bit >= 0 && bit < 8);
+    ULPDP_ASSERT(byte_offset < faultableBytes());
+
+    size_t direct_bytes = direct_.size() * sizeof(uint16_t);
+    size_t rank_bytes = rank_.size() * sizeof(uint16_t);
+    uint8_t *base;
+    if (byte_offset < direct_bytes) {
+        base = reinterpret_cast<uint8_t *>(direct_.data());
+    } else if (byte_offset < direct_bytes + rank_bytes) {
+        base = reinterpret_cast<uint8_t *>(rank_.data());
+        byte_offset -= direct_bytes;
+    } else {
+        base = reinterpret_cast<uint8_t *>(cum_.data());
+        byte_offset -= direct_bytes + rank_bytes;
+    }
+    base[byte_offset] ^= static_cast<uint8_t>(1u << bit);
 }
 
 size_t

@@ -104,12 +104,38 @@ class LaplaceSampleTable
     /** Table footprint in bytes (hardware ROM sizing). */
     size_t memoryBytes() const;
 
+    /**
+     * CRC-32 over all three arrays, computed once at enumeration
+     * time. In silicon this is the signature fused next to the ROM;
+     * verify() re-derives it on demand (the periodic scrub).
+     */
+    uint32_t referenceCrc() const { return crc_; }
+
+    /** Recompute the CRC and compare against the enumeration-time
+     *  signature: false means the table contents changed since they
+     *  were built (an SEU, in the fault model). */
+    bool verify() const;
+
+    /**
+     * Fault-injection surface: the tables as one flat byte space
+     * ([direct | rank | cumulative], in that order). faultableBytes()
+     * is its size; flipBit() flips one bit in it, modelling a
+     * single-event upset in the table SRAM. Production code never
+     * calls these.
+     */
+    size_t faultableBytes() const { return memoryBytes(); }
+    void flipBit(size_t byte_offset, int bit);
+
   private:
+    /** CRC-32 over the current array contents. */
+    uint32_t computeCrc() const;
+
     std::vector<uint16_t> direct_;
     std::vector<uint16_t> rank_;
     std::vector<uint64_t> cum_;
     uint64_t states_;
     int64_t max_index_;
+    uint32_t crc_ = 0;
 };
 
 } // namespace ulpdp

@@ -1,6 +1,7 @@
 #include "rng/tausworthe.h"
 
 #include "common/logging.h"
+#include "rng/health.h"
 
 namespace ulpdp {
 
@@ -47,7 +48,15 @@ Tausworthe::next32()
     s2_ = ((s2_ & 0xfffffff8U) << 4) ^ b;
     b = ((s3_ << 3) ^ s3_) >> 11;
     s3_ = ((s3_ & 0xfffffff0U) << 17) ^ b;
-    return s1_ ^ s2_ ^ s3_;
+
+    uint32_t word = s1_ ^ s2_ ^ s3_;
+    // Fault site: the output register. The health monitor watches the
+    // post-fault word -- what the noise datapath actually consumes.
+    if (fault_hook_ != nullptr)
+        word = fault_hook_->urngWord(word);
+    if (health_ != nullptr)
+        health_->observe(word);
+    return word;
 }
 
 uint32_t

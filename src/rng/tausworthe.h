@@ -15,7 +15,11 @@
 
 #include <cstdint>
 
+#include "common/fault.h"
+
 namespace ulpdp {
+
+class RngHealthMonitor;
 
 /**
  * L'Ecuyer's taus88 combined Tausworthe generator: three maximally
@@ -63,10 +67,32 @@ class Tausworthe
     uint32_t s2() const { return s2_; }
     uint32_t s3() const { return s3_; }
 
+    /**
+     * Attach a fault hook at the output register: every generated
+     * word passes through hook->urngWord() before anything else sees
+     * it (the internal LFSR state keeps evolving -- this models a
+     * fault on the output flops, not the state). Null detaches.
+     * The pointer is borrowed; the hook must outlive the generator.
+     */
+    void setFaultHook(FaultHook *hook) { fault_hook_ = hook; }
+
+    /**
+     * Attach a continuous health monitor: it observes every output
+     * word *after* the fault hook, i.e. exactly what the datapath
+     * consumes -- the vantage point from which real 90B tests watch
+     * an entropy source. Null detaches. Borrowed pointer.
+     */
+    void attachHealthMonitor(RngHealthMonitor *monitor)
+    {
+        health_ = monitor;
+    }
+
   private:
     uint32_t s1_;
     uint32_t s2_;
     uint32_t s3_;
+    FaultHook *fault_hook_ = nullptr;
+    RngHealthMonitor *health_ = nullptr;
 };
 
 } // namespace ulpdp

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Deterministic fault-injection campaigns against the hardened
+ * fault sites.
+ *
+ * A privacy claim that only holds on fault-free silicon is not much
+ * of a claim on an ultra-low-power node: SEUs flip SRAM bits, buses
+ * NACK and corrupt bytes, brown-outs cut power mid-transaction, and
+ * timers glitch. The FaultInjector drives all of those fault classes
+ * from one seeded PRNG so a whole campaign -- thousands of
+ * transactions with faults striking every site -- replays bit-exactly
+ * from its seed, which is what makes a chaos-test failure debuggable.
+ *
+ * Two kinds of sites exist:
+ *
+ *  - Passive sites consult the injector *from inside* the component
+ *    through the FaultHook interface (URNG output register,
+ *    replenishment-timer comparator, bus transfer): the component
+ *    calls, the injector answers.
+ *  - Active sites are driven *by the harness* between transactions:
+ *    tick() advances campaign time and arms pending events, which the
+ *    harness then realises (flip a sampler-table bit, cut power and
+ *    restore from a possibly-corrupted checkpoint).
+ *
+ * The injector draws from its own private Tausworthe -- never from
+ * the device under test -- so injecting a fault does not perturb the
+ * very randomness stream being attacked.
+ */
+
+#ifndef ULPDP_SIM_FAULT_INJECTOR_H
+#define ULPDP_SIM_FAULT_INJECTOR_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/fault.h"
+#include "rng/tausworthe.h"
+
+namespace ulpdp {
+
+/**
+ * Per-site fault rates of one campaign. All rates are probabilities
+ * in [0, 1] per opportunity (per URNG word, per transfer attempt,
+ * per tick, ...); 0 disables the site.
+ */
+struct FaultCampaignConfig
+{
+    /** Campaign seed; equal seeds replay equal campaigns. */
+    uint64_t seed = 1;
+
+    /** Per URNG word: flip one random output bit (transient SEU on
+     *  the output flops). */
+    double urng_flip_rate = 0.0;
+
+    /** Per URNG word: latch the output register at its current value
+     *  permanently (hard stuck-at fault). */
+    double urng_stuck_rate = 0.0;
+
+    /** Per tick: flip one random bit of the sampler tables (SEU in
+     *  the table SRAM). Realised by the harness via
+     *  tableSeuPending(). */
+    double table_seu_rate = 0.0;
+
+    /** Per bus transfer attempt: addressed device NACKs. */
+    double bus_nack_rate = 0.0;
+
+    /** Per bus transfer attempt: clock-stretch timeout. */
+    double bus_timeout_rate = 0.0;
+
+    /** Per bus transfer attempt: one in-flight byte corrupted. */
+    double bus_corrupt_rate = 0.0;
+
+    /** Per tick: power is cut and the device restarts. Realised by
+     *  the harness via powerLossPending(). */
+    double power_loss_rate = 0.0;
+
+    /** Per power loss: the persisted budget checkpoint takes a bit
+     *  flip before it is read back (FRAM corruption). */
+    double checkpoint_corrupt_rate = 0.0;
+
+    /** Per replenishment-timer comparison: the timer spuriously
+     *  claims the period elapsed. */
+    double timer_glitch_rate = 0.0;
+};
+
+/** What one campaign actually injected (not what was detected). */
+struct FaultInjectionStats
+{
+    uint64_t urng_bit_flips = 0;
+    uint64_t urng_stuck_events = 0;
+    uint64_t urng_stuck_words = 0;
+    uint64_t table_seus = 0;
+    uint64_t bus_nacks = 0;
+    uint64_t bus_timeouts = 0;
+    uint64_t bus_corruptions = 0;
+    uint64_t power_losses = 0;
+    uint64_t checkpoints_corrupted = 0;
+    uint64_t timer_glitches = 0;
+
+    /** Total faults injected across all sites. */
+    uint64_t
+    total() const
+    {
+        return urng_bit_flips + urng_stuck_events + table_seus +
+               bus_nacks + bus_timeouts + bus_corruptions +
+               power_losses + checkpoints_corrupted + timer_glitches;
+    }
+};
+
+/** Seeded multi-site fault injector (see file comment). */
+class FaultInjector : public FaultHook
+{
+  public:
+    /** @param config Campaign rates; every rate must be in [0, 1]. */
+    explicit FaultInjector(const FaultCampaignConfig &config);
+
+    // Passive sites (FaultHook interface).
+    uint32_t urngWord(uint32_t word) override;
+    bool replenishGlitch() override;
+    BusFaultKind busFault() override;
+    uint8_t corruptBusByte(uint8_t byte) override;
+
+    /**
+     * Advance campaign time by one transaction tick: rolls the
+     * per-tick sites (table SEU, power loss) and arms the pending
+     * events the harness must realise.
+     */
+    void tick();
+
+    /** Consume a pending power-loss event (armed by tick()). */
+    bool powerLossPending();
+
+    /**
+     * Consume a pending sampler-table SEU: picks a uniform victim
+     * position over @p table_bytes and returns it in @p byte_offset /
+     * @p bit. Returns false when no SEU is pending (or the table is
+     * empty).
+     */
+    bool tableSeuPending(size_t &byte_offset, int &bit,
+                         size_t table_bytes);
+
+    /**
+     * With probability checkpoint_corrupt_rate, flip one random bit
+     * of the @p len bytes at @p bytes (the persisted checkpoint
+     * image). Returns true when a corruption was applied.
+     */
+    bool corruptCheckpointMaybe(void *bytes, size_t len);
+
+    /** Injection counters so far. */
+    const FaultInjectionStats &stats() const { return stats_; }
+
+    /** The campaign configuration in effect. */
+    const FaultCampaignConfig &config() const { return config_; }
+
+  private:
+    /** Uniform double in [0, 1) from the private stream. */
+    double roll();
+
+    FaultCampaignConfig config_;
+    Tausworthe rng_;
+    FaultInjectionStats stats_;
+
+    bool urng_stuck_ = false;
+    uint32_t stuck_word_ = 0;
+    bool power_loss_pending_ = false;
+    bool table_seu_pending_ = false;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_SIM_FAULT_INJECTOR_H

@@ -41,4 +41,84 @@ SensorBus::sampleCycles(int sensor_bits) const
     return readCycles(bytes);
 }
 
+BusReadResult
+SensorBus::readSample(int sensor_bits, int64_t true_value,
+                      FaultHook *hook, const BusRetryPolicy &policy,
+                      FaultStats *stats) const
+{
+    ULPDP_ASSERT(sensor_bits >= 1 && sensor_bits <= 32);
+    ULPDP_ASSERT(policy.max_attempts >= 1);
+
+    unsigned payload_bytes =
+        static_cast<unsigned>((sensor_bits + 7) / 8);
+    unsigned wire_bytes = payload_bytes + 1; // + CRC-8 trailer
+
+    uint64_t mask = sensor_bits == 32
+        ? 0xFFFFFFFFull
+        : (uint64_t{1} << sensor_bits) - 1;
+    uint64_t truth = static_cast<uint64_t>(true_value) & mask;
+
+    BusReadResult result;
+    uint64_t backoff = policy.backoff_base_cycles;
+
+    for (unsigned attempt = 1; attempt <= policy.max_attempts;
+         ++attempt) {
+        result.attempts = attempt;
+
+        // Serialize the sample big-endian with its CRC-8 trailer,
+        // exactly the frame an SHT3x-class sensor would emit.
+        uint8_t wire[5] = {};
+        for (unsigned b = 0; b < payload_bytes; ++b) {
+            int shift = 8 * static_cast<int>(payload_bytes - 1 - b);
+            wire[b] = static_cast<uint8_t>(truth >> shift);
+        }
+        wire[payload_bytes] = crc8(wire, payload_bytes);
+
+        BusFaultKind fault =
+            hook != nullptr ? hook->busFault() : BusFaultKind::None;
+
+        if (fault == BusFaultKind::Nack) {
+            // The device never ACKed its address: only the address
+            // phase crossed the bus.
+            result.cycles += readCycles(0);
+        } else if (fault == BusFaultKind::Timeout) {
+            // Clock stretching past the deadline: the master waited
+            // the whole nominal transfer before giving up.
+            result.cycles += readCycles(wire_bytes);
+        } else {
+            result.cycles += readCycles(wire_bytes);
+            if (fault == BusFaultKind::CorruptByte) {
+                // One in-flight byte (rotating over the frame across
+                // retries, CRC trailer included) takes the hit.
+                unsigned victim = (attempt - 1) % wire_bytes;
+                wire[victim] = hook->corruptBusByte(wire[victim]);
+            }
+            if (crc8(wire, payload_bytes) == wire[payload_bytes]) {
+                uint64_t got = 0;
+                for (unsigned b = 0; b < payload_bytes; ++b)
+                    got = (got << 8) | wire[b];
+                result.ok = true;
+                result.value = static_cast<int64_t>(got);
+                return result;
+            }
+            // CRC mismatch: the corruption was detected, not served.
+        }
+
+        if (attempt < policy.max_attempts) {
+            if (stats != nullptr)
+                ++stats->bus_retries;
+            result.cycles += backoff;
+            backoff *= 2;
+        }
+    }
+
+    // Retry budget exhausted: report failure so the caller degrades
+    // to its cached report instead of noising a garbage sample.
+    if (stats != nullptr)
+        ++stats->bus_degradations;
+    warn("SensorBus: read abandoned after %u attempts; caller must "
+         "degrade to cached data", result.attempts);
+    return result;
+}
+
 } // namespace ulpdp

@@ -12,6 +12,14 @@
  * The model follows I2C framing: START + 7-bit address + R/W + ACK,
  * then N data bytes each followed by an ACK, then STOP, with the bus
  * clocked at a fraction of the core clock.
+ *
+ * The bus is also a fault site: NACKs, clock-stretch timeouts and
+ * in-flight byte corruption all happen on real deployments.
+ * readSample() models the hardened access sequence -- a CRC-8
+ * trailing byte (SHT3x-style) detects corruption, detected faults
+ * retry with doubling backoff, and after the retry budget the read
+ * reports failure so the caller can degrade to its cached report
+ * instead of noising garbage.
  */
 
 #ifndef ULPDP_SIM_SENSOR_BUS_H
@@ -19,7 +27,37 @@
 
 #include <cstdint>
 
+#include "common/fault.h"
+
 namespace ulpdp {
+
+/** Retry discipline of a hardened sensor-bus read. */
+struct BusRetryPolicy
+{
+    /** Transfer attempts before the read is abandoned. */
+    unsigned max_attempts = 3;
+
+    /** Backoff before the first retry, in core cycles; doubles per
+     *  subsequent retry (32, 64, 128, ...). */
+    uint64_t backoff_base_cycles = 32;
+};
+
+/** Outcome of one hardened sensor-bus read. */
+struct BusReadResult
+{
+    /** A sample was delivered with a matching payload CRC. */
+    bool ok = false;
+
+    /** The delivered sample (valid when ok). */
+    int64_t value = 0;
+
+    /** Transfer attempts spent (>= 1). */
+    unsigned attempts = 0;
+
+    /** Core cycles the whole access sequence cost, retries and
+     *  backoff included. */
+    uint64_t cycles = 0;
+};
 
 /** Timing model of an I2C-style serial sensor bus. */
 class SensorBus
@@ -45,6 +83,21 @@ class SensorBus
 
     /** Core cycles per bus bit. */
     double cyclesPerBit() const { return core_hz_ / bus_hz_; }
+
+    /**
+     * Perform one hardened read of a @p sensor_bits sample whose true
+     * wire value is @p true_value: payload bytes plus a CRC-8 trailer
+     * cross the bus, @p hook (nullable) injects transfer faults, and
+     * detected faults (NACK, timeout, CRC mismatch) retry under
+     * @p policy with doubling backoff. @p stats (nullable) receives
+     * the bus_retries / bus_degradations counts. When every attempt
+     * fails the result has ok = false and the caller must fall back
+     * to already-released data -- never noise a garbage sample.
+     */
+    BusReadResult readSample(int sensor_bits, int64_t true_value,
+                             FaultHook *hook,
+                             const BusRetryPolicy &policy = {},
+                             FaultStats *stats = nullptr) const;
 
   private:
     double core_hz_;

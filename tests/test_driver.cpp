@@ -58,6 +58,59 @@ TEST(DpBoxDriver, InitializeOnlyOnce)
     EXPECT_THROW(drv.initialize(5.0, 0), FatalError);
 }
 
+TEST(DpBoxDriver, NoiseRequiresConfigure)
+{
+    // Initialized but never configured: the range registers are
+    // still zero, so noising must be refused, not produce garbage.
+    DpBoxDriver drv(driverConfig());
+    drv.initialize(5.0, 0);
+    EXPECT_THROW(drv.noise(0.5), FatalError);
+}
+
+TEST(DpBoxDriver, RejectsNonPositiveBudget)
+{
+    setLoggingEnabled(false);
+    EXPECT_THROW(DpBoxDriver(driverConfig()).initialize(0.0, 0),
+                 FatalError);
+    EXPECT_THROW(DpBoxDriver(driverConfig()).initialize(-1.0, 0),
+                 FatalError);
+    EXPECT_THROW(
+        DpBoxDriver(driverConfig())
+            .initialize(std::nan(""), 0),
+        FatalError);
+    setLoggingEnabled(true);
+}
+
+TEST(DpBoxDriver, RejectsNonPositiveEpsilon)
+{
+    DpBoxDriver drv(driverConfig());
+    drv.initialize(5.0, 0);
+    setLoggingEnabled(false);
+    EXPECT_THROW(drv.configure(0.0, SensorRange(0.0, 1.0)),
+                 FatalError);
+    EXPECT_THROW(drv.configure(-0.5, SensorRange(0.0, 1.0)),
+                 FatalError);
+    setLoggingEnabled(true);
+}
+
+TEST(DpBoxDriver, CountsEpsilonRoundingWarnings)
+{
+    DpBoxDriver drv(driverConfig());
+    drv.initialize(5.0, 0);
+    setLoggingEnabled(false);
+    uint64_t warned_before = warningCount();
+    drv.configure(0.25, SensorRange(0.0, 10.0)); // exact, no warning
+    EXPECT_EQ(drv.epsilonRoundingWarnings(), 0u);
+    drv.configure(0.4, SensorRange(0.0, 10.0)); // rounds to 0.5
+    drv.configure(0.3, SensorRange(0.0, 10.0)); // rounds to 0.25
+    setLoggingEnabled(true);
+    EXPECT_EQ(drv.epsilonRoundingWarnings(), 2u);
+    // Each counted rounding also went through common/logging, even
+    // with output disabled.
+    EXPECT_GE(warningCount() - warned_before, 2u);
+    EXPECT_EQ(drv.faultStats().epsilon_rounding_warnings, 2u);
+}
+
 TEST(DpBoxDriver, EpsilonRoundsToPowerOfTwo)
 {
     DpBoxDriver drv(driverConfig());
