@@ -87,8 +87,10 @@ timeBatch(FxpLaplaceRng &rng, int n, int64_t &sink)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path = bench::jsonPathFromArgs(argc, argv);
+
     bench::banner("Extension: table-driven sampling fast path",
                   "Per-draw latency of the naive FxP pipeline vs the "
                   "precomputed lookup table, and accept-reject "
@@ -217,5 +219,26 @@ main()
                 "single lookup, and window-conditioned draws need no "
                 "rejection loop at all -- same bits, same "
                 "distribution, O(1) worst case.\n");
+
+    if (!json_path.empty()) {
+        bench::JsonWriter json;
+        json.beginObject();
+        json.field("bench", "sampler table fast path");
+        json.field("ns_per_draw_reference_log", ns_ref);
+        json.field("ns_per_draw_cordic_log", ns_cordic);
+        json.field("ns_per_draw_table_scalar", ns_table);
+        json.field("ns_per_draw_table_batched", ns_batch);
+        json.field("table_speedup_vs_cordic", speedup);
+        json.field("table_build_ms", build_ms);
+        json.field("table_rom_bytes",
+                   static_cast<uint64_t>(table.memoryBytes()));
+        json.field("ns_per_report_accept_reject", ns_reject);
+        json.field("ns_per_report_truncated_inversion", ns_trunc);
+        json.field("accept_reject_draws_per_report",
+                   draws_per_report);
+        json.endObject();
+        if (json.writeFile(json_path))
+            std::printf("JSON written to %s\n", json_path.c_str());
+    }
     return 0;
 }

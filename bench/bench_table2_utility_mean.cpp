@@ -7,10 +7,11 @@
 #include "utility_table.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ulpdp;
     return bench::utilityTableMain(
         "Table II", "mean",
-        [](const Dataset &) { return std::make_unique<MeanQuery>(); });
+        [](const Dataset &) { return std::make_unique<MeanQuery>(); },
+        argc, argv);
 }

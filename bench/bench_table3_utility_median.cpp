@@ -6,11 +6,13 @@
 #include "utility_table.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ulpdp;
     return bench::utilityTableMain(
-        "Table III", "median", [](const Dataset &) {
+        "Table III", "median",
+        [](const Dataset &) {
             return std::make_unique<MedianQuery>();
-        });
+        },
+        argc, argv);
 }

@@ -6,11 +6,13 @@
 #include "utility_table.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ulpdp;
     return bench::utilityTableMain(
-        "Table IV", "variance", [](const Dataset &) {
+        "Table IV", "variance",
+        [](const Dataset &) {
             return std::make_unique<VarianceQuery>();
-        });
+        },
+        argc, argv);
 }

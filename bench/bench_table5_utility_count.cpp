@@ -9,11 +9,13 @@
 #include "utility_table.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ulpdp;
     return bench::utilityTableMain(
-        "Table V", "counting", [](const Dataset &d) {
+        "Table V", "counting",
+        [](const Dataset &d) {
             return std::make_unique<CountAboveQuery>(d.mean());
-        });
+        },
+        argc, argv);
 }

@@ -2,14 +2,12 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 
 #include "common/logging.h"
-#include "core/ideal_laplace_mechanism.h"
-#include "core/fxp_mechanism.h"
-#include "core/privacy_loss.h"
-#include "core/resampling_mechanism.h"
-#include "core/thresholding_mechanism.h"
+#include "common/stats.h"
 #include "data/generators.h"
+#include "fleet/fleet.h"
 
 namespace ulpdp {
 namespace bench {
@@ -29,6 +27,213 @@ banner(const std::string &title, const std::string &what)
                 "=====\n");
 }
 
+void
+JsonWriter::comma()
+{
+    if (!has_items_.empty()) {
+        if (has_items_.back())
+            out_ << ",";
+        has_items_.back() = true;
+    }
+}
+
+void
+JsonWriter::keyPrefix(const std::string &key)
+{
+    comma();
+    out_ << "\"" << escape(key) << "\":";
+}
+
+void
+JsonWriter::raw(const std::string &s)
+{
+    out_ << s;
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string r;
+    r.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            r += "\\\"";
+            break;
+          case '\\':
+            r += "\\\\";
+            break;
+          case '\n':
+            r += "\\n";
+            break;
+          case '\t':
+            r += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                r += buf;
+            } else {
+                r += c;
+            }
+        }
+    }
+    return r;
+}
+
+std::string
+JsonWriter::number(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+JsonWriter::beginObject()
+{
+    comma();
+    out_ << "{";
+    has_items_.push_back(false);
+}
+
+void
+JsonWriter::beginObject(const std::string &key)
+{
+    keyPrefix(key);
+    out_ << "{";
+    has_items_.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    ULPDP_ASSERT(!has_items_.empty());
+    has_items_.pop_back();
+    out_ << "}";
+}
+
+void
+JsonWriter::beginArray()
+{
+    comma();
+    out_ << "[";
+    has_items_.push_back(false);
+}
+
+void
+JsonWriter::beginArray(const std::string &key)
+{
+    keyPrefix(key);
+    out_ << "[";
+    has_items_.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    ULPDP_ASSERT(!has_items_.empty());
+    has_items_.pop_back();
+    out_ << "]";
+}
+
+void
+JsonWriter::field(const std::string &key, double v)
+{
+    keyPrefix(key);
+    raw(number(v));
+}
+
+void
+JsonWriter::field(const std::string &key, uint64_t v)
+{
+    keyPrefix(key);
+    out_ << v;
+}
+
+void
+JsonWriter::field(const std::string &key, int64_t v)
+{
+    keyPrefix(key);
+    out_ << v;
+}
+
+void
+JsonWriter::field(const std::string &key, int v)
+{
+    keyPrefix(key);
+    out_ << v;
+}
+
+void
+JsonWriter::field(const std::string &key, unsigned v)
+{
+    keyPrefix(key);
+    out_ << v;
+}
+
+void
+JsonWriter::field(const std::string &key, bool v)
+{
+    keyPrefix(key);
+    out_ << (v ? "true" : "false");
+}
+
+void
+JsonWriter::field(const std::string &key, const std::string &v)
+{
+    keyPrefix(key);
+    out_ << "\"" << escape(v) << "\"";
+}
+
+void
+JsonWriter::field(const std::string &key, const char *v)
+{
+    field(key, std::string(v));
+}
+
+void
+JsonWriter::element(double v)
+{
+    comma();
+    raw(number(v));
+}
+
+void
+JsonWriter::element(const std::string &v)
+{
+    comma();
+    out_ << "\"" << escape(v) << "\"";
+}
+
+bool
+JsonWriter::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("JsonWriter: cannot open %s for writing", path.c_str());
+        return false;
+    }
+    out << str() << "\n";
+    return static_cast<bool>(out);
+}
+
+std::string
+jsonPathFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json") {
+            if (i + 1 >= argc)
+                fatal("--json requires a path argument");
+            return argv[i + 1];
+        }
+    }
+    return "";
+}
+
 FxpMechanismParams
 standardParams(const Dataset &data, double epsilon, uint64_t seed)
 {
@@ -46,65 +251,65 @@ std::vector<SettingRow>
 runFourSettings(const Dataset &data, const Query &query, double epsilon,
                 double loss_multiple, int trials, uint64_t seed)
 {
+    if (trials < 1)
+        fatal("runFourSettings: trials must be positive");
     FxpMechanismParams p = standardParams(data, epsilon, seed);
-    ThresholdCalculator calc(p);
-    auto pmf = calc.pmf();
 
-    int64_t t_resamp =
-        calc.exactIndex(RangeControl::Resampling, loss_multiple);
-    int64_t t_thresh =
-        calc.exactIndex(RangeControl::Thresholding, loss_multiple);
-    if (t_resamp < 0 || t_thresh < 0)
-        fatal("runFourSettings: no valid threshold for loss bound "
-              "%g * eps on dataset %s", loss_multiple,
-              data.name.c_str());
+    // Four cohorts of one fleet: entry i = node i, materialized so the
+    // query can be evaluated per trial after the run. The per-cohort
+    // threshold search and exact loss analysis happen inside the
+    // runner (fatal when no threshold satisfies the bound, matching
+    // the old behaviour).
+    FleetConfig fc;
+    fc.master_seed = seed;
+    // Table-sized cohorts: small blocks so even a 100-entry dataset
+    // gives the thread pool something to balance.
+    fc.block_nodes = 256;
+    auto makeCohort = [&](const char *name, CohortMechanism m) {
+        CohortConfig c;
+        c.name = name;
+        c.mechanism = m;
+        c.params = p;
+        c.loss_multiple = loss_multiple;
+        c.values = data.values;
+        c.reports_per_node = static_cast<uint32_t>(trials);
+        c.materialize = true;
+        return c;
+    };
+    fc.cohorts = {
+        makeCohort("Ideal Local DP", CohortMechanism::Ideal),
+        makeCohort("FxP HW Baseline", CohortMechanism::Naive),
+        makeCohort("Resampling", CohortMechanism::Resampling),
+        makeCohort("Thresholding", CohortMechanism::Thresholding),
+    };
 
-    UtilityEvaluator eval(trials);
+    FleetRunner runner(std::move(fc));
+    FleetReport report = runner.run();
+
+    double true_value = query.evaluate(data.values);
     std::vector<SettingRow> rows;
+    for (const CohortResult &c : report.cohorts) {
+        SettingRow row;
+        row.setting = c.name;
 
-    double bound = loss_multiple * epsilon;
+        RunningStats err;
+        for (int t = 0; t < trials; ++t) {
+            double answer = query.evaluate(
+                c.trialReports(static_cast<uint32_t>(t)));
+            err.add(std::abs(answer - true_value));
+        }
+        row.util.mae = err.mean();
+        row.util.mae_std = err.stddev();
+        row.util.true_value = true_value;
+        row.util.relative_error = true_value != 0.0
+            ? row.util.mae / std::abs(true_value)
+            : row.util.mae;
+        row.util.samples_drawn = c.samples_drawn;
+        row.util.reports = c.reports;
 
-    {
-        SettingRow row;
-        row.setting = "Ideal Local DP";
-        IdealLaplaceMechanism mech(p.range, epsilon, seed);
-        row.util = eval.evaluate(data.values, mech, query);
-        row.ldp = true;
-        row.worst_loss = epsilon;
-        rows.push_back(row);
-    }
-    {
-        SettingRow row;
-        row.setting = "FxP HW Baseline";
-        NaiveFxpMechanism mech(p);
-        row.util = eval.evaluate(data.values, mech, query);
-        NaiveOutputModel model(pmf, calc.span());
-        LossReport rep = PrivacyLossAnalyzer::analyze(model);
-        row.ldp = rep.bounded && rep.worst_case_loss <= bound + 1e-9;
-        row.worst_loss = rep.worst_case_loss;
-        rows.push_back(row);
-    }
-    {
-        SettingRow row;
-        row.setting = "Resampling";
-        ResamplingMechanism mech(p, t_resamp);
-        row.util = eval.evaluate(data.values, mech, query);
-        ResamplingOutputModel model(pmf, calc.span(), t_resamp);
-        LossReport rep = PrivacyLossAnalyzer::analyze(model);
-        row.ldp = rep.bounded && rep.worst_case_loss <= bound + 1e-9;
-        row.worst_loss = rep.worst_case_loss;
-        rows.push_back(row);
-    }
-    {
-        SettingRow row;
-        row.setting = "Thresholding";
-        ThresholdingMechanism mech(p, t_thresh);
-        row.util = eval.evaluate(data.values, mech, query);
-        ThresholdingOutputModel model(pmf, calc.span(), t_thresh);
-        LossReport rep = PrivacyLossAnalyzer::analyze(model);
-        row.ldp = rep.bounded && rep.worst_case_loss <= bound + 1e-9;
-        row.worst_loss = rep.worst_case_loss;
-        rows.push_back(row);
+        row.ldp = c.ldp;
+        row.worst_loss = c.worst_loss;
+        rows.push_back(std::move(row));
     }
     return rows;
 }

@@ -8,6 +8,8 @@
 #ifndef ULPDP_BENCH_BENCH_UTIL_H
 #define ULPDP_BENCH_BENCH_UTIL_H
 
+#include <cstdint>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,62 @@
 
 namespace ulpdp {
 namespace bench {
+
+/**
+ * Minimal streaming JSON writer for the machine-readable BENCH_*.json
+ * side-channel every bench shares (the human-readable tables stay on
+ * stdout). Call begin/end in matched pairs; commas and separators are
+ * inserted automatically. Doubles print with 17 significant digits so
+ * bit-exactness claims survive the round trip; NaN and infinities --
+ * which JSON cannot carry -- serialise as null.
+ */
+class JsonWriter
+{
+  public:
+    void beginObject();
+    void beginObject(const std::string &key);
+    void endObject();
+    void beginArray();
+    void beginArray(const std::string &key);
+    void endArray();
+
+    void field(const std::string &key, double v);
+    void field(const std::string &key, uint64_t v);
+    void field(const std::string &key, int64_t v);
+    void field(const std::string &key, int v);
+    void field(const std::string &key, unsigned v);
+    void field(const std::string &key, bool v);
+    void field(const std::string &key, const std::string &v);
+    void field(const std::string &key, const char *v);
+
+    /** Bare array element. */
+    void element(double v);
+    void element(const std::string &v);
+
+    /** The document so far. */
+    std::string str() const { return out_.str(); }
+
+    /** Write the document to @p path; warns and returns false on I/O
+     *  failure (a bench should still print its table). */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    void comma();
+    void keyPrefix(const std::string &key);
+    void raw(const std::string &s);
+    static std::string escape(const std::string &s);
+    static std::string number(double v);
+
+    std::ostringstream out_;
+    std::vector<bool> has_items_;
+};
+
+/**
+ * The shared `--json <path>` bench flag: returns the path argument or
+ * an empty string when the flag is absent. Fatal when the flag is
+ * given without a path.
+ */
+std::string jsonPathFromArgs(int argc, char **argv);
 
 /** Print a bench banner naming the table/figure being reproduced. */
 void banner(const std::string &title, const std::string &what);
@@ -51,6 +109,11 @@ struct SettingRow
  * Run the paper's four settings (ideal / naive FxP / resampling /
  * thresholding) for one dataset and query: methodology of Section V
  * with the loss bound n * eps, thresholds from the exact search.
+ *
+ * Implemented on the parallel fleet engine: the four settings run as
+ * four cohorts of one fleet (dataset entry i = node i, trial t = every
+ * node's t-th report), so the trial loop parallelises across cores
+ * while staying bit-identical for every thread count.
  *
  * @param data Dataset (already subsampled if huge).
  * @param query Query under evaluation.

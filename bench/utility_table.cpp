@@ -26,8 +26,11 @@ int
 utilityTableMain(
     const std::string &table_name, const std::string &query_name,
     const std::function<std::unique_ptr<Query>(const Dataset &)>
-        &make_query)
+        &make_query,
+    int argc, char **argv)
 {
+    std::string json_path = jsonPathFromArgs(argc, argv);
+
     banner(table_name + ": mean absolute error for " + query_name +
                " query",
            "Settings: eps = 0.5, loss bound 2*eps, Bu = 17, "
@@ -38,6 +41,16 @@ utilityTableMain(
     TextTable table;
     table.setHeader({"Dataset", "Setting", "MAE", "Rel.err", "LDP?",
                      "WorstLoss", "AvgSamples"});
+
+    JsonWriter json;
+    json.beginObject();
+    json.field("bench", table_name);
+    json.field("query", query_name);
+    json.field("epsilon", kEpsilon);
+    json.field("loss_multiple", kLossMultiple);
+    json.field("trials", kTrials);
+    json.field("max_entries", static_cast<uint64_t>(kMaxEntries));
+    json.beginArray("rows");
 
     for (const Dataset &data : benchDatasets(kMaxEntries)) {
         auto query = make_query(data);
@@ -57,14 +70,33 @@ utilityTableMain(
                     : "inf",
                 TextTable::fmt(row.util.avgSamplesPerReport(), 3),
             });
+            json.beginObject();
+            json.field("dataset", data.name);
+            json.field("setting", row.setting);
+            json.field("mae", row.util.mae);
+            json.field("mae_std", row.util.mae_std);
+            json.field("relative_error",
+                       row.util.mae / data.range.length());
+            json.field("ldp", row.ldp);
+            json.field("worst_loss", row.worst_loss);
+            json.field("avg_samples_per_report",
+                       row.util.avgSamplesPerReport());
+            json.field("true_value", row.util.true_value);
+            json.endObject();
         }
     }
+    json.endArray();
+    json.endObject();
+
     table.print(std::cout);
     std::printf(
         "\nExpected shape (paper %s): all four settings show similar "
         "MAE on every dataset;\nonly the FxP HW Baseline has LDP? = N "
         "(infinite worst-case loss).\n",
         table_name.c_str());
+
+    if (!json_path.empty() && json.writeFile(json_path))
+        std::printf("JSON written to %s\n", json_path.c_str());
     return 0;
 }
 

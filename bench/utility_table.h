@@ -26,12 +26,15 @@ namespace bench {
  * @param query_name e.g. "mean".
  * @param make_query Builds the query per dataset (the counting query
  *        thresholds at the dataset mean, for example).
+ * @param argc/argv Bench command line; `--json <path>` additionally
+ *        writes the table as machine-readable JSON.
  * @return Process exit code.
  */
 int utilityTableMain(
     const std::string &table_name, const std::string &query_name,
     const std::function<std::unique_ptr<Query>(const Dataset &)>
-        &make_query);
+        &make_query,
+    int argc = 0, char **argv = nullptr);
 
 } // namespace bench
 } // namespace ulpdp

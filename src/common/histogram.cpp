@@ -45,6 +45,27 @@ Histogram::addAll(const std::vector<double> &xs)
         add(x);
 }
 
+bool
+Histogram::sameBinning(const Histogram &other) const
+{
+    return lo_ == other.lo_ && hi_ == other.hi_ &&
+           counts_.size() == other.counts_.size();
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (!sameBinning(other))
+        fatal("Histogram::merge: binning mismatch ([%g, %g] x %zu vs "
+              "[%g, %g] x %zu)", lo_, hi_, counts_.size(), other.lo_,
+              other.hi_, other.counts_.size());
+    for (size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+}
+
 double
 Histogram::binCenter(size_t i) const
 {

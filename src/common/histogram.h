@@ -35,6 +35,20 @@ class Histogram
     /** Count a whole vector of samples. */
     void addAll(const std::vector<double> &xs);
 
+    /**
+     * Whether @p other bins over the same range with the same number
+     * of bins (the precondition for merge()).
+     */
+    bool sameBinning(const Histogram &other) const;
+
+    /**
+     * Fold another histogram's counts into this one (parallel merge:
+     * shards accumulate privately and merge at the end). Counts are
+     * integers, so the merged result is bit-identical however the
+     * samples were partitioned. Fatal unless sameBinning(other).
+     */
+    void merge(const Histogram &other);
+
     /** Number of bins (excluding under/overflow). */
     size_t numBins() const { return counts_.size(); }
 

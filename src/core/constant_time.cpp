@@ -19,6 +19,7 @@ ConstantTimeResamplingMechanism::ConstantTimeResamplingMechanism(
     if (batch_size < 1)
         fatal("ConstantTimeResamplingMechanism: batch_size must be "
               "positive, got %d", batch_size);
+    batch_.resize(static_cast<size_t>(batch_size_));
 }
 
 NoisedReport
@@ -29,8 +30,9 @@ ConstantTimeResamplingMechanism::noise(double x)
     int64_t win_hi = hi_index_ + threshold_index_;
 
     // Always draw all K samples (the hardware generates the batch
-    // unconditionally, which is what makes the timing constant).
-    batch_.resize(static_cast<size_t>(batch_size_));
+    // unconditionally, which is what makes the timing constant). The
+    // buffer is sized once at construction; resizing it here would
+    // reallocate on every report.
     rng_.sampleBatch(batch_.data(), batch_.size());
     int64_t chosen = 0;
     bool found = false;

@@ -158,6 +158,18 @@ struct DpBoxStats
     uint64_t resamples = 0;
     uint64_t cache_hits = 0;
     uint64_t budget_exhausted_events = 0;
+
+    /** Accumulate another device's counters (fleet aggregation). */
+    DpBoxStats &
+    operator+=(const DpBoxStats &o)
+    {
+        cycles += o.cycles;
+        noising_requests += o.noising_requests;
+        resamples += o.resamples;
+        cache_hits += o.cache_hits;
+        budget_exhausted_events += o.budget_exhausted_events;
+        return *this;
+    }
 };
 
 /**

@@ -1,0 +1,586 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <thread>
+
+#include "common/logging.h"
+#include "core/budget.h"
+#include "core/privacy_loss.h"
+#include "core/threshold_calc.h"
+#include "rng/fxp_laplace.h"
+#include "rng/ideal_laplace.h"
+#include "rng/tausworthe.h"
+
+namespace ulpdp {
+
+namespace {
+
+// Checksum mix keys for the node and trial dimensions.
+constexpr uint64_t kNodeKey = 0x9e3779b97f4a7c15ULL;
+constexpr uint64_t kTrialKey = 0xc2b2ae3d27d4eb4fULL;
+
+// Salt selecting the synthetic-data substream of a node seed.
+constexpr uint64_t kDataSalt = 0x64617461ULL; // "data"
+
+uint64_t
+doubleBits(double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    return bits;
+}
+
+/** Digest one released report, order-independently (summed). */
+uint64_t
+reportDigest(uint64_t node, uint32_t trial, double released)
+{
+    return FleetSeeder::mix64((node + 1) * kNodeKey ^
+                              (static_cast<uint64_t>(trial) + 1) *
+                                  kTrialKey ^
+                              doubleBits(released));
+}
+
+/** Uniform double in (0, 1] from one 64-bit word. */
+double
+unitFromWord(uint64_t w)
+{
+    return (static_cast<double>(w >> 11) + 1.0) * 0x1p-53;
+}
+
+/** Fold a byte range into a running digest (merge-order fixed by the
+ *  caller, so a plain chained hash is fine here). */
+uint64_t
+foldBytes(uint64_t acc, const void *data, size_t len)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < len; ++i)
+        acc = FleetSeeder::mix64(acc ^ (p[i] + 0xffULL * i));
+    return acc;
+}
+
+uint64_t
+foldStats(uint64_t acc, const RunningStats &s)
+{
+    uint64_t w[5] = {s.count(), doubleBits(s.mean()),
+                     doubleBits(s.variance()), doubleBits(s.min()),
+                     doubleBits(s.max())};
+    return foldBytes(acc, w, sizeof w);
+}
+
+} // anonymous namespace
+
+const char *
+cohortMechanismName(CohortMechanism m)
+{
+    switch (m) {
+      case CohortMechanism::Ideal:
+        return "Ideal Local DP";
+      case CohortMechanism::Naive:
+        return "FxP HW Baseline";
+      case CohortMechanism::Resampling:
+        return "Resampling";
+      case CohortMechanism::Thresholding:
+        return "Thresholding";
+    }
+    panic("cohortMechanismName: invalid mechanism");
+}
+
+/**
+ * Everything a worker needs about one cohort, resolved once on the
+ * main thread: grid indices, window, threshold, affordable report
+ * count, the prototype RNG whose enumerated table every per-block
+ * copy shares read-only, and the exact loss verdict.
+ */
+struct FleetRunner::CohortPlan
+{
+    CohortPlan(const CohortConfig &c, uint32_t cohort_index)
+        : cfg(c), index(cohort_index),
+          proto(c.params.rngConfig(), /*seed=*/1)
+    {
+        if (!(cfg.params.epsilon > 0.0))
+            fatal("FleetRunner: cohort '%s': epsilon must be "
+                  "positive, got %g", cfg.name.c_str(),
+                  cfg.params.epsilon);
+        nodes = cfg.values.empty()
+            ? cfg.nodes
+            : static_cast<uint64_t>(cfg.values.size());
+        if (nodes == 0)
+            fatal("FleetRunner: cohort '%s' has no nodes (set nodes "
+                  "or provide values)", cfg.name.c_str());
+        if (cfg.reports_per_node == 0)
+            fatal("FleetRunner: cohort '%s': reports_per_node must "
+                  "be positive", cfg.name.c_str());
+
+        delta = proto.quantizer().delta();
+        lo_index = static_cast<int64_t>(
+            std::llround(cfg.params.range.lo / delta));
+        hi_index = static_cast<int64_t>(
+            std::llround(cfg.params.range.hi / delta));
+        mid_value = 0.5 * (cfg.params.range.lo + cfg.params.range.hi);
+        lambda = cfg.params.lambda();
+
+        bool controlled =
+            cfg.mechanism == CohortMechanism::Resampling ||
+            cfg.mechanism == CohortMechanism::Thresholding;
+        threshold = 0;
+        if (controlled) {
+            ThresholdCalculator calc(cfg.params);
+            threshold = cfg.threshold_index >= 0
+                ? cfg.threshold_index
+                : calc.exactIndex(kind(), cfg.loss_multiple);
+            if (threshold < 0)
+                fatal("FleetRunner: cohort '%s': no valid threshold "
+                      "for loss bound %g * eps", cfg.name.c_str(),
+                      cfg.loss_multiple);
+        }
+        win_lo = lo_index - threshold;
+        win_hi = hi_index + threshold;
+
+        // Worst-case flat charge per fresh report (never undercharges,
+        // and the affordable count needs no randomness to evaluate).
+        double charge = controlled
+            ? cfg.loss_multiple * cfg.params.epsilon
+            : cfg.params.epsilon;
+        fresh_per_node = cfg.reports_per_node;
+        if (cfg.budget_per_node > 0.0) {
+            uint32_t f = 0;
+            double remaining = cfg.budget_per_node;
+            while (f < cfg.reports_per_node &&
+                   budgetCovers(remaining, charge)) {
+                remaining -= charge;
+                ++f;
+            }
+            fresh_per_node = f;
+        }
+
+        // Synthetic-data shape defaults: centered, range/6 std.
+        data_mean = cfg.data_mean_set
+            ? cfg.data_mean
+            : mid_value;
+        data_std = cfg.data_std > 0.0
+            ? cfg.data_std
+            : cfg.params.range.length() / 6.0;
+
+        // Released-value histogram: the exact window for controlled
+        // mechanisms, a generous +-2 lambda apron otherwise (the
+        // under/overflow buckets catch the rest).
+        double ext = controlled
+            ? static_cast<double>(threshold) * delta
+            : 2.0 * lambda;
+        hist_lo = cfg.params.range.lo - ext;
+        hist_hi = cfg.params.range.hi + ext;
+
+        // Enumerate the sampling table once, before any worker copies
+        // the prototype: every copy then shares it read-only.
+        if (cfg.mechanism != CohortMechanism::Ideal &&
+            proto.fastPathEnabled())
+            proto.table();
+
+        worst_loss = cfg.params.epsilon;
+        ldp = true;
+        if (cfg.analyze_loss &&
+            cfg.mechanism != CohortMechanism::Ideal) {
+            ThresholdCalculator calc(cfg.params);
+            auto pmf = calc.pmf();
+            LossReport rep;
+            switch (cfg.mechanism) {
+              case CohortMechanism::Naive: {
+                NaiveOutputModel model(pmf, calc.span());
+                rep = PrivacyLossAnalyzer::analyze(model);
+                break;
+              }
+              case CohortMechanism::Resampling: {
+                ResamplingOutputModel model(pmf, calc.span(),
+                                            threshold);
+                rep = PrivacyLossAnalyzer::analyze(model);
+                break;
+              }
+              case CohortMechanism::Thresholding: {
+                ThresholdingOutputModel model(pmf, calc.span(),
+                                              threshold);
+                rep = PrivacyLossAnalyzer::analyze(model);
+                break;
+              }
+              default:
+                break;
+            }
+            worst_loss = rep.bounded
+                ? rep.worst_case_loss
+                : std::numeric_limits<double>::infinity();
+            double bound =
+                cfg.loss_multiple * cfg.params.epsilon + 1e-9;
+            ldp = rep.bounded && rep.worst_case_loss <= bound;
+        } else if (cfg.mechanism == CohortMechanism::Naive) {
+            worst_loss = std::numeric_limits<double>::infinity();
+            ldp = false;
+        }
+    }
+
+    RangeControl
+    kind() const
+    {
+        return cfg.mechanism == CohortMechanism::Resampling
+            ? RangeControl::Resampling
+            : RangeControl::Thresholding;
+    }
+
+    uint64_t
+    numBlocks(uint32_t block_nodes) const
+    {
+        return (nodes + block_nodes - 1) / block_nodes;
+    }
+
+    CohortConfig cfg;
+    uint32_t index;
+    FxpLaplaceRng proto;
+    uint64_t nodes = 0;
+    double delta = 1.0;
+    int64_t lo_index = 0;
+    int64_t hi_index = 0;
+    int64_t threshold = 0;
+    int64_t win_lo = 0;
+    int64_t win_hi = 0;
+    double mid_value = 0.0;
+    double lambda = 1.0;
+    double data_mean = 0.0;
+    double data_std = 1.0;
+    double hist_lo = 0.0;
+    double hist_hi = 1.0;
+    uint32_t fresh_per_node = 0;
+    double worst_loss = 0.0;
+    bool ldp = false;
+};
+
+namespace {
+
+/** Private accumulation slab of one block. One thread writes it; the
+ *  main thread merges slabs in block-index order afterwards. */
+struct BlockAccum
+{
+    BlockAccum(double hist_lo, double hist_hi, size_t bins,
+               uint32_t reports_per_node)
+        : hist(hist_lo, hist_hi, bins),
+          trial_sum(reports_per_node, 0.0)
+    {}
+
+    Histogram hist;
+    RunningStats released;
+    RunningStats error;
+    RunningStats true_vals;
+    std::vector<double> trial_sum;
+    uint64_t samples = 0;
+    uint64_t overflows = 0;
+    uint64_t fresh = 0;
+    uint64_t replays = 0;
+    uint64_t exhausted = 0;
+    uint64_t integrity = 0;
+    uint64_t checksum = 0;
+};
+
+/** One claimable unit of work: a block of consecutive nodes. */
+struct WorkItem
+{
+    uint32_t cohort;
+    uint64_t node_lo;
+    uint64_t node_hi;
+    BlockAccum *accum;
+};
+
+/** Deterministic per-node true reading (clipped Gaussian via
+ *  Box-Muller on the node's data substream). */
+double
+synthValue(uint64_t data_seed, double mu, double sigma, double lo,
+           double hi)
+{
+    uint64_t a = FleetSeeder::mix64(data_seed + kNodeKey);
+    uint64_t b = FleetSeeder::mix64(data_seed + 2 * kNodeKey);
+    double u1 = unitFromWord(a);
+    double u2 = unitFromWord(b);
+    double z = std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * 3.14159265358979323846 * u2);
+    return std::clamp(mu + sigma * z, lo, hi);
+}
+
+} // anonymous namespace
+
+std::vector<double>
+CohortResult::trialReports(uint32_t trial) const
+{
+    ULPDP_ASSERT(!matrix.empty());
+    ULPDP_ASSERT(static_cast<uint64_t>(trial) * nodes + nodes <=
+                 matrix.size());
+    auto first = matrix.begin() +
+                 static_cast<ptrdiff_t>(trial * nodes);
+    return std::vector<double>(first,
+                               first + static_cast<ptrdiff_t>(nodes));
+}
+
+double
+FleetReport::reportsPerSecond() const
+{
+    return seconds > 0.0
+        ? static_cast<double>(total_reports) / seconds
+        : 0.0;
+}
+
+uint64_t
+FleetReport::fingerprint() const
+{
+    uint64_t acc = 0x1ee75a7e5eedULL;
+    for (const CohortResult &c : cohorts) {
+        acc = FleetSeeder::mix64(acc ^ c.checksum);
+        acc = foldStats(acc, c.released_stats);
+        acc = foldStats(acc, c.error_stats);
+        acc = foldStats(acc, c.true_stats);
+        for (size_t i = 0; i < c.released_hist.numBins(); ++i)
+            acc = FleetSeeder::mix64(acc ^ c.released_hist.count(i));
+        acc = FleetSeeder::mix64(acc ^ c.released_hist.underflow());
+        acc = FleetSeeder::mix64(acc ^ c.released_hist.overflow());
+        for (double e : c.trial_estimate)
+            acc = FleetSeeder::mix64(acc ^ doubleBits(e));
+        uint64_t counters[6] = {c.samples_drawn, c.resample_overflows,
+                                c.fresh_reports, c.cache_replays,
+                                c.nodes_exhausted,
+                                c.rng_integrity_detections};
+        acc = foldBytes(acc, counters, sizeof counters);
+    }
+    return acc;
+}
+
+FleetRunner::FleetRunner(FleetConfig config)
+    : config_(std::move(config)), seeder_(config_.master_seed)
+{
+    if (config_.cohorts.empty())
+        fatal("FleetRunner: configuration has no cohorts");
+    if (config_.block_nodes == 0)
+        fatal("FleetRunner: block_nodes must be positive");
+    plans_.reserve(config_.cohorts.size());
+    for (size_t i = 0; i < config_.cohorts.size(); ++i)
+        plans_.emplace_back(config_.cohorts[i],
+                            static_cast<uint32_t>(i));
+}
+
+FleetRunner::~FleetRunner() = default;
+
+unsigned
+FleetRunner::hardwareThreads()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+FleetReport
+FleetRunner::run(unsigned num_threads)
+{
+    if (num_threads == 0)
+        num_threads = hardwareThreads();
+
+    // Per-cohort block slabs, pre-sized so workers never allocate
+    // shared state; materialized matrices likewise (each block writes
+    // disjoint columns).
+    std::vector<std::vector<BlockAccum>> accums(plans_.size());
+    std::vector<std::vector<double>> matrices(plans_.size());
+    std::vector<WorkItem> items;
+    for (size_t c = 0; c < plans_.size(); ++c) {
+        CohortPlan &plan = plans_[c];
+        uint64_t nblocks = plan.numBlocks(config_.block_nodes);
+        accums[c].reserve(nblocks);
+        if (plan.cfg.materialize)
+            matrices[c].assign(plan.nodes *
+                                   plan.cfg.reports_per_node,
+                               0.0);
+        for (uint64_t b = 0; b < nblocks; ++b) {
+            accums[c].emplace_back(plan.hist_lo, plan.hist_hi,
+                                   plan.cfg.histogram_bins,
+                                   plan.cfg.reports_per_node);
+            uint64_t lo = b * config_.block_nodes;
+            uint64_t hi = std::min(plan.nodes,
+                                   lo + config_.block_nodes);
+            items.push_back(WorkItem{static_cast<uint32_t>(c), lo, hi,
+                                     &accums[c].back()});
+        }
+    }
+
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= items.size())
+                return;
+            const WorkItem &item = items[i];
+            const CohortPlan &plan = plans_[item.cohort];
+            const CohortConfig &cfg = plan.cfg;
+            BlockAccum &acc = *item.accum;
+            double *matrix = cfg.materialize
+                ? matrices[item.cohort].data()
+                : nullptr;
+
+            const uint32_t R = cfg.reports_per_node;
+            const uint32_t fresh = plan.fresh_per_node;
+            const bool fxp =
+                cfg.mechanism != CohortMechanism::Ideal;
+            const bool batched =
+                cfg.mechanism == CohortMechanism::Naive ||
+                cfg.mechanism == CohortMechanism::Thresholding;
+            const bool clamp =
+                cfg.mechanism == CohortMechanism::Thresholding;
+
+            // Per-block RNG copy: shares the prototype's enumerated
+            // table (read-only), reseeded per node below.
+            FxpLaplaceRng rng = plan.proto;
+            std::vector<int64_t> noise(batched ? fresh : 0);
+            uint64_t drawn_before = rng.samplesDrawn();
+
+            for (uint64_t node = item.node_lo; node < item.node_hi;
+                 ++node) {
+                uint64_t seed = seeder_.nodeSeed(plan.index, node);
+                double x = cfg.values.empty()
+                    ? synthValue(seeder_.nodeSubSeed(plan.index, node,
+                                                     kDataSalt),
+                                 plan.data_mean, plan.data_std,
+                                 cfg.params.range.lo,
+                                 cfg.params.range.hi)
+                    : cfg.values[node];
+                acc.true_vals.add(x);
+                if (fresh < R)
+                    ++acc.exhausted;
+
+                int64_t xi = 0;
+                if (fxp) {
+                    xi = static_cast<int64_t>(
+                        std::llround(x / plan.delta));
+                    xi = std::clamp(xi, plan.lo_index, plan.hi_index);
+                    rng.urng() = Tausworthe(seed);
+                    if (batched && fresh > 0)
+                        rng.sampleBatch(noise.data(), fresh);
+                }
+                std::optional<IdealLaplace> ideal;
+                if (!fxp)
+                    ideal.emplace(plan.lambda, seed);
+
+                std::optional<double> cached;
+                for (uint32_t t = 0; t < R; ++t) {
+                    double released;
+                    if (t < fresh) {
+                        if (batched) {
+                            int64_t yi = xi + noise[t];
+                            if (clamp)
+                                yi = std::clamp(yi, plan.win_lo,
+                                                plan.win_hi);
+                            released = static_cast<double>(yi) *
+                                       plan.delta;
+                        } else if (fxp) {
+                            // drawConfinedOutput's samples out-param
+                            // is per-request (it assigns); the block
+                            // total comes from samplesDrawn() below.
+                            uint64_t scratch = 0;
+                            int64_t yi = drawConfinedOutput(
+                                rng, RangeControl::Resampling, xi,
+                                plan.win_lo, plan.win_hi,
+                                uint64_t{1} << 20, scratch,
+                                acc.overflows, "FleetRunner");
+                            released = static_cast<double>(yi) *
+                                       plan.delta;
+                        } else {
+                            released = x + ideal->sample();
+                            ++acc.samples;
+                        }
+                        cached = released;
+                        ++acc.fresh;
+                    } else {
+                        // Budget exhausted: replay the cached report
+                        // (a function of already-released data; zero
+                        // additional loss), or the range midpoint
+                        // when nothing was ever released.
+                        released =
+                            cached ? *cached : plan.mid_value;
+                        ++acc.replays;
+                    }
+                    acc.hist.add(released);
+                    acc.released.add(released);
+                    acc.error.add(released - x);
+                    acc.trial_sum[t] += released;
+                    acc.checksum += reportDigest(node, t, released);
+                    if (matrix != nullptr)
+                        matrix[static_cast<uint64_t>(t) * plan.nodes +
+                               node] = released;
+                }
+            }
+            if (fxp)
+                acc.samples += rng.samplesDrawn() - drawn_before;
+            acc.integrity += rng.integrityDetections();
+        }
+    };
+
+    auto t0 = std::chrono::steady_clock::now();
+    unsigned spawn = static_cast<unsigned>(
+        std::min<size_t>(num_threads, items.size()));
+    if (spawn <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(spawn);
+        for (unsigned t = 0; t < spawn; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+    auto t1 = std::chrono::steady_clock::now();
+
+    // Merge the block slabs in block-index order -- the fixed merge
+    // tree that makes the floating-point results independent of which
+    // thread ran which block.
+    FleetReport report;
+    report.threads = spawn == 0 ? 1 : spawn;
+    report.seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    for (size_t c = 0; c < plans_.size(); ++c) {
+        const CohortPlan &plan = plans_[c];
+        CohortResult res(Histogram(plan.hist_lo, plan.hist_hi,
+                                   plan.cfg.histogram_bins));
+        res.name = plan.cfg.name;
+        res.mechanism = plan.cfg.mechanism;
+        res.nodes = plan.nodes;
+        res.trial_estimate.assign(plan.cfg.reports_per_node, 0.0);
+        for (const BlockAccum &acc : accums[c]) {
+            res.released_hist.merge(acc.hist);
+            res.released_stats.merge(acc.released);
+            res.error_stats.merge(acc.error);
+            res.true_stats.merge(acc.true_vals);
+            for (size_t t = 0; t < res.trial_estimate.size(); ++t)
+                res.trial_estimate[t] += acc.trial_sum[t];
+            res.samples_drawn += acc.samples;
+            res.resample_overflows += acc.overflows;
+            res.fresh_reports += acc.fresh;
+            res.cache_replays += acc.replays;
+            res.nodes_exhausted += acc.exhausted;
+            res.rng_integrity_detections += acc.integrity;
+            res.checksum += acc.checksum;
+        }
+        res.reports = res.fresh_reports + res.cache_replays;
+        for (double &e : res.trial_estimate)
+            e /= static_cast<double>(plan.nodes);
+
+        RunningStats abs_err;
+        for (double e : res.trial_estimate)
+            abs_err.add(std::abs(e - res.trueMean()));
+        res.mean_mae = abs_err.mean();
+        res.mean_mae_std = abs_err.stddev();
+
+        res.worst_loss = plan.worst_loss;
+        res.ldp = plan.ldp;
+        res.matrix = std::move(matrices[c]);
+        report.total_reports += res.reports;
+        report.cohorts.push_back(std::move(res));
+    }
+    return report;
+}
+
+} // namespace ulpdp

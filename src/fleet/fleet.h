@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Parallel fleet engine: simulate N independent DP-Box nodes at
+ * population scale.
+ *
+ * The paper's utility story (Tables II-V, Fig. 15) only exists in the
+ * aggregate: an analyst averages millions of locally-noised reports
+ * and the noise cancels. Every simulation path in this repo used to
+ * be a single sequential loop; this engine is the fleet-scale runner
+ * that every scaling experiment builds on.
+ *
+ * Determinism contract -- the merged FleetReport is bit-identical for
+ * any thread count and any scheduling, because nothing in the result
+ * depends on execution order:
+ *
+ *  - Every node owns an independent Tausworthe stream derived from
+ *    (master seed, cohort, node id) by FleetSeeder, so which thread
+ *    simulates a node cannot change what the node does.
+ *  - Work is sharded into fixed-size *blocks* of consecutive nodes.
+ *    The block size is a configuration constant, not a function of
+ *    the thread count; each block accumulates into its own private
+ *    histogram / Welford / counter slab (no locks, no atomics, no
+ *    sharing on the hot path -- the only synchronisation is one
+ *    relaxed fetch_add per block to claim work).
+ *  - At the end the main thread merges the block slabs in block-index
+ *    order. Integer counters and histogram bins are trivially
+ *    order-independent; Welford merges and trial sums are *not*
+ *    floating-point-associative, which is exactly why the merge tree
+ *    is fixed by block index rather than by completion order.
+ *
+ * The hot path rides the table-driven O(1) sampler: naive and
+ * thresholding cohorts draw whole per-node report batches through
+ * FxpLaplaceRng::sampleBatch (one table load per report), and
+ * resampling cohorts draw window-conditioned reports through the
+ * truncated direct-inversion path via drawConfinedOutput (no redraw
+ * loop). The per-cohort sampling table is enumerated once on the main
+ * thread and shared read-only by every worker.
+ */
+
+#ifndef ULPDP_FLEET_FLEET_H
+#define ULPDP_FLEET_FLEET_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/stats.h"
+#include "core/fxp_params.h"
+#include "fleet/seeder.h"
+
+namespace ulpdp {
+
+/** Which mechanism a cohort's nodes run. */
+enum class CohortMechanism
+{
+    /** Continuous double-precision Laplace (the utility yardstick). */
+    Ideal,
+
+    /** Fixed-point noise, no range control (not LDP). */
+    Naive,
+
+    /** Fixed-point noise redrawn into the window (table-driven
+     *  truncated inversion -- no redraw loop). */
+    Resampling,
+
+    /** Fixed-point noise clamped to the window. */
+    Thresholding,
+};
+
+/** Human-readable mechanism name. */
+const char *cohortMechanismName(CohortMechanism m);
+
+/**
+ * One cohort: a group of nodes sharing a mechanism configuration.
+ * Different cohorts of one fleet can run different mechanisms,
+ * epsilons and budgets (e.g. an A/B experiment across the install
+ * base).
+ */
+struct CohortConfig
+{
+    /** Cohort label for reports. */
+    std::string name = "cohort";
+
+    /** Mechanism every node of this cohort runs. */
+    CohortMechanism mechanism = CohortMechanism::Thresholding;
+
+    /** Fixed-point parameters (range, eps, Bu, By, Delta). The
+     *  params.seed field is ignored: fleet nodes are seeded per node
+     *  by the FleetSeeder. */
+    FxpMechanismParams params;
+
+    /** Loss bound multiple n for the exact threshold search (range-
+     *  controlled mechanisms; must exceed 1). */
+    double loss_multiple = 2.0;
+
+    /** Explicit window extension in Delta units; >= 0 overrides the
+     *  exact search (use for sweeps of mis-provisioned windows). */
+    int64_t threshold_index = -1;
+
+    /** Node count (ignored when @ref values is non-empty). */
+    uint64_t nodes = 0;
+
+    /** Reports each node releases per epoch ("trials" in the utility
+     *  benches: trial t is every node's t-th report). */
+    uint32_t reports_per_node = 1;
+
+    /**
+     * Explicit per-node true readings (dataset replay: node i holds
+     * values[i]). Empty selects synthetic clipped-Gaussian data.
+     */
+    std::vector<double> values;
+
+    /** Synthetic data mean; NaN/unset centers on the sensor range. */
+    double data_mean = 0.0;
+
+    /** Synthetic data std; <= 0 selects range length / 6. */
+    double data_std = 0.0;
+
+    /** Set when data_mean was explicitly chosen. */
+    bool data_mean_set = false;
+
+    /**
+     * Per-node privacy budget for one epoch; 0 disables metering.
+     * Metering is deliberately worst-case (every fresh report is
+     * charged the full configured bound -- loss_multiple * eps for
+     * range-controlled cohorts, eps otherwise) so the affordable
+     * report count is a pure function of the budget: the halt check
+     * never consumes randomness, matching the check-before-sample
+     * ordering of BudgetController. Exhausted nodes replay their
+     * cached previous report (zero additional loss).
+     */
+    double budget_per_node = 0.0;
+
+    /** Bins of the released-value histogram. */
+    size_t histogram_bins = 64;
+
+    /**
+     * Materialize the full report matrix (reports_per_node x nodes,
+     * row-major) so per-trial order-statistic queries (median,
+     * percentiles) can run after the fact. Each block writes its own
+     * disjoint columns, so the matrix contents are thread-count
+     * independent too. Intended for utility-table-sized cohorts;
+     * streaming cohorts (millions of nodes) leave this off.
+     */
+    bool materialize = false;
+
+    /** Skip the exact whole-support privacy-loss analysis (it scans
+     *  every (input, output) pair once per cohort on the main thread;
+     *  cheap for paper-sized spans, skippable for throughput runs). */
+    bool analyze_loss = true;
+};
+
+/** Fleet-wide configuration. */
+struct FleetConfig
+{
+    /** Master seed every per-node stream derives from. */
+    uint64_t master_seed = 1;
+
+    /**
+     * Nodes per scheduling/merge block. Results depend on this
+     * constant (it fixes the Welford merge tree) but never on the
+     * thread count. The default keeps per-block slabs cache-friendly
+     * while giving a 1M-node fleet ~1000 blocks to balance across
+     * threads.
+     */
+    uint32_t block_nodes = 1024;
+
+    /** The cohorts to simulate. */
+    std::vector<CohortConfig> cohorts;
+};
+
+/** Merged per-cohort result. */
+struct CohortResult
+{
+    explicit CohortResult(const Histogram &h) : released_hist(h) {}
+
+    /** Cohort label. */
+    std::string name;
+
+    /** Mechanism the cohort ran. */
+    CohortMechanism mechanism = CohortMechanism::Thresholding;
+
+    /** Nodes simulated. */
+    uint64_t nodes = 0;
+
+    /** Reports released (nodes * reports_per_node). */
+    uint64_t reports = 0;
+
+    /** Histogram of every released value. */
+    Histogram released_hist;
+
+    /** Welford moments of every released value. */
+    RunningStats released_stats;
+
+    /** Welford moments of (released - true) per report. */
+    RunningStats error_stats;
+
+    /** Welford moments of the true per-node readings. */
+    RunningStats true_stats;
+
+    /** Per-trial mean estimate: mean over nodes of trial t's
+     *  reports (the analyst's population-mean estimate). */
+    std::vector<double> trial_estimate;
+
+    /** MAE of the trial mean estimates against the true mean, and
+     *  its std over trials (the Fig. 15 / Tables II-V metric). */
+    double mean_mae = 0.0;
+    double mean_mae_std = 0.0;
+
+    /** Laplace samples drawn (energy/latency proxy). */
+    uint64_t samples_drawn = 0;
+
+    /** Confined draws degraded to a window-edge clamp. */
+    uint64_t resample_overflows = 0;
+
+    /** Reports released with fresh noise. */
+    uint64_t fresh_reports = 0;
+
+    /** Reports served by replaying the node's cached report. */
+    uint64_t cache_replays = 0;
+
+    /** Nodes whose budget could not cover all reports. */
+    uint64_t nodes_exhausted = 0;
+
+    /** Sampler-table integrity faults detected across the fleet. */
+    uint64_t rng_integrity_detections = 0;
+
+    /**
+     * Order-independent digest of every (node, trial, released bit
+     * pattern) triple: two runs are report-for-report identical iff
+     * their checksums match, which is how the determinism tests and
+     * bench compare thread counts cheaply.
+     */
+    uint64_t checksum = 0;
+
+    /** Exact worst-case privacy loss (analyze_loss cohorts; inf for
+     *  the naive baseline). */
+    double worst_loss = 0.0;
+
+    /** Whether worst_loss <= loss_multiple * eps (the device's
+     *  configured bound). */
+    bool ldp = false;
+
+    /** Materialized report matrix (reports_per_node x nodes,
+     *  row-major); empty unless CohortConfig::materialize. */
+    std::vector<double> matrix;
+
+    /** True population mean. */
+    double trueMean() const { return true_stats.mean(); }
+
+    /** Fleet-aggregate mean estimate over all reports. */
+    double estimatedMean() const { return released_stats.mean(); }
+
+    /** One trial's reports (materialized cohorts only). */
+    std::vector<double> trialReports(uint32_t trial) const;
+};
+
+/** Merged fleet-wide result of one epoch. */
+struct FleetReport
+{
+    /** Per-cohort results, in configuration order. */
+    std::vector<CohortResult> cohorts;
+
+    /** Total reports released across cohorts. */
+    uint64_t total_reports = 0;
+
+    /** Wall-clock seconds of the parallel section (not part of the
+     *  determinism contract). */
+    double seconds = 0.0;
+
+    /** Worker threads used. */
+    unsigned threads = 0;
+
+    /** Reports per second of the parallel section. */
+    double reportsPerSecond() const;
+
+    /**
+     * Combined order-independent digest over every cohort's checksum,
+     * histogram, moments and counters -- bitwise equal across runs
+     * iff the merged reports are.
+     */
+    uint64_t fingerprint() const;
+};
+
+/**
+ * Runs fleet epochs across a thread pool with statically sharded,
+ * dynamically claimed blocks.
+ */
+class FleetRunner
+{
+  public:
+    /** Validates the configuration and enumerates per-cohort sampler
+     *  tables (fatal on invalid cohorts, e.g. no valid threshold). */
+    explicit FleetRunner(FleetConfig config);
+
+    ~FleetRunner();
+
+    /**
+     * Simulate one epoch.
+     *
+     * @param num_threads Worker threads; 0 selects the hardware
+     *        concurrency. The merged result is bit-identical for
+     *        every value.
+     */
+    FleetReport run(unsigned num_threads = 0);
+
+    /** The configuration in effect. */
+    const FleetConfig &config() const { return config_; }
+
+    /** std::thread::hardware_concurrency, floored at 1. */
+    static unsigned hardwareThreads();
+
+  private:
+    struct CohortPlan;
+
+    FleetConfig config_;
+    FleetSeeder seeder_;
+    std::vector<CohortPlan> plans_;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_FLEET_FLEET_H

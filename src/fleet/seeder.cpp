@@ -1,0 +1,47 @@
+#include "fleet/seeder.h"
+
+#include "rng/tausworthe.h"
+
+namespace ulpdp {
+
+namespace {
+
+// Weyl increments decorrelating the node, cohort and salt dimensions
+// (golden-ratio constant plus two other odd 64-bit mix constants).
+constexpr uint64_t kNodeGamma = 0x9e3779b97f4a7c15ULL;
+constexpr uint64_t kCohortGamma = 0xc2b2ae3d27d4eb4fULL;
+constexpr uint64_t kSaltGamma = 0xd6e8feb86659fd93ULL;
+
+} // anonymous namespace
+
+uint64_t
+FleetSeeder::mix64(uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+FleetSeeder::nodeSeed(uint32_t cohort, uint64_t node) const
+{
+    uint64_t s = master_ + kNodeGamma * (node + 1) +
+                 kCohortGamma * (static_cast<uint64_t>(cohort) + 1);
+    s = mix64(s);
+    // Reject zero/degenerate candidates: the Tausworthe constructor
+    // would bump their component words, aliasing two distinct seeds
+    // onto one stream. Remixing is deterministic, so every thread
+    // count derives the same final seed.
+    while (Tausworthe::seedDegenerate(s))
+        s = mix64(s + kNodeGamma);
+    return s;
+}
+
+uint64_t
+FleetSeeder::nodeSubSeed(uint32_t cohort, uint64_t node,
+                         uint64_t salt) const
+{
+    return mix64(nodeSeed(cohort, node) ^ (kSaltGamma * (salt + 1)));
+}
+
+} // namespace ulpdp

@@ -20,18 +20,35 @@ splitmix64(uint64_t &state)
 
 } // anonymous namespace
 
-Tausworthe::Tausworthe(uint64_t seed)
+void
+Tausworthe::expandSeed(uint64_t seed, uint32_t &s1, uint32_t &s2,
+                       uint32_t &s3)
 {
     uint64_t s = seed;
+    s1 = static_cast<uint32_t>(splitmix64(s));
+    s2 = static_cast<uint32_t>(splitmix64(s));
+    s3 = static_cast<uint32_t>(splitmix64(s));
+}
+
+bool
+Tausworthe::seedDegenerate(uint64_t seed)
+{
+    if (seed == 0)
+        return true;
+    uint32_t s1, s2, s3;
+    expandSeed(seed, s1, s2, s3);
+    return s1 < 2 || s2 < 8 || s3 < 16;
+}
+
+Tausworthe::Tausworthe(uint64_t seed)
+{
     // taus88 component states must exceed 1, 7 and 15 respectively or
     // the component LFSR degenerates to all-zero output.
-    s1_ = static_cast<uint32_t>(splitmix64(s));
+    expandSeed(seed, s1_, s2_, s3_);
     if (s1_ < 2)
         s1_ += 2;
-    s2_ = static_cast<uint32_t>(splitmix64(s));
     if (s2_ < 8)
         s2_ += 8;
-    s3_ = static_cast<uint32_t>(splitmix64(s));
     if (s3_ < 16)
         s3_ += 16;
 }

@@ -38,6 +38,26 @@ class Tausworthe
      */
     explicit Tausworthe(uint64_t seed = 0x853c49e6748fea9bULL);
 
+    /**
+     * The three raw component words the SplitMix64 expansion derives
+     * from @p seed, *before* the constructor enforces the component
+     * minimums. Exposed so seed-derivation code (the fleet shard
+     * seeder) can check a candidate seed without constructing.
+     */
+    static void expandSeed(uint64_t seed, uint32_t &s1, uint32_t &s2,
+                           uint32_t &s3);
+
+    /**
+     * Whether @p seed is unsuitable for an *independent* stream: zero,
+     * or a seed whose raw expansion leaves any component word below
+     * its LFSR minimum (s1 < 2, s2 < 8, s3 < 16 -- the dead low bits
+     * would zero the component). The constructor silently bumps such
+     * words to stay valid, but the bump aliases two distinct seeds
+     * onto the same generator state, so bulk seeders must skip
+     * degenerate seeds instead of relying on the bump.
+     */
+    static bool seedDegenerate(uint64_t seed);
+
     /** Generate the next 32-bit output word. */
     uint32_t next32();
 

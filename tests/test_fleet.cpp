@@ -1,0 +1,510 @@
+/**
+ * @file
+ * Tests for the parallel fleet engine: the bit-exact determinism
+ * contract across thread counts and runs, the degenerate-seed guard
+ * in the shard seeder, stream independence of adjacent nodes, and the
+ * engine's statistical and accounting behaviour.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "fleet/fleet.h"
+#include "fleet/seeder.h"
+#include "rng/tausworthe.h"
+
+namespace ulpdp {
+namespace {
+
+uint64_t
+bits(double v)
+{
+    uint64_t b;
+    std::memcpy(&b, &v, sizeof b);
+    return b;
+}
+
+/** Bitwise equality of two double vectors. */
+bool
+sameBits(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (bits(a[i]) != bits(b[i]))
+            return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Seeder
+// ---------------------------------------------------------------------
+
+TEST(FleetSeeder, NodeSeedsNeverDegenerate)
+{
+    // Degenerate Tausworthe seeds get silently bumped by the
+    // constructor, aliasing two streams; the seeder must never emit
+    // one, whatever the master seed.
+    for (uint64_t master : {uint64_t{0}, uint64_t{1}, uint64_t{42},
+                            ~uint64_t{0}}) {
+        FleetSeeder seeder(master);
+        for (uint32_t cohort = 0; cohort < 3; ++cohort) {
+            for (uint64_t node = 0; node < 2000; ++node) {
+                uint64_t s = seeder.nodeSeed(cohort, node);
+                EXPECT_NE(s, 0u);
+                EXPECT_FALSE(Tausworthe::seedDegenerate(s));
+            }
+        }
+    }
+}
+
+TEST(FleetSeeder, SeedsDistinctAcrossNodesAndCohorts)
+{
+    FleetSeeder seeder(7);
+    std::set<uint64_t> seen;
+    for (uint32_t cohort = 0; cohort < 4; ++cohort)
+        for (uint64_t node = 0; node < 5000; ++node)
+            seen.insert(seeder.nodeSeed(cohort, node));
+    EXPECT_EQ(seen.size(), 4u * 5000u);
+}
+
+TEST(FleetSeeder, SubSeedDecorrelatedFromNodeSeed)
+{
+    FleetSeeder seeder(7);
+    for (uint64_t node = 0; node < 100; ++node) {
+        uint64_t base = seeder.nodeSeed(0, node);
+        uint64_t sub0 = seeder.nodeSubSeed(0, node, 0);
+        uint64_t sub1 = seeder.nodeSubSeed(0, node, 1);
+        EXPECT_NE(base, sub0);
+        EXPECT_NE(sub0, sub1);
+    }
+    // Deterministic.
+    EXPECT_EQ(seeder.nodeSubSeed(2, 17, 3),
+              FleetSeeder(7).nodeSubSeed(2, 17, 3));
+}
+
+// The SplitMix64 finalizer is a bijection (two xorshift-multiply
+// steps), so it can be inverted to *construct* seeds whose expanded
+// component words are degenerate -- random search would need ~2^27
+// tries per hit.
+
+uint64_t
+mulInverse(uint64_t a)
+{
+    // Newton iteration doubles the valid low bits each round.
+    uint64_t x = a;
+    for (int i = 0; i < 6; ++i)
+        x *= 2 - a * x;
+    return x;
+}
+
+uint64_t
+invXorShift(uint64_t z, int shift)
+{
+    uint64_t x = z;
+    for (int i = 0; i < 7; ++i)
+        x = z ^ (x >> shift);
+    return x;
+}
+
+/** The SplitMix64 finalizer used by Tausworthe::expandSeed. */
+uint64_t
+smFinalize(uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+smFinalizeInverse(uint64_t z)
+{
+    z = invXorShift(z, 31);
+    z *= mulInverse(0x94d049bb133111ebULL);
+    z = invXorShift(z, 27);
+    z *= mulInverse(0xbf58476d1ce4e5b9ULL);
+    z = invXorShift(z, 30);
+    return z;
+}
+
+constexpr uint64_t kSmGamma = 0x9e3779b97f4a7c15ULL;
+
+TEST(FleetSeeder, FinalizerInverseRoundTrips)
+{
+    for (uint64_t z : {uint64_t{1}, uint64_t{0xdeadbeef},
+                       uint64_t{0x123456789abcdef0ULL}, ~uint64_t{0}}) {
+        EXPECT_EQ(smFinalize(smFinalizeInverse(z)), z);
+        EXPECT_EQ(smFinalizeInverse(smFinalize(z)), z);
+    }
+}
+
+TEST(FleetSeeder, DetectsCraftedDegenerateSeeds)
+{
+    // Seed whose FIRST expanded word is 0 (< 2): the first SplitMix64
+    // output is finalize(seed + gamma), so invert the target.
+    uint64_t s1_zero =
+        smFinalizeInverse(0xdeadbeef00000000ULL) - kSmGamma;
+    uint32_t s1, s2, s3;
+    Tausworthe::expandSeed(s1_zero, s1, s2, s3);
+    ASSERT_EQ(s1, 0u);
+    EXPECT_TRUE(Tausworthe::seedDegenerate(s1_zero));
+
+    // Seed whose SECOND expanded word is 5 (< 8).
+    uint64_t s2_five =
+        smFinalizeInverse(0x1234567800000005ULL) - 2 * kSmGamma;
+    Tausworthe::expandSeed(s2_five, s1, s2, s3);
+    ASSERT_EQ(s2, 5u);
+    EXPECT_TRUE(Tausworthe::seedDegenerate(s2_five));
+
+    // Seed whose THIRD expanded word is 15 (< 16).
+    uint64_t s3_low =
+        smFinalizeInverse(0xcafef00d0000000fULL) - 3 * kSmGamma;
+    Tausworthe::expandSeed(s3_low, s1, s2, s3);
+    ASSERT_EQ(s3, 15u);
+    EXPECT_TRUE(Tausworthe::seedDegenerate(s3_low));
+
+    // The constructor bumps exactly these words (the aliasing the
+    // seeder exists to avoid): seed zero is also degenerate.
+    EXPECT_TRUE(Tausworthe::seedDegenerate(0));
+
+    // An ordinary seed is not degenerate.
+    EXPECT_FALSE(Tausworthe::seedDegenerate(1));
+    EXPECT_FALSE(Tausworthe::seedDegenerate(42));
+}
+
+TEST(FleetSeeder, AdjacentNodeStreamsNoOverlapOverMillionDraws)
+{
+    // Two adjacent nodes' Tausworthe streams must not collide: a
+    // collision means the trajectories merge and stay merged forever
+    // (the generators are deterministic), halving the fleet's
+    // entropy. Compare full (s1, s2, s3) state triples -- comparing
+    // 32-bit outputs would drown in birthday-paradox false positives
+    // over 2 x 10^6 draws.
+    FleetSeeder seeder(1);
+    Tausworthe a(seeder.nodeSeed(0, 0));
+    Tausworthe b(seeder.nodeSeed(0, 1));
+
+    const size_t kDraws = 1000000;
+    std::vector<std::pair<uint64_t, uint64_t>> states_a;
+    states_a.reserve(kDraws);
+    for (size_t i = 0; i < kDraws; ++i) {
+        states_a.emplace_back(
+            (static_cast<uint64_t>(a.s1()) << 32) | a.s2(), a.s3());
+        a.next32();
+    }
+    std::sort(states_a.begin(), states_a.end());
+
+    size_t collisions = 0;
+    for (size_t i = 0; i < kDraws; ++i) {
+        std::pair<uint64_t, uint64_t> s{
+            (static_cast<uint64_t>(b.s1()) << 32) | b.s2(), b.s3()};
+        if (std::binary_search(states_a.begin(), states_a.end(), s))
+            ++collisions;
+        b.next32();
+    }
+    EXPECT_EQ(collisions, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Determinism contract
+// ---------------------------------------------------------------------
+
+FleetConfig
+smallFleet()
+{
+    FxpMechanismParams p;
+    p.range = SensorRange(0.0, 10.0);
+    p.epsilon = 0.5;
+    p.uniform_bits = 17;
+    p.output_bits = 14;
+    p.delta = 10.0 / 32.0;
+
+    FleetConfig fc;
+    fc.master_seed = 99;
+    fc.block_nodes = 256; // several blocks per cohort
+    CohortConfig thr;
+    thr.name = "thr";
+    thr.mechanism = CohortMechanism::Thresholding;
+    thr.params = p;
+    thr.nodes = 2500;
+    thr.reports_per_node = 4;
+    thr.budget_per_node = 2.5; // 2 fresh reports at 2*eps
+    thr.materialize = true;
+    thr.analyze_loss = false;
+    CohortConfig res;
+    res.name = "res";
+    res.mechanism = CohortMechanism::Resampling;
+    res.params = p;
+    res.nodes = 2500;
+    res.reports_per_node = 4;
+    res.analyze_loss = false;
+    fc.cohorts = {thr, res};
+    return fc;
+}
+
+void
+expectIdentical(const FleetReport &x, const FleetReport &y)
+{
+    EXPECT_EQ(x.fingerprint(), y.fingerprint());
+    ASSERT_EQ(x.cohorts.size(), y.cohorts.size());
+    for (size_t c = 0; c < x.cohorts.size(); ++c) {
+        const CohortResult &a = x.cohorts[c];
+        const CohortResult &b = y.cohorts[c];
+        EXPECT_EQ(a.checksum, b.checksum);
+
+        // Floating-point aggregates must match to the BIT, not to a
+        // tolerance: that is the whole determinism contract.
+        EXPECT_EQ(bits(a.released_stats.mean()),
+                  bits(b.released_stats.mean()));
+        EXPECT_EQ(bits(a.released_stats.variance()),
+                  bits(b.released_stats.variance()));
+        EXPECT_EQ(bits(a.error_stats.mean()),
+                  bits(b.error_stats.mean()));
+        EXPECT_EQ(bits(a.mean_mae), bits(b.mean_mae));
+        EXPECT_TRUE(sameBits(a.trial_estimate, b.trial_estimate));
+        EXPECT_TRUE(sameBits(a.matrix, b.matrix));
+
+        ASSERT_EQ(a.released_hist.numBins(),
+                  b.released_hist.numBins());
+        for (size_t i = 0; i < a.released_hist.numBins(); ++i)
+            EXPECT_EQ(a.released_hist.count(i),
+                      b.released_hist.count(i));
+        EXPECT_EQ(a.released_hist.underflow(),
+                  b.released_hist.underflow());
+        EXPECT_EQ(a.released_hist.overflow(),
+                  b.released_hist.overflow());
+
+        EXPECT_EQ(a.samples_drawn, b.samples_drawn);
+        EXPECT_EQ(a.resample_overflows, b.resample_overflows);
+        EXPECT_EQ(a.fresh_reports, b.fresh_reports);
+        EXPECT_EQ(a.cache_replays, b.cache_replays);
+        EXPECT_EQ(a.nodes_exhausted, b.nodes_exhausted);
+        EXPECT_EQ(a.rng_integrity_detections,
+                  b.rng_integrity_detections);
+    }
+}
+
+TEST(FleetDeterminism, BitIdenticalAcrossThreadCounts)
+{
+    FleetRunner runner(smallFleet());
+    FleetReport one = runner.run(1);
+    FleetReport three = runner.run(3);
+    FleetReport eight = runner.run(8);
+    expectIdentical(one, three);
+    expectIdentical(one, eight);
+}
+
+TEST(FleetDeterminism, BitIdenticalAcrossSameSeedRuns)
+{
+    FleetRunner first(smallFleet());
+    FleetRunner second(smallFleet());
+    expectIdentical(first.run(3), second.run(8));
+}
+
+TEST(FleetDeterminism, DifferentMasterSeedDiffers)
+{
+    FleetConfig fc = smallFleet();
+    FleetRunner a(fc);
+    fc.master_seed = 100;
+    FleetRunner b(fc);
+    EXPECT_NE(a.run(2).fingerprint(), b.run(2).fingerprint());
+}
+
+// ---------------------------------------------------------------------
+// Engine behaviour
+// ---------------------------------------------------------------------
+
+TEST(FleetEngine, EstimateTracksTruthAndWindowHolds)
+{
+    FleetConfig fc = smallFleet();
+    fc.cohorts[0].nodes = 20000;
+    fc.cohorts[0].budget_per_node = 0.0; // no metering
+    fc.cohorts[0].materialize = false;
+    fc.cohorts.resize(1);
+    FleetRunner runner(fc);
+    FleetReport rep = runner.run();
+    const CohortResult &c = rep.cohorts[0];
+
+    EXPECT_EQ(c.nodes, 20000u);
+    EXPECT_EQ(c.reports, 20000u * 4u);
+    EXPECT_EQ(c.true_stats.count(), 20000u);
+    EXPECT_EQ(c.fresh_reports, c.reports);
+    EXPECT_EQ(c.cache_replays, 0u);
+    EXPECT_EQ(c.nodes_exhausted, 0u);
+    EXPECT_EQ(c.samples_drawn, c.reports);
+
+    // Synthetic data defaults to the range center; the mean estimate
+    // over 80k thresholded reports should sit close to the truth.
+    EXPECT_NEAR(c.trueMean(), 5.0, 0.1);
+    EXPECT_NEAR(c.estimatedMean(), c.trueMean(), 0.5);
+
+    // Thresholding confines every release to the clamp window, which
+    // is exactly the histogram's binned range.
+    EXPECT_EQ(c.released_hist.underflow(), 0u);
+    EXPECT_EQ(c.released_hist.overflow(), 0u);
+    EXPECT_EQ(c.released_hist.total(), c.reports);
+
+    // Ordered merge: every trial estimate is a real number near the
+    // truth, and mean_mae summarises them.
+    ASSERT_EQ(c.trial_estimate.size(), 4u);
+    for (double e : c.trial_estimate)
+        EXPECT_NEAR(e, c.trueMean(), 0.5);
+    EXPECT_GE(c.mean_mae, 0.0);
+}
+
+TEST(FleetEngine, BudgetMeteringCountsFreshAndReplayed)
+{
+    FleetConfig fc = smallFleet();
+    fc.cohorts.resize(1);
+    CohortConfig &c = fc.cohorts[0];
+    c.nodes = 1000;
+    c.reports_per_node = 5;
+    // Worst-case charge is loss_multiple * eps = 1.0 per fresh
+    // report; a budget of 2.1 affords exactly 2 of the 5.
+    c.budget_per_node = 2.1;
+
+    FleetRunner runner(fc);
+    FleetReport rep = runner.run();
+    const CohortResult &r = rep.cohorts[0];
+    EXPECT_EQ(r.fresh_reports, 1000u * 2u);
+    EXPECT_EQ(r.cache_replays, 1000u * 3u);
+    EXPECT_EQ(r.nodes_exhausted, 1000u);
+    EXPECT_EQ(r.reports, 1000u * 5u);
+    // Replays draw no randomness.
+    EXPECT_EQ(r.samples_drawn, r.fresh_reports);
+}
+
+TEST(FleetEngine, DatasetReplayUsesProvidedValues)
+{
+    FleetConfig fc = smallFleet();
+    fc.cohorts.resize(1);
+    CohortConfig &c = fc.cohorts[0];
+    c.budget_per_node = 0.0;
+    c.values = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0};
+    c.nodes = 3; // ignored when values are given
+    c.reports_per_node = 10;
+    c.materialize = true;
+
+    FleetRunner runner(fc);
+    FleetReport rep = runner.run();
+    const CohortResult &r = rep.cohorts[0];
+    EXPECT_EQ(r.nodes, 8u);
+    EXPECT_EQ(r.true_stats.count(), 8u);
+    EXPECT_DOUBLE_EQ(r.trueMean(), 4.5);
+    EXPECT_DOUBLE_EQ(r.true_stats.min(), 1.0);
+    EXPECT_DOUBLE_EQ(r.true_stats.max(), 8.0);
+}
+
+TEST(FleetEngine, MaterializedMatrixMatchesStreamingAggregates)
+{
+    FleetConfig fc = smallFleet();
+    fc.cohorts.resize(1);
+    CohortConfig &c = fc.cohorts[0];
+    c.nodes = 1500;
+    c.reports_per_node = 3;
+    c.budget_per_node = 0.0;
+    c.materialize = true;
+
+    FleetRunner runner(fc);
+    FleetReport rep = runner.run();
+    const CohortResult &r = rep.cohorts[0];
+    ASSERT_EQ(r.matrix.size(), 1500u * 3u);
+
+    for (uint32_t t = 0; t < 3; ++t) {
+        std::vector<double> row = r.trialReports(t);
+        ASSERT_EQ(row.size(), 1500u);
+        double sum = 0.0;
+        for (double v : row)
+            sum += v;
+        // The streaming trial estimate merges block partial sums in
+        // block order; summing the materialized row in node order can
+        // differ only by rounding.
+        EXPECT_NEAR(sum / 1500.0, r.trial_estimate[t], 1e-9);
+    }
+
+    // Every matrix cell was written (all values are in the clamp
+    // window, far from the 0.0 fill).
+    RunningStats from_matrix;
+    for (double v : r.matrix)
+        from_matrix.add(v);
+    EXPECT_EQ(from_matrix.count(), r.released_stats.count());
+    EXPECT_NEAR(from_matrix.mean(), r.released_stats.mean(), 1e-9);
+}
+
+TEST(FleetEngine, IdealCohortIsLdpAtEpsilon)
+{
+    FleetConfig fc = smallFleet();
+    fc.cohorts.resize(1);
+    CohortConfig &c = fc.cohorts[0];
+    c.mechanism = CohortMechanism::Ideal;
+    c.nodes = 500;
+    c.budget_per_node = 0.0;
+    c.analyze_loss = true;
+
+    FleetRunner runner(fc);
+    FleetReport rep = runner.run();
+    const CohortResult &r = rep.cohorts[0];
+    EXPECT_TRUE(r.ldp);
+    EXPECT_DOUBLE_EQ(r.worst_loss, 0.5);
+    EXPECT_EQ(r.mechanism, CohortMechanism::Ideal);
+}
+
+TEST(FleetEngine, LossAnalysisMatchesMechanismClass)
+{
+    // With the exact analysis on, the naive cohort is flagged non-LDP
+    // (unbounded loss) while both range-controlled cohorts satisfy
+    // the 2*eps bound -- the paper's core claim, now at fleet scale.
+    FxpMechanismParams p;
+    p.range = SensorRange(0.0, 10.0);
+    p.epsilon = 0.5;
+    p.uniform_bits = 17;
+    p.output_bits = 14;
+    p.delta = 10.0 / 32.0;
+
+    FleetConfig fc;
+    fc.master_seed = 5;
+    auto makeCohort = [&](CohortMechanism m) {
+        CohortConfig c;
+        c.mechanism = m;
+        c.params = p;
+        c.nodes = 64;
+        c.reports_per_node = 1;
+        c.analyze_loss = true;
+        return c;
+    };
+    fc.cohorts = {makeCohort(CohortMechanism::Naive),
+                  makeCohort(CohortMechanism::Resampling),
+                  makeCohort(CohortMechanism::Thresholding)};
+    FleetRunner runner(fc);
+    FleetReport rep = runner.run();
+    EXPECT_FALSE(rep.cohorts[0].ldp);
+    EXPECT_TRUE(std::isinf(rep.cohorts[0].worst_loss));
+    EXPECT_TRUE(rep.cohorts[1].ldp);
+    EXPECT_LE(rep.cohorts[1].worst_loss, 1.0 + 1e-9);
+    EXPECT_TRUE(rep.cohorts[2].ldp);
+    EXPECT_LE(rep.cohorts[2].worst_loss, 1.0 + 1e-9);
+}
+
+TEST(FleetEngine, ThreadZeroSelectsHardware)
+{
+    FleetConfig fc = smallFleet();
+    fc.cohorts.resize(1);
+    fc.cohorts[0].nodes = 300;
+    FleetRunner runner(fc);
+    FleetReport rep = runner.run(0);
+    EXPECT_GE(rep.threads, 1u);
+    EXPECT_GT(rep.total_reports, 0u);
+    EXPECT_GT(rep.reportsPerSecond(), 0.0);
+}
+
+} // anonymous namespace
+} // namespace ulpdp
