@@ -210,7 +210,7 @@ runCampaign(uint64_t seed, bool hardened, uint64_t transactions)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ulpdp;
     bench::banner(
@@ -219,12 +219,20 @@ main()
         "sites all firing; empirical worst-case loss by whole-support "
         "enumeration against the 3*eps bound (eps = 0.5).");
 
+    std::string json_path = bench::jsonPathFromArgs(argc, argv);
+    if (json_path.empty())
+        json_path = "BENCH_fault_campaign.json";
+
     setLoggingEnabled(false); // the campaigns warn on every detection
     TextTable table;
     table.setHeader({"Config", "seed", "injected", "detected", "fresh",
                      "cached", "boots", "worst loss", "charged",
                      "cap", "violations"});
 
+    bench::JsonWriter json;
+    json.beginObject();
+    json.field("bench", "fault campaign");
+    json.beginArray("campaigns");
     uint64_t hardened_violations = 0;
     uint64_t unhardened_violations = 0;
     for (uint64_t seed : {1, 2, 3}) {
@@ -232,6 +240,19 @@ main()
             CampaignReport r = runCampaign(seed, hardened, 10000);
             (hardened ? hardened_violations : unhardened_violations) +=
                 r.violations;
+            json.beginObject();
+            json.field("hardened", hardened);
+            json.field("seed", seed);
+            json.field("injected", r.injected);
+            json.field("detected", r.detected);
+            json.field("fresh", r.fresh);
+            json.field("cached", r.cached);
+            json.field("boots", r.boots);
+            json.field("worst_loss", r.worst_loss);
+            json.field("charged", r.charged);
+            json.field("spend_cap", r.spend_cap);
+            json.field("violations", r.violations);
+            json.endObject();
             table.addRow({
                 hardened ? "hardened" : "unhardened",
                 std::to_string(seed),
@@ -250,6 +271,13 @@ main()
     }
     setLoggingEnabled(true);
     table.print(std::cout);
+
+    json.endArray();
+    json.field("hardened_violations", hardened_violations);
+    json.field("unhardened_violations", unhardened_violations);
+    json.endObject();
+    if (json.writeFile(json_path))
+        std::printf("\nJSON written to %s\n", json_path.c_str());
 
     std::printf("\nReading: the hardened device ends every campaign "
                 "with zero invariant violations (%llu total) -- every "

@@ -16,10 +16,17 @@
  * microarchitecture questions, the fleet engine answers population
  * questions, and the gap between their rates is why both exist.
  *
+ * A third section measures the telemetry tax: the same fleet epoch
+ * with the global metric registry enabled, against the metrics-off
+ * sweep above. The acceptance budget is <= 5% throughput overhead and
+ * a bit-identical fingerprint (telemetry witnesses the run, it never
+ * feeds back into it).
+ *
  * Flags:
  *   --nodes N     nodes per cohort        (default 200000)
  *   --reports R   reports per node        (default 8)
  *   --json PATH   JSON output path        (default BENCH_fleet.json)
+ *   --prom PATH   Prometheus exposition   (default BENCH_fleet.prom)
  */
 
 #include <algorithm>
@@ -34,6 +41,8 @@
 #include "common/table.h"
 #include "dpbox/driver.h"
 #include "fleet/fleet.h"
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
 
 namespace {
 
@@ -45,6 +54,17 @@ flagValue(int argc, char **argv, const char *flag, uint64_t fallback)
     for (int i = 1; i + 1 < argc; ++i) {
         if (std::string(argv[i]) == flag)
             return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+    return fallback;
+}
+
+std::string
+flagString(int argc, char **argv, const char *flag,
+           const char *fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == flag)
+            return argv[i + 1];
     }
     return fallback;
 }
@@ -95,6 +115,8 @@ main(int argc, char **argv)
     std::string json_path = bench::jsonPathFromArgs(argc, argv);
     if (json_path.empty())
         json_path = "BENCH_fleet.json";
+    std::string prom_path =
+        flagString(argc, argv, "--prom", "BENCH_fleet.prom");
 
     bench::banner(
         "Extension: parallel fleet engine scaling",
@@ -121,15 +143,12 @@ main(int argc, char **argv)
 
     std::vector<double> rates;
     std::vector<uint64_t> fingerprints;
-    double base_rate = 0.0;
     double base_seconds = 0.0;
     for (unsigned t : sweep) {
         FleetReport rep = runner.run(t);
         uint64_t fp = rep.fingerprint();
-        if (t == sweep.front()) {
-            base_rate = rep.reportsPerSecond();
+        if (t == sweep.front())
             base_seconds = rep.seconds;
-        }
         rates.push_back(rep.reportsPerSecond());
         fingerprints.push_back(fp);
         char sec[32], rate[32], speed[32], fpbuf[32];
@@ -162,6 +181,34 @@ main(int argc, char **argv)
                 "(target >= 4x on a >= 8-core host; this host has "
                 "%u)\n",
                 sweep.back(), hw_speedup, hw);
+
+    // --- telemetry overhead -----------------------------------------
+    // Same epoch, same thread count, with the global metric registry
+    // enabled. Budget: <= 5% throughput overhead, and the fingerprint
+    // must not move (telemetry observes the run; it must never
+    // participate in it).
+    telemetry::reset();
+    telemetry::setEnabled(true);
+    FleetReport instrumented = runner.run(sweep.back());
+    telemetry::setEnabled(false);
+    double rate_on = instrumented.reportsPerSecond();
+    double rate_off = rates.back();
+    double overhead_pct = rate_off > 0.0
+        ? (rate_off - rate_on) / rate_off * 100.0
+        : 0.0;
+    bool telemetry_deterministic =
+        instrumented.fingerprint() == fingerprints.front();
+    std::printf("\ntelemetry overhead at %u threads: %.3g -> %.3g "
+                "reports/sec (%+.2f%%, budget <= 5%%)\n",
+                sweep.back(), rate_off, rate_on, overhead_pct);
+    std::printf("fingerprint with telemetry enabled: %s\n",
+                telemetry_deterministic ? "unchanged (PASS)"
+                                        : "CHANGED (FAIL)");
+    if (telemetry::writePrometheusFile(telemetry::registry(),
+                                       prom_path))
+        std::printf("Prometheus exposition written to %s (%zu series "
+                    "-- textfile-collector handoff)\n",
+                    prom_path.c_str(), telemetry::registry().size());
 
     // --- cycle-level context ----------------------------------------
     // The same device parameters through the clocked DpBox model, on
@@ -229,13 +276,19 @@ main(int argc, char **argv)
     json.endArray();
     json.field("cycle_model_reports_per_second", cyc_rate);
     json.field("cycle_model_device_cycles", total.cycles);
+    json.field("telemetry_reports_per_second", rate_on);
+    json.field("telemetry_overhead_pct", overhead_pct);
+    json.field("telemetry_fingerprint_unchanged",
+               telemetry_deterministic);
+    telemetry::metricsToJson(telemetry::registry(), json);
+    telemetry::journalToJson(telemetry::journal(), json);
     json.endObject();
     if (json.writeFile(json_path))
         std::printf("\nJSON written to %s\n", json_path.c_str());
 
-    if (!deterministic) {
+    if (!deterministic || !telemetry_deterministic) {
         std::printf("\nFAIL: merged fleet reports differ across "
-                    "thread counts.\n");
+                    "thread counts or telemetry modes.\n");
         return 1;
     }
     std::printf("\nTakeaway: per-node streams are derived, not "

@@ -9,10 +9,10 @@
 #define ULPDP_BENCH_BENCH_UTIL_H
 
 #include <cstdint>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "core/fxp_params.h"
 #include "core/threshold_calc.h"
 #include "data/dataset.h"
@@ -21,54 +21,11 @@
 namespace ulpdp {
 namespace bench {
 
-/**
- * Minimal streaming JSON writer for the machine-readable BENCH_*.json
- * side-channel every bench shares (the human-readable tables stay on
- * stdout). Call begin/end in matched pairs; commas and separators are
- * inserted automatically. Doubles print with 17 significant digits so
- * bit-exactness claims survive the round trip; NaN and infinities --
- * which JSON cannot carry -- serialise as null.
- */
-class JsonWriter
-{
-  public:
-    void beginObject();
-    void beginObject(const std::string &key);
-    void endObject();
-    void beginArray();
-    void beginArray(const std::string &key);
-    void endArray();
-
-    void field(const std::string &key, double v);
-    void field(const std::string &key, uint64_t v);
-    void field(const std::string &key, int64_t v);
-    void field(const std::string &key, int v);
-    void field(const std::string &key, unsigned v);
-    void field(const std::string &key, bool v);
-    void field(const std::string &key, const std::string &v);
-    void field(const std::string &key, const char *v);
-
-    /** Bare array element. */
-    void element(double v);
-    void element(const std::string &v);
-
-    /** The document so far. */
-    std::string str() const { return out_.str(); }
-
-    /** Write the document to @p path; warns and returns false on I/O
-     *  failure (a bench should still print its table). */
-    bool writeFile(const std::string &path) const;
-
-  private:
-    void comma();
-    void keyPrefix(const std::string &key);
-    void raw(const std::string &s);
-    static std::string escape(const std::string &s);
-    static std::string number(double v);
-
-    std::ostringstream out_;
-    std::vector<bool> has_items_;
-};
+// The streaming JSON writer behind the machine-readable BENCH_*.json
+// side-channel now lives in common/json.h (ulpdp::JsonWriter) so the
+// telemetry exporters share it; the alias keeps bench::JsonWriter
+// spelling working.
+using JsonWriter = ulpdp::JsonWriter;
 
 /**
  * The shared `--json <path>` bench flag: returns the path argument or

@@ -1,0 +1,205 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+void
+JsonWriter::comma()
+{
+    if (!has_items_.empty()) {
+        if (has_items_.back())
+            out_ << ",";
+        has_items_.back() = true;
+    }
+}
+
+void
+JsonWriter::keyPrefix(const std::string &key)
+{
+    comma();
+    out_ << "\"" << escape(key) << "\":";
+}
+
+void
+JsonWriter::raw(const std::string &s)
+{
+    out_ << s;
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string r;
+    r.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            r += "\\\"";
+            break;
+          case '\\':
+            r += "\\\\";
+            break;
+          case '\n':
+            r += "\\n";
+            break;
+          case '\t':
+            r += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                r += buf;
+            } else {
+                r += c;
+            }
+        }
+    }
+    return r;
+}
+
+std::string
+JsonWriter::number(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+JsonWriter::beginObject()
+{
+    comma();
+    out_ << "{";
+    has_items_.push_back(false);
+}
+
+void
+JsonWriter::beginObject(const std::string &key)
+{
+    keyPrefix(key);
+    out_ << "{";
+    has_items_.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    ULPDP_ASSERT(!has_items_.empty());
+    has_items_.pop_back();
+    out_ << "}";
+}
+
+void
+JsonWriter::beginArray()
+{
+    comma();
+    out_ << "[";
+    has_items_.push_back(false);
+}
+
+void
+JsonWriter::beginArray(const std::string &key)
+{
+    keyPrefix(key);
+    out_ << "[";
+    has_items_.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    ULPDP_ASSERT(!has_items_.empty());
+    has_items_.pop_back();
+    out_ << "]";
+}
+
+void
+JsonWriter::field(const std::string &key, double v)
+{
+    keyPrefix(key);
+    raw(number(v));
+}
+
+void
+JsonWriter::field(const std::string &key, uint64_t v)
+{
+    keyPrefix(key);
+    out_ << v;
+}
+
+void
+JsonWriter::field(const std::string &key, int64_t v)
+{
+    keyPrefix(key);
+    out_ << v;
+}
+
+void
+JsonWriter::field(const std::string &key, int v)
+{
+    keyPrefix(key);
+    out_ << v;
+}
+
+void
+JsonWriter::field(const std::string &key, unsigned v)
+{
+    keyPrefix(key);
+    out_ << v;
+}
+
+void
+JsonWriter::field(const std::string &key, bool v)
+{
+    keyPrefix(key);
+    out_ << (v ? "true" : "false");
+}
+
+void
+JsonWriter::field(const std::string &key, const std::string &v)
+{
+    keyPrefix(key);
+    out_ << "\"" << escape(v) << "\"";
+}
+
+void
+JsonWriter::field(const std::string &key, const char *v)
+{
+    field(key, std::string(v));
+}
+
+void
+JsonWriter::element(double v)
+{
+    comma();
+    raw(number(v));
+}
+
+void
+JsonWriter::element(const std::string &v)
+{
+    comma();
+    out_ << "\"" << escape(v) << "\"";
+}
+
+bool
+JsonWriter::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("JsonWriter: cannot open %s for writing", path.c_str());
+        return false;
+    }
+    out << str() << "\n";
+    return static_cast<bool>(out);
+}
+
+} // namespace ulpdp

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal streaming JSON writer.
+ *
+ * Originally the bench binaries' private BENCH_*.json side-channel,
+ * promoted to common so the telemetry exporters can emit the same
+ * machine-readable format. Call begin/end in matched pairs; commas
+ * and separators are inserted automatically. Doubles print with 17
+ * significant digits so bit-exactness claims survive the round trip;
+ * NaN and infinities -- which JSON cannot carry -- serialise as null.
+ */
+
+#ifndef ULPDP_COMMON_JSON_H
+#define ULPDP_COMMON_JSON_H
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ulpdp {
+
+/** Streaming JSON document builder (see file comment). */
+class JsonWriter
+{
+  public:
+    void beginObject();
+    void beginObject(const std::string &key);
+    void endObject();
+    void beginArray();
+    void beginArray(const std::string &key);
+    void endArray();
+
+    void field(const std::string &key, double v);
+    void field(const std::string &key, uint64_t v);
+    void field(const std::string &key, int64_t v);
+    void field(const std::string &key, int v);
+    void field(const std::string &key, unsigned v);
+    void field(const std::string &key, bool v);
+    void field(const std::string &key, const std::string &v);
+    void field(const std::string &key, const char *v);
+
+    /** Bare array element. */
+    void element(double v);
+    void element(const std::string &v);
+
+    /** The document so far. */
+    std::string str() const { return out_.str(); }
+
+    /** Write the document to @p path; warns and returns false on I/O
+     *  failure (a bench should still print its table). */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    void comma();
+    void keyPrefix(const std::string &key);
+    void raw(const std::string &s);
+    static std::string escape(const std::string &s);
+    static std::string number(double v);
+
+    std::ostringstream out_;
+    std::vector<bool> has_items_;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_COMMON_JSON_H

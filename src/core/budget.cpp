@@ -8,8 +8,58 @@
 #include "common/logging.h"
 #include "core/privacy_loss.h"
 #include "rng/health.h"
+#include "telemetry/telemetry.h"
 
 namespace ulpdp {
+
+namespace {
+
+/**
+ * The controller's exported surface, registered once on first use
+ * (function-local static) and shared by every BudgetController in
+ * the process -- a deployment's Algorithm 1 aggregate. Hot-path cost
+ * when telemetry is on: a handful of relaxed fetch_adds per request.
+ */
+struct BudgetMetrics
+{
+    Counter &fresh = telemetry::registry().counter(
+        "ulpdp_budget_fresh_reports_total",
+        "Reports released with fresh noise by BudgetController",
+        "reports");
+    Counter &halts = telemetry::registry().counter(
+        "ulpdp_budget_halt_replays_total",
+        "Requests the Algorithm 1 halt served from the cached report",
+        "reports");
+    Counter &fail_secure = telemetry::registry().counter(
+        "ulpdp_budget_fail_secure_reports_total",
+        "Requests served from cache because a fault was latched",
+        "reports");
+    Counter &overflows = telemetry::registry().counter(
+        "ulpdp_budget_resample_overflows_total",
+        "Confined draws degraded to a window-edge clamp",
+        "draws");
+    Counter &replenishments = telemetry::registry().counter(
+        "ulpdp_budget_replenishments_total",
+        "Replenishment periods that restored the budget",
+        "events");
+    Sum &spend = telemetry::registry().sum(
+        "ulpdp_budget_spend_nats_total",
+        "Privacy loss charged across all fresh reports",
+        "nats");
+    LatencyHistogram &samples = telemetry::registry().histogram(
+        "ulpdp_budget_samples_per_request",
+        "Laplace samples drawn per fresh request (resampling redraws)",
+        "samples", {1, 2, 4, 8, 16, 64, 1024});
+};
+
+BudgetMetrics &
+budgetMetrics()
+{
+    static BudgetMetrics m;
+    return m;
+}
+
+} // anonymous namespace
 
 int64_t
 drawConfinedOutput(FxpLaplaceRng &rng, RangeControl kind, int64_t xi,
@@ -241,6 +291,11 @@ BudgetController::request(double x)
         // Replay the cache. Before any fresh report exists, the range
         // midpoint is returned -- a constant, so it carries no
         // information about x.
+        if (telemetry::enabled()) {
+            budgetMetrics().halts.inc();
+            telemetry::event(EventKind::HaltReplay,
+                             fresh_reports_ + cache_hits_, 0.0);
+        }
         return cachedResponse();
     }
 
@@ -293,6 +348,22 @@ BudgetController::request(double x)
     resp.charged = loss;
     cache_ = resp.value;
     ++fresh_reports_;
+    if (telemetry::enabled()) {
+        BudgetMetrics &m = budgetMetrics();
+        m.fresh.inc();
+        m.spend.add(loss);
+        m.samples.observe(static_cast<double>(samples));
+        if (resample_overflows_ > overflows_reported_) {
+            m.overflows.inc(resample_overflows_ -
+                            overflows_reported_);
+            telemetry::event(EventKind::ResampleOverflow,
+                             fresh_reports_ + cache_hits_,
+                             static_cast<double>(samples));
+        }
+        telemetry::event(EventKind::BudgetSpend,
+                         fresh_reports_ + cache_hits_, loss);
+    }
+    overflows_reported_ = resample_overflows_;
     return resp;
 }
 
@@ -312,15 +383,21 @@ BudgetResponse
 BudgetController::serveCached()
 {
     ++fault_stats_.fail_secure_reports;
+    if (telemetry::enabled())
+        budgetMetrics().fail_secure.inc();
     return cachedResponse();
 }
 
 void
 BudgetController::latchFault(const char *what)
 {
-    if (!fault_latched_)
+    if (!fault_latched_) {
         warn("BudgetController: %s; latching cache-only service",
              what);
+        telemetry::event(
+            EventKind::FaultLatch, fresh_reports_ + cache_hits_,
+            static_cast<double>(fault_stats_.detections()));
+    }
     fault_latched_ = true;
 }
 
@@ -390,6 +467,11 @@ BudgetController::advanceTime(uint64_t ticks)
     if (ticks_since_replenish_ >= config_.replenish_period) {
         ticks_since_replenish_ %= config_.replenish_period;
         budget_ = config_.initial_budget;
+        if (telemetry::enabled()) {
+            budgetMetrics().replenishments.inc();
+            telemetry::event(EventKind::Replenish,
+                             fresh_reports_ + cache_hits_, budget_);
+        }
     }
 }
 

@@ -331,6 +331,7 @@ class BudgetController
     uint64_t cache_hits_ = 0;
     uint64_t fresh_reports_ = 0;
     uint64_t resample_overflows_ = 0;
+    uint64_t overflows_reported_ = 0; // telemetry high-water mark
     uint64_t ticks_since_replenish_ = 0;
 
     // Hardening state.

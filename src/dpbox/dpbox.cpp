@@ -4,8 +4,50 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace ulpdp {
+
+namespace {
+
+/** Device-model surface, shared by every DpBox in the process (a
+ *  deployment aggregates over its install base the same way). */
+struct DpBoxMetrics
+{
+    Counter &requests = telemetry::registry().counter(
+        "ulpdp_dpbox_noising_requests_total",
+        "StartNoising commands accepted by the device",
+        "requests");
+    Counter &resamples = telemetry::registry().counter(
+        "ulpdp_dpbox_resamples_total",
+        "Extra noising cycles spent redrawing out-of-window samples",
+        "cycles");
+    Counter &replays = telemetry::registry().counter(
+        "ulpdp_dpbox_cache_replays_total",
+        "Outputs served from the cache register",
+        "reports");
+    Counter &exhausted = telemetry::registry().counter(
+        "ulpdp_dpbox_budget_exhausted_total",
+        "Noising requests the budget logic halted",
+        "requests");
+    Counter &glitches = telemetry::registry().counter(
+        "ulpdp_dpbox_timer_glitches_rejected_total",
+        "Replenishment-timer misfires the shadow counter rejected",
+        "events");
+    Sum &spend = telemetry::registry().sum(
+        "ulpdp_dpbox_budget_spend_nats_total",
+        "Privacy loss charged by the embedded budget logic",
+        "nats");
+};
+
+DpBoxMetrics &
+dpboxMetrics()
+{
+    static DpBoxMetrics m;
+    return m;
+}
+
+} // anonymous namespace
 
 DpBox::DpBox(const DpBoxConfig &config)
     : config_(config), urng_(config.seed),
@@ -139,10 +181,15 @@ DpBox::noisingCycle()
         fault_latched_ = true;
         warn("DpBox: URNG continuous health test tripped; latching "
              "cache-only service");
+        telemetry::event(
+            EventKind::FaultLatch, stats_.cycles,
+            static_cast<double>(fault_stats_.detections()));
     }
     if (fault_latched_) {
         ++fault_stats_.fail_secure_reports;
         ++stats_.cache_hits;
+        if (telemetry::enabled())
+            dpboxMetrics().replays.inc();
         output_ = cache_.value_or((r_l_ + r_u_) / 2);
         ready_ = true;
         sample_valid_ = false;
@@ -173,6 +220,8 @@ DpBox::noisingCycle()
         if (!thresholding_) {
             // Resampling: draw a fresh sample; this cycle is spent.
             ++stats_.resamples;
+            if (telemetry::enabled())
+                dpboxMetrics().resamples.inc();
             precomputeSample();
             return false;
         }
@@ -186,10 +235,21 @@ DpBox::noisingCycle()
             // fresh output exists -- a constant, zero leakage).
             ++stats_.budget_exhausted_events;
             ++stats_.cache_hits;
+            if (telemetry::enabled()) {
+                dpboxMetrics().exhausted.inc();
+                dpboxMetrics().replays.inc();
+                telemetry::event(EventKind::HaltReplay,
+                                 stats_.cycles, 0.0);
+            }
             output_ = cache_.value_or((r_l_ + r_u_) / 2);
             ready_ = true;
             sample_valid_ = false;
             return true;
+        }
+        if (telemetry::enabled()) {
+            dpboxMetrics().spend.add(*charged);
+            telemetry::event(EventKind::BudgetSpend, stats_.cycles,
+                             *charged);
         }
     }
 
@@ -254,6 +314,8 @@ DpBox::applyCommand(DpBoxCommand cmd, int64_t input)
                       "(r_u <= r_l)");
             ready_ = false;
             ++stats_.noising_requests;
+            if (telemetry::enabled())
+                dpboxMetrics().requests.inc();
             phase_ = DpBoxPhase::Noising;
         }
         break;
@@ -281,9 +343,14 @@ DpBox::step(DpBoxCommand cmd, int64_t input)
         if (timer_fired) {
             if (!elapsed && config_.harden_faults) {
                 ++fault_stats_.timer_glitches_rejected;
+                if (telemetry::enabled())
+                    dpboxMetrics().glitches.inc();
             } else {
                 budget_ = initial_budget_;
                 last_replenish_cycle_ = stats_.cycles;
+                if (config_.budget_enabled)
+                    telemetry::event(EventKind::Replenish,
+                                     stats_.cycles, budget_);
             }
         }
     }

@@ -3,8 +3,35 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace ulpdp {
+
+namespace {
+
+/** Host-side surface: end-to-end noising latency in device cycles
+ *  (the paper's 2-cycles-plus-resamples claim, Section V) and
+ *  configuration hygiene. */
+struct DriverMetrics
+{
+    LatencyHistogram &latency = telemetry::registry().histogram(
+        "ulpdp_dpbox_noise_latency_cycles",
+        "Device cycles from StartNoising to ready",
+        "cycles", {2, 3, 4, 8, 16, 64, 256, 4096});
+    Counter &roundings = telemetry::registry().counter(
+        "ulpdp_driver_epsilon_roundings_total",
+        "configure() calls whose epsilon was rounded to a power of 2",
+        "events");
+};
+
+DriverMetrics &
+driverMetrics()
+{
+    static DriverMetrics m;
+    return m;
+}
+
+} // anonymous namespace
 
 DpBoxDriver::DpBoxDriver(const DpBoxConfig &config) : box_(config) {}
 
@@ -43,6 +70,8 @@ DpBoxDriver::configure(double epsilon, const SensorRange &range)
     double effective = std::ldexp(1.0, -n_m);
     if (std::abs(effective - epsilon) > 1e-12 * epsilon) {
         ++epsilon_rounding_warnings_;
+        if (telemetry::enabled())
+            driverMetrics().roundings.inc();
         warn("DpBoxDriver: epsilon %g is not a power of two; the "
              "device will use %g (n_m = %d)", epsilon, effective, n_m);
     }
@@ -83,6 +112,9 @@ DpBoxDriver::noise(double x)
     DpBoxResult result;
     result.value = box_.fromRaw(box_.output());
     result.latency_cycles = box_.cycles() - start;
+    if (telemetry::enabled())
+        driverMetrics().latency.observe(
+            static_cast<double>(result.latency_cycles));
     return result;
 }
 

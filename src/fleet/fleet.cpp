@@ -17,6 +17,7 @@
 #include "rng/fxp_laplace.h"
 #include "rng/ideal_laplace.h"
 #include "rng/tausworthe.h"
+#include "telemetry/telemetry.h"
 
 namespace ulpdp {
 
@@ -72,6 +73,81 @@ foldStats(uint64_t acc, const RunningStats &s)
                      doubleBits(s.variance()), doubleBits(s.min()),
                      doubleBits(s.max())};
     return foldBytes(acc, w, sizeof w);
+}
+
+/** Run-level fleet metrics. The per-cohort counters are registered
+ *  lazily at publish time because their label sets depend on the
+ *  cohort names in the configuration. */
+struct FleetMetrics
+{
+    Counter &runs = telemetry::registry().counter(
+        "ulpdp_fleet_runs_total",
+        "Fleet epochs executed",
+        "runs");
+    Gauge &throughput = telemetry::registry().gauge(
+        "ulpdp_fleet_reports_per_second",
+        "Throughput of the most recent fleet epoch",
+        "reports/s");
+    Gauge &threads = telemetry::registry().gauge(
+        "ulpdp_fleet_threads",
+        "Worker threads of the most recent fleet epoch",
+        "threads");
+    LatencyHistogram &seconds = telemetry::registry().histogram(
+        "ulpdp_fleet_epoch_seconds",
+        "Wall-clock duration per fleet epoch",
+        "seconds",
+        {0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0});
+};
+
+FleetMetrics &
+fleetMetrics()
+{
+    static FleetMetrics m;
+    return m;
+}
+
+/**
+ * Publish one merged cohort's counters into the process registry.
+ *
+ * Runs on the main thread *after* the block-order merge: the worker
+ * slabs (BlockAccum) already are the per-shard metric slabs, so
+ * publishing their merged totals here keeps the hot path free of any
+ * shared-cacheline traffic and cannot perturb the bit-identical
+ * FleetReport the determinism contract promises.
+ */
+void
+publishCohort(const CohortResult &res)
+{
+    MetricRegistry &reg = telemetry::registry();
+    std::string labels = "cohort=\"" + res.name + "\"";
+    reg.counter("ulpdp_fleet_reports_total",
+                "Reports released across the fleet by cohort",
+                "reports", labels)
+        .inc(res.reports);
+    reg.counter("ulpdp_fleet_fresh_reports_total",
+                "Fresh (budget-charged) reports by cohort",
+                "reports", labels)
+        .inc(res.fresh_reports);
+    reg.counter("ulpdp_fleet_cache_replays_total",
+                "Budget-exhausted cache replays by cohort",
+                "reports", labels)
+        .inc(res.cache_replays);
+    reg.counter("ulpdp_fleet_samples_drawn_total",
+                "Laplace samples drawn by cohort",
+                "samples", labels)
+        .inc(res.samples_drawn);
+    reg.counter("ulpdp_fleet_resample_overflows_total",
+                "Resampling draws degraded to a window clamp",
+                "draws", labels)
+        .inc(res.resample_overflows);
+    reg.counter("ulpdp_fleet_nodes_exhausted_total",
+                "Node-epochs whose budget ran out mid-epoch",
+                "nodes", labels)
+        .inc(res.nodes_exhausted);
+    reg.counter("ulpdp_fleet_rng_integrity_detections_total",
+                "Sampler-table integrity faults detected",
+                "faults", labels)
+        .inc(res.rng_integrity_detections);
 }
 
 } // anonymous namespace
@@ -578,7 +654,16 @@ FleetRunner::run(unsigned num_threads)
         res.ldp = plan.ldp;
         res.matrix = std::move(matrices[c]);
         report.total_reports += res.reports;
+        if (telemetry::enabled())
+            publishCohort(res);
         report.cohorts.push_back(std::move(res));
+    }
+    if (telemetry::enabled()) {
+        FleetMetrics &m = fleetMetrics();
+        m.runs.inc();
+        m.threads.set(static_cast<double>(report.threads));
+        m.throughput.set(report.reportsPerSecond());
+        m.seconds.observe(report.seconds);
     }
     return report;
 }

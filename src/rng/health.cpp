@@ -1,8 +1,36 @@
 #include "rng/health.h"
 
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace ulpdp {
+
+namespace {
+
+/** Test-outcome counters, labelled by which 90B test tripped. The
+ *  per-word observe() path records nothing -- only the (rare) alarm
+ *  transitions touch telemetry, so the monitor stays free on healthy
+ *  streams. */
+struct HealthMetrics
+{
+    Counter &repetition = telemetry::registry().counter(
+        "ulpdp_rng_health_alarms_total",
+        "URNG continuous health test trips by test",
+        "alarms", "test=\"repetition\"");
+    Counter &proportion = telemetry::registry().counter(
+        "ulpdp_rng_health_alarms_total",
+        "URNG continuous health test trips by test",
+        "alarms", "test=\"proportion\"");
+};
+
+HealthMetrics &
+healthMetrics()
+{
+    static HealthMetrics m;
+    return m;
+}
+
+} // anonymous namespace
 
 RngHealthMonitor::RngHealthMonitor(const RngHealthConfig &config)
     : config_(config)
@@ -27,6 +55,13 @@ RngHealthMonitor::observe(uint32_t word)
     if (observed_ > 1 && word == last_word_) {
         if (++run_length_ >= config_.repetition_cutoff) {
             ++repetition_alarms_;
+            if (telemetry::enabled()) {
+                healthMetrics().repetition.inc();
+                if (!alarmed_)
+                    telemetry::event(
+                        EventKind::HealthAlarm, observed_,
+                        static_cast<double>(repetition_alarms_));
+            }
             alarmed_ = true;
             run_length_ = 1; // re-arm so the count stays meaningful
         }
@@ -49,6 +84,13 @@ RngHealthMonitor::observe(uint32_t word)
         uint32_t ones = lane_ones_[b];
         if (ones + tol < half || ones > half + tol) {
             ++proportion_alarms_;
+            if (telemetry::enabled()) {
+                healthMetrics().proportion.inc();
+                if (!alarmed_)
+                    telemetry::event(
+                        EventKind::HealthAlarm, observed_,
+                        static_cast<double>(proportion_alarms_));
+            }
             alarmed_ = true;
         }
         lane_ones_[b] = 0;

@@ -3,8 +3,42 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace ulpdp {
+
+namespace {
+
+/** Bus health: retries witness transient faults, degradations
+ *  witness reads the caller had to serve from cache. */
+struct BusMetrics
+{
+    Counter &reads = telemetry::registry().counter(
+        "ulpdp_bus_reads_total",
+        "Hardened sensor-bus reads attempted",
+        "reads");
+    Counter &retries = telemetry::registry().counter(
+        "ulpdp_bus_retries_total",
+        "Transfer attempts retried after a detected fault",
+        "attempts");
+    Counter &degradations = telemetry::registry().counter(
+        "ulpdp_bus_degradations_total",
+        "Reads abandoned after the retry budget",
+        "reads");
+    LatencyHistogram &attempts = telemetry::registry().histogram(
+        "ulpdp_bus_read_attempts",
+        "Transfer attempts spent per read",
+        "attempts", {1, 2, 3, 4, 8});
+};
+
+BusMetrics &
+busMetrics()
+{
+    static BusMetrics m;
+    return m;
+}
+
+} // anonymous namespace
 
 SensorBus::SensorBus(double core_hz, double bus_hz)
     : core_hz_(core_hz), bus_hz_(bus_hz)
@@ -60,6 +94,8 @@ SensorBus::readSample(int sensor_bits, int64_t true_value,
 
     BusReadResult result;
     uint64_t backoff = policy.backoff_base_cycles;
+    if (telemetry::enabled())
+        busMetrics().reads.inc();
 
     for (unsigned attempt = 1; attempt <= policy.max_attempts;
          ++attempt) {
@@ -99,6 +135,9 @@ SensorBus::readSample(int sensor_bits, int64_t true_value,
                     got = (got << 8) | wire[b];
                 result.ok = true;
                 result.value = static_cast<int64_t>(got);
+                if (telemetry::enabled())
+                    busMetrics().attempts.observe(
+                        static_cast<double>(result.attempts));
                 return result;
             }
             // CRC mismatch: the corruption was detected, not served.
@@ -107,6 +146,8 @@ SensorBus::readSample(int sensor_bits, int64_t true_value,
         if (attempt < policy.max_attempts) {
             if (stats != nullptr)
                 ++stats->bus_retries;
+            if (telemetry::enabled())
+                busMetrics().retries.inc();
             result.cycles += backoff;
             backoff *= 2;
         }
@@ -116,6 +157,13 @@ SensorBus::readSample(int sensor_bits, int64_t true_value,
     // to its cached report instead of noising a garbage sample.
     if (stats != nullptr)
         ++stats->bus_degradations;
+    if (telemetry::enabled()) {
+        BusMetrics &m = busMetrics();
+        m.degradations.inc();
+        m.attempts.observe(static_cast<double>(result.attempts));
+        telemetry::event(EventKind::BusDegrade, result.cycles,
+                         static_cast<double>(result.attempts));
+    }
     warn("SensorBus: read abandoned after %u attempts; caller must "
          "degrade to cached data", result.attempts);
     return result;

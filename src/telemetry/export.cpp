@@ -1,0 +1,187 @@
+#include "telemetry/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+namespace telemetry {
+
+namespace {
+
+/** Prometheus sample-value rendering: integers exact, doubles %.17g
+ *  (the exposition format takes Go-style floats; 17 digits preserve
+ *  bit-exactness claims the same way JsonWriter does). */
+std::string
+promNumber(double v, bool integral)
+{
+    char buf[40];
+    if (integral) {
+        std::snprintf(buf, sizeof buf, "%" PRIu64,
+                      static_cast<uint64_t>(v));
+    } else if (std::isinf(v)) {
+        return v > 0 ? "+Inf" : "-Inf";
+    } else {
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+    }
+    return buf;
+}
+
+const char *
+typeName(MetricType t)
+{
+    switch (t) {
+      case MetricType::Counter:
+        return "counter";
+      case MetricType::Gauge:
+        return "gauge";
+      case MetricType::Histogram:
+        return "histogram";
+    }
+    panic("typeName: invalid metric type");
+}
+
+/** "name{labels}" or "name" when the label set is empty; @p extra
+ *  appends one more label (the histogram le). */
+std::string
+seriesName(const std::string &name, const std::string &labels,
+           const std::string &extra = "")
+{
+    std::string all = labels;
+    if (!extra.empty())
+        all += all.empty() ? extra : "," + extra;
+    return all.empty() ? name : name + "{" + all + "}";
+}
+
+} // anonymous namespace
+
+std::string
+toPrometheusText(const MetricRegistry &registry)
+{
+    auto samples = registry.snapshot();
+    std::ostringstream out;
+    std::set<std::string> described;
+    for (const auto &s : samples) {
+        // HELP/TYPE once per family, at its first appearance.
+        if (described.insert(s.info.name).second) {
+            out << "# HELP " << s.info.name << " " << s.info.help;
+            if (!s.info.unit.empty())
+                out << " (" << s.info.unit << ")";
+            out << "\n# TYPE " << s.info.name << " "
+                << typeName(s.info.type) << "\n";
+        }
+        switch (s.info.type) {
+          case MetricType::Counter:
+          case MetricType::Gauge:
+            out << seriesName(s.info.name, s.info.labels) << " "
+                << promNumber(s.value, s.integral) << "\n";
+            break;
+          case MetricType::Histogram: {
+            uint64_t cum = 0;
+            for (size_t i = 0; i < s.bucket_bounds.size(); ++i) {
+                cum += s.bucket_counts[i];
+                out << seriesName(s.info.name + "_bucket",
+                                  s.info.labels,
+                                  "le=\"" +
+                                      promNumber(s.bucket_bounds[i],
+                                                 false) +
+                                      "\"")
+                    << " " << cum << "\n";
+            }
+            cum += s.bucket_counts.back();
+            out << seriesName(s.info.name + "_bucket", s.info.labels,
+                              "le=\"+Inf\"")
+                << " " << cum << "\n";
+            out << seriesName(s.info.name + "_sum", s.info.labels)
+                << " " << promNumber(s.sum, false) << "\n";
+            out << seriesName(s.info.name + "_count", s.info.labels)
+                << " " << cum << "\n";
+            break;
+          }
+        }
+    }
+    return out.str();
+}
+
+void
+metricsToJson(const MetricRegistry &registry, JsonWriter &json)
+{
+    auto samples = registry.snapshot();
+    json.beginArray("metrics");
+    for (const auto &s : samples) {
+        json.beginObject();
+        json.field("name", s.info.name);
+        if (!s.info.labels.empty())
+            json.field("labels", s.info.labels);
+        json.field("type", typeName(s.info.type));
+        if (!s.info.unit.empty())
+            json.field("unit", s.info.unit);
+        switch (s.info.type) {
+          case MetricType::Counter:
+          case MetricType::Gauge:
+            if (s.integral)
+                json.field("value",
+                           static_cast<uint64_t>(s.value));
+            else
+                json.field("value", s.value);
+            break;
+          case MetricType::Histogram: {
+            json.beginArray("le");
+            for (double b : s.bucket_bounds)
+                json.element(b);
+            json.endArray();
+            json.beginArray("counts");
+            for (uint64_t c : s.bucket_counts)
+                json.element(static_cast<double>(c));
+            json.endArray();
+            json.field("count", s.count);
+            json.field("sum", s.sum);
+            break;
+          }
+        }
+        json.endObject();
+    }
+    json.endArray();
+}
+
+void
+journalToJson(const EventJournal &journal, JsonWriter &json)
+{
+    json.beginObject("journal");
+    json.field("recorded", journal.recorded());
+    json.field("dropped", journal.dropped());
+    json.field("capacity",
+               static_cast<uint64_t>(journal.capacity()));
+    json.beginArray("events");
+    for (const JournalEvent &ev : journal.snapshot()) {
+        json.beginObject();
+        json.field("kind", eventKindName(ev.kind));
+        json.field("tick", ev.tick);
+        json.field("value", ev.value);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+bool
+writePrometheusFile(const MetricRegistry &registry,
+                    const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("writePrometheusFile: cannot open %s for writing",
+             path.c_str());
+        return false;
+    }
+    out << toPrometheusText(registry);
+    return static_cast<bool>(out);
+}
+
+} // namespace telemetry
+} // namespace ulpdp

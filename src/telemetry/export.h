@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Exporters: Prometheus text exposition and JsonWriter-based JSON.
+ *
+ * The Prometheus exposition (format version 0.0.4) is what an
+ * operator scrapes. ULP deployments have no HTTP server on-device, so
+ * the intended pipeline is the node_exporter *textfile collector*
+ * pattern: the host-side harness writes the exposition to a .prom
+ * file (bench_ext_fleet --prom does exactly that) and node_exporter
+ * picks it up. docs/METRICS.md documents every series this emits.
+ *
+ * The JSON export carries the same snapshot -- plus the event
+ * journal, which has no Prometheus representation -- for the
+ * BENCH_*.json trajectory and offline audit tooling.
+ *
+ * Both exporters are deterministic given a deterministic metric
+ * registration order (the registry preserves it), which is what the
+ * golden-file tests in test_telemetry.cpp pin down.
+ */
+
+#ifndef ULPDP_TELEMETRY_EXPORT_H
+#define ULPDP_TELEMETRY_EXPORT_H
+
+#include <string>
+
+#include "common/json.h"
+#include "telemetry/journal.h"
+#include "telemetry/metrics.h"
+
+namespace ulpdp {
+namespace telemetry {
+
+/**
+ * Render @p registry in the Prometheus text exposition format:
+ * one # HELP / # TYPE pair per metric family, then one sample line
+ * per label set (histograms expand into cumulative _bucket lines
+ * plus _sum and _count).
+ */
+std::string toPrometheusText(const MetricRegistry &registry);
+
+/** Write @p registry as a JSON object field "metrics" (an array of
+ *  sample objects) into @p json (which must be inside an object). */
+void metricsToJson(const MetricRegistry &registry, JsonWriter &json);
+
+/** Write @p journal as a JSON object field "journal" into @p json
+ *  (retained events oldest-first plus recorded/dropped totals). */
+void journalToJson(const EventJournal &journal, JsonWriter &json);
+
+/**
+ * Write the full Prometheus exposition of @p registry to @p path
+ * (the textfile-collector handoff). Returns false and warns on I/O
+ * failure.
+ */
+bool writePrometheusFile(const MetricRegistry &registry,
+                         const std::string &path);
+
+} // namespace telemetry
+} // namespace ulpdp
+
+#endif // ULPDP_TELEMETRY_EXPORT_H

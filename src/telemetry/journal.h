@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Bounded ring-buffer journal for privacy-relevant events.
+ *
+ * Counters say *how much*; an auditor reconstructing whether a
+ * deployment honoured loss <= n*eps also needs *when and what*: each
+ * budget spend with the segment loss actually charged (Algorithm 1),
+ * each halt that degraded to a cache replay, each fault latch that
+ * froze the noise datapath, each replenishment that restored budget.
+ * The journal keeps the most recent events in a fixed-size ring --
+ * bounded memory on a bounded device, oldest entries overwritten --
+ * and every record() is lock-free: one relaxed fetch_add claims a
+ * slot, relaxed atomic stores fill it, and a release store of the
+ * slot's ticket publishes it. Readers snapshot without blocking
+ * writers; a slot caught mid-write is skipped (its begin/end tickets
+ * disagree), never torn.
+ *
+ * The one sacrifice for lock-freedom: if two writers race exactly one
+ * full ring apart (capacity events between them, in-flight at the
+ * same instant), the slot records an interleaving of the two. The
+ * snapshot still sees a well-formed event, and with the default 1024
+ * slots the window is vanishingly small in every workload we run.
+ */
+
+#ifndef ULPDP_TELEMETRY_JOURNAL_H
+#define ULPDP_TELEMETRY_JOURNAL_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ulpdp {
+
+/** What happened. Every kind is documented in docs/METRICS.md. */
+enum class EventKind : uint8_t
+{
+    /** Fresh report charged against the budget; value = loss (nats). */
+    BudgetSpend,
+
+    /** Budget could not cover a report; the cached previous report
+     *  was replayed (value = 0 additional loss by construction). */
+    HaltReplay,
+
+    /** A detected fault latched fail-secure (cache-only) service;
+     *  value = detection count at latch time. */
+    FaultLatch,
+
+    /** The replenishment period elapsed and the budget was restored;
+     *  value = the restored budget. */
+    Replenish,
+
+    /** A URNG continuous health test tripped; value = words observed
+     *  when the alarm latched. */
+    HealthAlarm,
+
+    /** A sensor-bus read exhausted its retries and the caller
+     *  degraded to cached data; value = attempts spent. */
+    BusDegrade,
+
+    /** A confined draw found no acceptable sample and degraded to a
+     *  window-edge clamp; value = samples drawn. */
+    ResampleOverflow,
+};
+
+/** Human-readable event-kind name (exporters, tests). */
+const char *eventKindName(EventKind kind);
+
+/** One journal entry. */
+struct JournalEvent
+{
+    EventKind kind = EventKind::BudgetSpend;
+
+    /** Component-local monotone time (device cycles for the DP-Box,
+     *  requests for the BudgetController). */
+    uint64_t tick = 0;
+
+    /** Kind-specific payload (see EventKind comments). */
+    double value = 0.0;
+};
+
+/** Fixed-capacity lock-free event ring (see file comment). */
+class EventJournal
+{
+  public:
+    /** @param capacity Slots retained; rounded up to a power of two,
+     *  minimum 16. */
+    explicit EventJournal(size_t capacity = 1024);
+
+    /** Append one event (lock-free, thread-safe). */
+    void record(EventKind kind, uint64_t tick, double value) noexcept;
+
+    /** Events ever recorded (including overwritten ones). */
+    uint64_t recorded() const;
+
+    /** Events overwritten before any snapshot could retain them. */
+    uint64_t dropped() const;
+
+    /** Slots this ring retains. */
+    size_t capacity() const { return mask_ + 1; }
+
+    /** Retained events, oldest first. Slots mid-write are skipped. */
+    std::vector<JournalEvent> snapshot() const;
+
+    /** Forget everything (tests / epoch boundaries). */
+    void clear();
+
+  private:
+    struct Slot
+    {
+        std::atomic<uint64_t> begin{0}; ///< ticket+1 before the write
+        std::atomic<uint64_t> end{0};   ///< ticket+1 after the write
+        std::atomic<uint64_t> kind{0};
+        std::atomic<uint64_t> tick{0};
+        std::atomic<uint64_t> value_bits{0};
+    };
+
+    size_t mask_;
+    std::unique_ptr<Slot[]> slots_;
+    std::atomic<uint64_t> head_{0};
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_TELEMETRY_JOURNAL_H

@@ -1,0 +1,228 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+LatencyHistogram::LatencyHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(new std::atomic<uint64_t>[bounds_.size() + 1])
+{
+    if (bounds_.empty())
+        fatal("LatencyHistogram: need at least one bucket bound");
+    for (size_t i = 1; i < bounds_.size(); ++i) {
+        if (!(bounds_[i] > bounds_[i - 1]))
+            fatal("LatencyHistogram: bounds must be strictly "
+                  "increasing (%g then %g)", bounds_[i - 1],
+                  bounds_[i]);
+    }
+    for (size_t i = 0; i <= bounds_.size(); ++i)
+        counts_[i].store(0, std::memory_order_relaxed);
+}
+
+void
+LatencyHistogram::observe(double v) noexcept
+{
+    size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i])
+        ++i;
+    counts_[i].fetch_add(1, std::memory_order_relaxed);
+    sum_.add(v);
+}
+
+uint64_t
+LatencyHistogram::bucketCount(size_t i) const
+{
+    ULPDP_ASSERT(i <= bounds_.size());
+    return counts_[i].load(std::memory_order_relaxed);
+}
+
+uint64_t
+LatencyHistogram::count() const
+{
+    uint64_t total = 0;
+    for (size_t i = 0; i <= bounds_.size(); ++i)
+        total += counts_[i].load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+LatencyHistogram::reset()
+{
+    for (size_t i = 0; i <= bounds_.size(); ++i)
+        counts_[i].store(0, std::memory_order_relaxed);
+    sum_.reset();
+}
+
+/**
+ * One registered metric. Exactly one of the value members is active,
+ * selected by info.type (Counter type with integral=false selects
+ * the Sum member).
+ */
+struct MetricRegistry::Entry
+{
+    MetricInfo info;
+    bool integral = false;
+    Counter counter;
+    Sum sum;
+    Gauge gauge;
+    std::unique_ptr<LatencyHistogram> hist;
+};
+
+MetricRegistry::MetricRegistry() = default;
+MetricRegistry::~MetricRegistry() = default;
+
+MetricRegistry::Entry &
+MetricRegistry::find(const std::string &name, const std::string &labels,
+                     MetricType type)
+{
+    for (auto &e : entries_) {
+        if (e->info.name == name && e->info.labels == labels) {
+            if (e->info.type != type)
+                panic("MetricRegistry: '%s' re-registered with a "
+                      "different type", name.c_str());
+            return *e;
+        }
+        // Same name under different labels must agree on type too --
+        // one exposition TYPE line covers the whole family.
+        if (e->info.name == name && e->info.type != type)
+            panic("MetricRegistry: metric family '%s' mixes types",
+                  name.c_str());
+    }
+    entries_.push_back(std::make_unique<Entry>());
+    Entry &e = *entries_.back();
+    e.info.name = name;
+    e.info.labels = labels;
+    e.info.type = type;
+    return e;
+}
+
+Counter &
+MetricRegistry::counter(const std::string &name, const std::string &help,
+                        const std::string &unit,
+                        const std::string &labels)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry &e = find(name, labels, MetricType::Counter);
+    if (e.info.help.empty()) {
+        e.info.help = help;
+        e.info.unit = unit;
+        e.integral = true;
+    }
+    if (!e.integral)
+        panic("MetricRegistry: '%s' is a Sum, requested as Counter",
+              name.c_str());
+    return e.counter;
+}
+
+Sum &
+MetricRegistry::sum(const std::string &name, const std::string &help,
+                    const std::string &unit, const std::string &labels)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry &e = find(name, labels, MetricType::Counter);
+    if (e.info.help.empty()) {
+        e.info.help = help;
+        e.info.unit = unit;
+        e.integral = false;
+    }
+    if (e.integral)
+        panic("MetricRegistry: '%s' is a Counter, requested as Sum",
+              name.c_str());
+    return e.sum;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name, const std::string &help,
+                      const std::string &unit,
+                      const std::string &labels)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry &e = find(name, labels, MetricType::Gauge);
+    if (e.info.help.empty()) {
+        e.info.help = help;
+        e.info.unit = unit;
+    }
+    return e.gauge;
+}
+
+LatencyHistogram &
+MetricRegistry::histogram(const std::string &name,
+                          const std::string &help,
+                          const std::string &unit,
+                          std::vector<double> bounds,
+                          const std::string &labels)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry &e = find(name, labels, MetricType::Histogram);
+    if (e.hist == nullptr) {
+        e.info.help = help;
+        e.info.unit = unit;
+        e.hist =
+            std::make_unique<LatencyHistogram>(std::move(bounds));
+    } else if (e.hist->bounds() != bounds) {
+        panic("MetricRegistry: '%s' re-registered with different "
+              "bucket bounds", name.c_str());
+    }
+    return *e.hist;
+}
+
+std::vector<MetricRegistry::Sample>
+MetricRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Sample> out;
+    out.reserve(entries_.size());
+    for (const auto &e : entries_) {
+        Sample s;
+        s.info = e->info;
+        switch (e->info.type) {
+          case MetricType::Counter:
+            s.integral = e->integral;
+            s.value = e->integral
+                ? static_cast<double>(e->counter.value())
+                : e->sum.value();
+            break;
+          case MetricType::Gauge:
+            s.value = e->gauge.value();
+            break;
+          case MetricType::Histogram: {
+            const LatencyHistogram &h = *e->hist;
+            s.bucket_bounds = h.bounds();
+            s.bucket_counts.resize(h.bounds().size() + 1);
+            for (size_t i = 0; i <= h.bounds().size(); ++i) {
+                s.bucket_counts[i] = h.bucketCount(i);
+                s.count += s.bucket_counts[i];
+            }
+            s.sum = h.sum();
+            break;
+          }
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+size_t
+MetricRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+void
+MetricRegistry::resetAll()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &e : entries_) {
+        e->counter.reset();
+        e->sum.reset();
+        e->gauge.set(0.0);
+        if (e->hist != nullptr)
+            e->hist->reset();
+    }
+}
+
+} // namespace ulpdp

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Lock-free metrics primitives and the MetricRegistry.
+ *
+ * Finite-precision DP failures are silent by construction: a device
+ * that leaks (a glitched replenishment timer refilling budget early,
+ * a resampling window with no reachable URNG state, a stuck noise
+ * source) produces outputs that *look* perfectly normal. The only
+ * witnesses are the counters the fail-secure machinery already keeps
+ * -- budget spend, halt/replay rates, fault detections, resample
+ * overflows -- so those counters must be first-class, exported, and
+ * cheap enough to leave on in production. This header provides the
+ * substrate:
+ *
+ *  - Counter: monotone uint64, one relaxed fetch_add per event.
+ *  - Sum: monotone double (privacy loss is measured in nats, not
+ *    events), relaxed compare-exchange add.
+ *  - Gauge: last-written double (throughput, remaining budget).
+ *  - LatencyHistogram: fixed cumulative buckets ("le" semantics,
+ *    Prometheus-compatible), one relaxed fetch_add per observation
+ *    plus a Sum for the running total.
+ *  - ScopedTimer: RAII wall-clock timer observing into a histogram.
+ *  - MetricRegistry: names, units, help text and label sets, keyed by
+ *    (name, labels). Registration is mutex-guarded (cold path);
+ *    recording on a registered metric touches only relaxed atomics
+ *    (hot path -- no locks, safe from any thread).
+ *
+ * Every exported series is documented in docs/METRICS.md with the
+ * paper invariant it witnesses; exporters live in telemetry/export.h.
+ */
+
+#ifndef ULPDP_TELEMETRY_METRICS_H
+#define ULPDP_TELEMETRY_METRICS_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ulpdp {
+
+/** Exported metric flavour (drives the Prometheus TYPE line). */
+enum class MetricType : uint8_t
+{
+    Counter,
+    Gauge,
+    Histogram,
+};
+
+/** Monotone event counter; inc() is one relaxed fetch_add. */
+class Counter
+{
+  public:
+    void
+    inc(uint64_t n = 1) noexcept
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const noexcept
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+    /** Tests and epoch-scoped registries only; never production. */
+    void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> v_{0};
+};
+
+/** Monotone double accumulator (budget spend in nats). */
+class Sum
+{
+  public:
+    void
+    add(double d) noexcept
+    {
+        double cur = v_.load(std::memory_order_relaxed);
+        while (!v_.compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+        }
+    }
+
+    double
+    value() const noexcept
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+    void reset() noexcept { v_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> v_{0.0};
+};
+
+/** Last-written value (throughput, remaining budget). */
+class Gauge
+{
+  public:
+    void
+    set(double d) noexcept
+    {
+        v_.store(d, std::memory_order_relaxed);
+    }
+
+    double
+    value() const noexcept
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> v_{0.0};
+};
+
+/**
+ * Fixed-bucket latency/size histogram with Prometheus "le" semantics:
+ * bucket i counts observations <= bounds[i], cumulative at export
+ * time, with an implicit +Inf bucket. Bounds are fixed at
+ * registration so observation is one branchless scan (the bucket
+ * counts are relaxed atomics -- concurrent observers never lock).
+ */
+class LatencyHistogram
+{
+  public:
+    /** @param bounds Strictly increasing upper bounds. */
+    explicit LatencyHistogram(std::vector<double> bounds);
+
+    /** Record one observation (relaxed; thread-safe). */
+    void observe(double v) noexcept;
+
+    /** Upper bounds as registered (without the implicit +Inf). */
+    const std::vector<double> &bounds() const { return bounds_; }
+
+    /** Non-cumulative count of bucket @p i; i == bounds().size() is
+     *  the +Inf bucket. */
+    uint64_t bucketCount(size_t i) const;
+
+    /** Total observations. */
+    uint64_t count() const;
+
+    /** Sum of all observed values. */
+    double sum() const { return sum_.value(); }
+
+    void reset();
+
+  private:
+    std::vector<double> bounds_;
+    std::unique_ptr<std::atomic<uint64_t>[]> counts_; // bounds+1 slots
+    Sum sum_;
+};
+
+/**
+ * RAII scoped timer: observes the elapsed wall-clock seconds into a
+ * LatencyHistogram on destruction. Timer values are telemetry, not
+ * results -- nothing in any simulation output depends on them, which
+ * is how instrumented runs stay bit-identical.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(LatencyHistogram &hist)
+        : hist_(&hist), start_(std::chrono::steady_clock::now())
+    {}
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    ~ScopedTimer()
+    {
+        if (hist_ != nullptr)
+            hist_->observe(seconds());
+    }
+
+    /** Seconds elapsed so far. */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+    /** Detach: destruction records nothing. */
+    void cancel() { hist_ = nullptr; }
+
+  private:
+    LatencyHistogram *hist_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** One metric's registration record (immutable after creation). */
+struct MetricInfo
+{
+    std::string name;   ///< Prometheus series name (ulpdp_*).
+    std::string labels; ///< Rendered label set, e.g. cohort="a", or "".
+    std::string help;   ///< One-line human description.
+    std::string unit;   ///< Unit suffix convention ("nats", "cycles").
+    MetricType type = MetricType::Counter;
+};
+
+/**
+ * Owns every metric of one scope (the process-global scope lives in
+ * telemetry/telemetry.h; tests build private registries). Metrics are
+ * keyed by (name, labels): re-registering an existing key returns the
+ * same instance, so instrumentation sites can look up their handles
+ * from function-local statics without coordination. Registering one
+ * name with two different types panics -- the exposition format
+ * cannot represent that.
+ */
+class MetricRegistry
+{
+  public:
+    MetricRegistry();
+    ~MetricRegistry();
+
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    /** Register (or find) a counter. References stay valid for the
+     *  registry's lifetime. */
+    Counter &counter(const std::string &name, const std::string &help,
+                     const std::string &unit = "",
+                     const std::string &labels = "");
+
+    /** Register (or find) a monotone double sum (exported as a
+     *  Prometheus counter). */
+    Sum &sum(const std::string &name, const std::string &help,
+             const std::string &unit = "",
+             const std::string &labels = "");
+
+    /** Register (or find) a gauge. */
+    Gauge &gauge(const std::string &name, const std::string &help,
+                 const std::string &unit = "",
+                 const std::string &labels = "");
+
+    /** Register (or find) a histogram; @p bounds must match any
+     *  previous registration of the same key. */
+    LatencyHistogram &histogram(const std::string &name,
+                                const std::string &help,
+                                const std::string &unit,
+                                std::vector<double> bounds,
+                                const std::string &labels = "");
+
+    /** One exported sample, snapshotted for the exporters. */
+    struct Sample
+    {
+        MetricInfo info;
+
+        /** Counter/gauge/sum value (histograms use the fields below). */
+        double value = 0.0;
+
+        /** True when value is an exact integer counter. */
+        bool integral = false;
+
+        /** Histogram upper bounds (parallel to bucket_counts). */
+        std::vector<double> bucket_bounds;
+
+        /** Non-cumulative bucket counts; one extra +Inf slot. */
+        std::vector<uint64_t> bucket_counts;
+        uint64_t count = 0;
+        double sum = 0.0;
+    };
+
+    /** Consistent point-in-time view of every metric, in registration
+     *  order (exports are deterministic given deterministic
+     *  registration order). */
+    std::vector<Sample> snapshot() const;
+
+    /** Number of registered metrics. */
+    size_t size() const;
+
+    /** Zero every metric (tests / epoch boundaries). */
+    void resetAll();
+
+  private:
+    struct Entry;
+    Entry &find(const std::string &name, const std::string &labels,
+                MetricType type);
+
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_TELEMETRY_METRICS_H

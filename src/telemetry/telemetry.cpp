@@ -1,0 +1,79 @@
+#include "telemetry/telemetry.h"
+
+namespace ulpdp {
+namespace telemetry {
+
+namespace detail {
+std::atomic<bool> enabled_flag{false};
+} // namespace detail
+
+MetricRegistry &
+registry()
+{
+    static MetricRegistry reg;
+    return reg;
+}
+
+EventJournal &
+journal()
+{
+    static EventJournal jnl(1024);
+    return jnl;
+}
+
+void
+setEnabled(bool on)
+{
+    detail::enabled_flag.store(on, std::memory_order_relaxed);
+}
+
+void
+reset()
+{
+    registry().resetAll();
+    journal().clear();
+}
+
+void
+event(EventKind kind, uint64_t tick, double value)
+{
+    if (!enabled())
+        return;
+    // One counter per kind, labelled by kind name: the scrapeable
+    // aggregate of the journal (which only keeps the newest 1024).
+    static Counter *counters[] = {
+        &registry().counter("ulpdp_events_total",
+                            "Privacy-relevant events by kind",
+                            "events",
+                            "kind=\"budget_spend\""),
+        &registry().counter("ulpdp_events_total",
+                            "Privacy-relevant events by kind",
+                            "events",
+                            "kind=\"halt_replay\""),
+        &registry().counter("ulpdp_events_total",
+                            "Privacy-relevant events by kind",
+                            "events",
+                            "kind=\"fault_latch\""),
+        &registry().counter("ulpdp_events_total",
+                            "Privacy-relevant events by kind",
+                            "events",
+                            "kind=\"replenish\""),
+        &registry().counter("ulpdp_events_total",
+                            "Privacy-relevant events by kind",
+                            "events",
+                            "kind=\"health_alarm\""),
+        &registry().counter("ulpdp_events_total",
+                            "Privacy-relevant events by kind",
+                            "events",
+                            "kind=\"bus_degrade\""),
+        &registry().counter("ulpdp_events_total",
+                            "Privacy-relevant events by kind",
+                            "events",
+                            "kind=\"resample_overflow\""),
+    };
+    counters[static_cast<size_t>(kind)]->inc();
+    journal().record(kind, tick, value);
+}
+
+} // namespace telemetry
+} // namespace ulpdp

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Process-global telemetry context: the default MetricRegistry, the
+ * default EventJournal, and the runtime enable gate.
+ *
+ * Instrumented components (DpBox, BudgetController, SensorBus, the
+ * RNG health monitor, the fleet engine) record into this scope so a
+ * deployment exports one coherent surface without threading a
+ * registry through every constructor. The gate is a single relaxed
+ * atomic load on the hot path; when telemetry is disabled (the
+ * default for benches measuring the metrics-off baseline) every
+ * instrumentation site is a branch-not-taken and no atomics are
+ * touched, which is how the <= 5% fleet-throughput overhead budget is
+ * met from both directions.
+ *
+ * Determinism note: nothing recorded here ever feeds back into a
+ * simulation result. FleetReport stays bit-identical across thread
+ * counts with telemetry on or off; the telemetry merely *witnesses*
+ * the run. Tests flip the gate and reset() freely -- the gate and the
+ * registries are global state, so tests that depend on exact counter
+ * values should not run concurrently with other telemetry users
+ * inside one process.
+ */
+
+#ifndef ULPDP_TELEMETRY_TELEMETRY_H
+#define ULPDP_TELEMETRY_TELEMETRY_H
+
+#include <atomic>
+
+#include "telemetry/journal.h"
+#include "telemetry/metrics.h"
+
+namespace ulpdp {
+namespace telemetry {
+
+namespace detail {
+extern std::atomic<bool> enabled_flag;
+} // namespace detail
+
+/** The process-global metric registry (created on first use). */
+MetricRegistry &registry();
+
+/** The process-global privacy-event journal (created on first use). */
+EventJournal &journal();
+
+/** Hot-path gate: one relaxed load. */
+inline bool
+enabled()
+{
+    return detail::enabled_flag.load(std::memory_order_relaxed);
+}
+
+/** Turn the global telemetry scope on or off (default: off). */
+void setEnabled(bool on);
+
+/** Zero every global metric and clear the journal (tests, or an
+ *  operator starting a fresh observation epoch). */
+void reset();
+
+/**
+ * Record one privacy-relevant event: bumps the per-kind event counter
+ * in the registry and appends to the journal. No-op when disabled.
+ */
+void event(EventKind kind, uint64_t tick, double value);
+
+} // namespace telemetry
+} // namespace ulpdp
+
+#endif // ULPDP_TELEMETRY_TELEMETRY_H

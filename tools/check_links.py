@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Markdown link lint: every relative link in the repo's *.md files
+must point at a file or directory that exists.
+
+Scans the repository root and docs/ (non-recursive beyond those; the
+repo keeps its documentation flat). External links (http/https/mailto)
+are not fetched -- CI must stay hermetic -- only relative paths are
+checked, with any #anchor suffix stripped. Exits nonzero listing every
+broken link.
+
+Usage: python3 tools/check_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+# [text](target) -- excluding images' leading ! is unnecessary: image
+# targets must exist too.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# `code spans` never contain real links worth checking.
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root):
+    for d in (root, os.path.join(root, "docs")):
+        if not os.path.isdir(d):
+            continue
+        for name in sorted(os.listdir(d)):
+            if name.endswith(".md"):
+                yield os.path.join(d, name)
+
+
+def check_file(path, root):
+    broken = []
+    with open(path, encoding="utf-8") as f:
+        in_fence = False
+        for lineno, line in enumerate(f, 1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK_RE.findall(CODE_SPAN_RE.sub("", line)):
+                if target.startswith(EXTERNAL) or target.startswith("#"):
+                    continue
+                rel = target.split("#", 1)[0]
+                if not rel:
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), rel))
+                if not os.path.exists(resolved):
+                    broken.append((lineno, target))
+    return broken
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    failures = 0
+    checked = 0
+    for md in markdown_files(root):
+        checked += 1
+        for lineno, target in check_file(md, root):
+            print(f"{os.path.relpath(md, root)}:{lineno}: "
+                  f"broken link -> {target}")
+            failures += 1
+    print(f"check_links: {checked} files, {failures} broken links")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
