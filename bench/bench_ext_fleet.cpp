@@ -41,6 +41,7 @@
 #include "common/table.h"
 #include "dpbox/driver.h"
 #include "fleet/fleet.h"
+#include "rng/taus_bank.h"
 #include "telemetry/export.h"
 #include "telemetry/telemetry.h"
 
@@ -130,9 +131,11 @@ main(int argc, char **argv)
     sweep.erase(std::unique(sweep.begin(), sweep.end()), sweep.end());
 
     std::printf("\nfleet: 2 cohorts x %llu nodes x %u reports "
-                "(%llu reports total), hardware threads: %u\n\n",
+                "(%llu reports total), batch layer: %zu-lane %s "
+                "kernel, hardware threads: %u\n\n",
                 static_cast<unsigned long long>(nodes), reports,
                 static_cast<unsigned long long>(2 * nodes * reports),
+                TausBank::kMaxLanes, TausBank::kernelName(),
                 hw);
 
     FleetRunner runner(makeConfig(nodes, reports));
@@ -256,6 +259,9 @@ main(int argc, char **argv)
     json.field("reports_per_node", reports);
     json.field("cohorts", uint64_t{2});
     json.field("hardware_threads", hw);
+    json.field("simd_kernel", TausBank::kernelName());
+    json.field("batch_lanes",
+               static_cast<uint64_t>(TausBank::kMaxLanes));
     json.field("bit_exact_determinism", deterministic);
     json.field("speedup_max_vs_1", hw_speedup);
     json.beginArray("sweep");

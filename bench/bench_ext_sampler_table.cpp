@@ -21,8 +21,10 @@
 
 #include "bench_util.h"
 #include "common/table.h"
+#include "rng/batch_sampler.h"
 #include "rng/fxp_laplace.h"
 #include "rng/laplace_table.h"
+#include "rng/taus_bank.h"
 
 namespace {
 
@@ -90,6 +92,8 @@ int
 main(int argc, char **argv)
 {
     std::string json_path = bench::jsonPathFromArgs(argc, argv);
+    if (json_path.empty())
+        json_path = "BENCH_sampler.json";
 
     bench::banner("Extension: table-driven sampling fast path",
                   "Per-draw latency of the naive FxP pipeline vs the "
@@ -212,6 +216,65 @@ main(int argc, char **argv)
                 static_cast<long long>(kHi));
     windowed.print(std::cout);
 
+    // --- wide rect draws (the fleet hot path) ----------------------
+    // A 16-lane bank steps 16 independent streams in lockstep and
+    // feeds blocked table lookups; this is the per-draw cost the
+    // fleet engine pays when it batches 16 consecutive nodes.
+    constexpr size_t kLanes = TausBank::kMaxLanes;
+    constexpr size_t kTrials = 1024;
+    uint64_t lane_seeds[kLanes];
+    TausBank::deriveLaneSeeds(3, lane_seeds, kLanes);
+    std::vector<int64_t> rect(kTrials * kLanes);
+
+    BatchSampler rect_bs(fast.sharedTable(),
+                         fast.config().uniform_bits,
+                         fast.quantizer().maxIndex());
+    rect_bs.seedLanes(lane_seeds, kLanes);
+    const int kRectRounds =
+        kDraws / static_cast<int>(kTrials * kLanes);
+    auto br0 = Clock::now();
+    for (int r = 0; r < kRectRounds; ++r) {
+        rect_bs.sampleRect(rect.data(), kTrials);
+        sink += rect[0] + rect[rect.size() - 1];
+    }
+    auto br1 = Clock::now();
+    double ns_rect =
+        std::chrono::duration<double, std::nano>(br1 - br0).count() /
+        (static_cast<double>(kRectRounds) * kTrials * kLanes);
+
+    BatchSampler trunc_bs(fast.sharedTable(),
+                          fast.config().uniform_bits,
+                          fast.quantizer().maxIndex());
+    trunc_bs.seedLanes(lane_seeds, kLanes);
+    BatchSampler::Window windows[kLanes];
+    for (size_t l = 0; l < kLanes; ++l)
+        windows[l] = {kLo, kHi};
+    auto bt0 = Clock::now();
+    for (int r = 0; r < kRectRounds; ++r) {
+        trunc_bs.sampleTruncatedRect(windows, rect.data(), kTrials);
+        sink += rect[0] + rect[rect.size() - 1];
+    }
+    auto bt1 = Clock::now();
+    double ns_trunc_rect =
+        std::chrono::duration<double, std::nano>(bt1 - bt0).count() /
+        (static_cast<double>(kRectRounds) * kTrials * kLanes);
+
+    TextTable bank;
+    bank.setHeader({"16-lane batch sampler", "ns/draw",
+                    "vs scalar table path"});
+    {
+        char a[32], b[32];
+        std::snprintf(a, sizeof a, "%.2f", ns_rect);
+        std::snprintf(b, sizeof b, "%.1fx", ns_table / ns_rect);
+        bank.addRow({"unbounded rect", a, b});
+        std::snprintf(a, sizeof a, "%.2f", ns_trunc_rect);
+        std::snprintf(b, sizeof b, "%.1fx", ns_trunc / ns_trunc_rect);
+        bank.addRow({"truncated rect (window above)", a, b});
+    }
+    std::printf("\nURNG lane bank: %zu lanes, %s kernel:\n", kLanes,
+                TausBank::kernelName());
+    bank.print(std::cout);
+
     std::printf("\nchecksum %lld\n", static_cast<long long>(sink));
     std::printf("\nTakeaway: the pipeline is a fixed map over 2^Bu "
                 "URNG states, so one configuration-time enumeration "
@@ -236,6 +299,11 @@ main(int argc, char **argv)
         json.field("ns_per_report_truncated_inversion", ns_trunc);
         json.field("accept_reject_draws_per_report",
                    draws_per_report);
+        json.field("simd_kernel", TausBank::kernelName());
+        json.field("batch_lanes", static_cast<uint64_t>(kLanes));
+        json.field("ns_per_draw_rect_batch", ns_rect);
+        json.field("ns_per_draw_truncated_rect_batch",
+                   ns_trunc_rect);
         json.endObject();
         if (json.writeFile(json_path))
             std::printf("JSON written to %s\n", json_path.c_str());

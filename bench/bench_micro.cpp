@@ -7,6 +7,9 @@
  * not device latency (see bench_fig11 / bench_sec5 for cycles).
  */
 
+#include <string>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
 #include "core/ideal_laplace_mechanism.h"
@@ -16,9 +19,11 @@
 #include "core/thresholding_mechanism.h"
 #include "dpbox/driver.h"
 #include "query/histogram_query.h"
+#include "rng/batch_sampler.h"
 #include "rng/cordic.h"
 #include "rng/fxp_inversion.h"
 #include "rng/fxp_laplace.h"
+#include "rng/taus_bank.h"
 #include "rng/tausworthe.h"
 
 namespace {
@@ -45,6 +50,50 @@ BM_Tausworthe(benchmark::State &state)
         benchmark::DoNotOptimize(rng.next32());
 }
 BENCHMARK(BM_Tausworthe);
+
+void
+BM_TausBankNextWords(benchmark::State &state)
+{
+    uint64_t seeds[TausBank::kMaxLanes];
+    TausBank::deriveLaneSeeds(1, seeds, TausBank::kMaxLanes);
+    TausBank bank(seeds, TausBank::kMaxLanes);
+    uint32_t words[TausBank::kMaxLanes];
+    for (auto _ : state) {
+        bank.nextWords(words);
+        benchmark::DoNotOptimize(words[0]);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(TausBank::kMaxLanes));
+}
+BENCHMARK(BM_TausBankNextWords);
+
+void
+BM_BatchSamplerRect(benchmark::State &state)
+{
+    FxpLaplaceConfig cfg;
+    cfg.uniform_bits = 17;
+    cfg.output_bits = 14;
+    cfg.delta = 10.0 / 32.0;
+    cfg.lambda = 20.0;
+    cfg.sample_path = FxpLaplaceConfig::SamplePath::Table;
+    FxpLaplaceRng proto(cfg, 1);
+    uint64_t seeds[TausBank::kMaxLanes];
+    TausBank::deriveLaneSeeds(1, seeds, TausBank::kMaxLanes);
+    BatchSampler bs(proto.sharedTable(), cfg.uniform_bits,
+                    proto.quantizer().maxIndex());
+    bs.seedLanes(seeds, TausBank::kMaxLanes);
+    const size_t trials = static_cast<size_t>(state.range(0));
+    std::vector<int64_t> rect(trials * TausBank::kMaxLanes);
+    for (auto _ : state) {
+        bs.sampleRect(rect.data(), trials);
+        benchmark::DoNotOptimize(rect[0]);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(rect.size()));
+}
+BENCHMARK(BM_BatchSamplerRect)->Arg(64)->Arg(1024);
 
 void
 BM_CordicLog(benchmark::State &state)
@@ -203,4 +252,38 @@ BENCHMARK(BM_DpBoxNoising);
 
 } // anonymous namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the repo-wide `--json
+// [PATH]` bench flag maps onto google-benchmark's JSON reporter so CI
+// collects BENCH_micro.json next to the other BENCH_*.json artifacts.
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        std::string a = argv[i];
+        if (i > 0 && a == "--json") {
+            // Optional path operand, matching the other benches.
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                json_path = argv[++i];
+            else
+                json_path = "BENCH_micro.json";
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    std::string out_flag, fmt_flag;
+    if (!json_path.empty()) {
+        out_flag = "--benchmark_out=" + json_path;
+        fmt_flag = "--benchmark_out_format=json";
+        args.push_back(out_flag.data());
+        args.push_back(fmt_flag.data());
+    }
+    int count = static_cast<int>(args.size());
+    benchmark::Initialize(&count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(count, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

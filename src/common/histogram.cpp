@@ -21,24 +21,6 @@ Histogram::Histogram(double lo, double hi, size_t num_bins)
 }
 
 void
-Histogram::add(double x)
-{
-    ++total_;
-    if (x < lo_) {
-        ++underflow_;
-        return;
-    }
-    if (x > hi_) {
-        ++overflow_;
-        return;
-    }
-    size_t bin = static_cast<size_t>((x - lo_) / width_);
-    // The upper edge belongs to the last bin.
-    bin = std::min(bin, counts_.size() - 1);
-    ++counts_[bin];
-}
-
-void
 Histogram::addAll(const std::vector<double> &xs)
 {
     for (double x : xs)

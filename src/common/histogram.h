@@ -7,6 +7,7 @@
 #ifndef ULPDP_COMMON_HISTOGRAM_H
 #define ULPDP_COMMON_HISTOGRAM_H
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -29,8 +30,23 @@ class Histogram
      */
     Histogram(double lo, double hi, size_t num_bins);
 
-    /** Count one sample. */
-    void add(double x);
+    /** Count one sample. Inline: one add per released fleet report. */
+    void add(double x)
+    {
+        ++total_;
+        if (x < lo_) {
+            ++underflow_;
+            return;
+        }
+        if (x > hi_) {
+            ++overflow_;
+            return;
+        }
+        size_t bin = static_cast<size_t>((x - lo_) / width_);
+        // The upper edge belongs to the last bin.
+        bin = std::min(bin, counts_.size() - 1);
+        ++counts_[bin];
+    }
 
     /** Count a whole vector of samples. */
     void addAll(const std::vector<double> &xs);

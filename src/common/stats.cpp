@@ -8,17 +8,6 @@
 namespace ulpdp {
 
 void
-RunningStats::add(double x)
-{
-    ++count_;
-    double delta = x - mean_;
-    mean_ += delta / static_cast<double>(count_);
-    m2_ += delta * (x - mean_);
-    min_ = std::min(min_, x);
-    max_ = std::max(max_, x);
-}
-
-void
 RunningStats::merge(const RunningStats &other)
 {
     if (other.count_ == 0)

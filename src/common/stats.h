@@ -8,6 +8,7 @@
 #ifndef ULPDP_COMMON_STATS_H
 #define ULPDP_COMMON_STATS_H
 
+#include <algorithm>
 #include <cstddef>
 #include <limits>
 #include <vector>
@@ -23,8 +24,18 @@ class RunningStats
   public:
     RunningStats() = default;
 
-    /** Fold one sample into the accumulator. */
-    void add(double x);
+    /** Fold one sample into the accumulator. Inline: this sits on the
+     *  fleet per-report hot path, where the call overhead is on the
+     *  order of the arithmetic itself. */
+    void add(double x)
+    {
+        ++count_;
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
 
     /** Merge another accumulator into this one (parallel Welford). */
     void merge(const RunningStats &other);

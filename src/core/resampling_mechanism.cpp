@@ -48,6 +48,38 @@ ResamplingMechanism::noise(double x)
     }
 }
 
+void
+ResamplingMechanism::sampleBatch(const double *x, double *out,
+                                 size_t n)
+{
+    const int64_t win_lo = windowLoIndex();
+    const int64_t win_hi = windowHiIndex();
+
+    for (size_t i = 0; i < n; ++i) {
+        int64_t xi = checkAndIndex(x[i]);
+        uint64_t attempts = 0;
+        while (true) {
+            ++attempts;
+            if (attempts > max_attempts_) {
+                panic("ResamplingMechanism: no accepted sample after "
+                      "%llu attempts (window [%lld, %lld], input "
+                      "%lld)",
+                      static_cast<unsigned long long>(max_attempts_),
+                      static_cast<long long>(win_lo),
+                      static_cast<long long>(win_hi),
+                      static_cast<long long>(xi));
+            }
+            int64_t yi = xi + rng_.sampleIndexFast();
+            if (yi >= win_lo && yi <= win_hi) {
+                total_samples_ += attempts;
+                ++total_reports_;
+                out[i] = toValue(yi);
+                break;
+            }
+        }
+    }
+}
+
 double
 ResamplingMechanism::averageSamplesPerReport() const
 {

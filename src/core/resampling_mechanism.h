@@ -38,6 +38,19 @@ class ResamplingMechanism : public FxpMechanismBase
     std::string name() const override { return "Resampling"; }
     bool guaranteesLdp() const override { return true; }
 
+    /**
+     * Batch counterpart of noise(): release one report per reading
+     * into @p out, bit-identical to calling noise(x[i]) in a loop
+     * (same draws, same attempt accounting). The redraw loop itself
+     * stays per-draw -- each redraw depends on the previous draw's
+     * accept test, so a single device's stream is inherently
+     * sequential -- but the window bounds and the per-report virtual
+     * dispatch are hoisted. Fleet simulations that want loop-free
+     * confined draws use BatchSampler::sampleTruncatedRect across
+     * many nodes instead.
+     */
+    void sampleBatch(const double *x, double *out, size_t n);
+
     /** Window half-extension n_th1 in Delta units. */
     int64_t thresholdIndex() const { return threshold_index_; }
 

@@ -1,5 +1,7 @@
 #include "core/thresholding_mechanism.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace ulpdp {
@@ -33,6 +35,34 @@ ThresholdingMechanism::noise(double x)
         ++clamped_reports_;
     ++total_reports_;
     return NoisedReport{toValue(yi), 1};
+}
+
+void
+ThresholdingMechanism::sampleBatch(const double *x, double *out,
+                                   size_t n)
+{
+    const int64_t win_lo = windowLoIndex();
+    const int64_t win_hi = windowHiIndex();
+
+    constexpr size_t kChunk = 256;
+    int64_t xi[kChunk];
+    int64_t noise[kChunk];
+    size_t i = 0;
+    while (i < n) {
+        size_t c = std::min(kChunk, n - i);
+        for (size_t j = 0; j < c; ++j)
+            xi[j] = checkAndIndex(x[i + j]);
+        rng_.sampleBatch(noise, c);
+        for (size_t j = 0; j < c; ++j) {
+            int64_t yi =
+                std::clamp(xi[j] + noise[j], win_lo, win_hi);
+            clamped_reports_ +=
+                static_cast<uint64_t>(yi != xi[j] + noise[j]);
+            out[i + j] = toValue(yi);
+        }
+        total_reports_ += c;
+        i += c;
+    }
 }
 
 } // namespace ulpdp

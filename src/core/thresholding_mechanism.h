@@ -36,6 +36,16 @@ class ThresholdingMechanism : public FxpMechanismBase
     std::string name() const override { return "Thresholding"; }
     bool guaranteesLdp() const override { return true; }
 
+    /**
+     * Batch counterpart of noise(): release one report per reading
+     * into @p out. Bit-identical to calling noise(x[i]) in a loop --
+     * same URNG words (the noise indices come off the batch sampling
+     * layer in whole blocks via FxpLaplaceRng::sampleBatch), same
+     * clamp accounting -- with the per-report virtual dispatch and
+     * window recomputation hoisted out of the loop.
+     */
+    void sampleBatch(const double *x, double *out, size_t n);
+
     /** Window half-extension n_th2 in Delta units. */
     int64_t thresholdIndex() const { return threshold_index_; }
 

@@ -14,8 +14,10 @@
 #include "core/budget.h"
 #include "core/privacy_loss.h"
 #include "core/threshold_calc.h"
+#include "rng/batch_sampler.h"
 #include "rng/fxp_laplace.h"
 #include "rng/ideal_laplace.h"
+#include "rng/laplace_table.h"
 #include "rng/tausworthe.h"
 #include "telemetry/telemetry.h"
 
@@ -97,6 +99,22 @@ struct FleetMetrics
         "Wall-clock duration per fleet epoch",
         "seconds",
         {0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0});
+    Gauge &batch_lanes = telemetry::registry().gauge(
+        "ulpdp_batch_lanes",
+        "URNG lanes stepped in lockstep by the batch sampling bank",
+        "lanes");
+    Gauge &batch_prefetch = telemetry::registry().gauge(
+        "ulpdp_batch_prefetch_batch_size",
+        "Table slots prefetched ahead per batched trial row",
+        "slots");
+    Counter &batch_fallbacks = telemetry::registry().counter(
+        "ulpdp_batch_scalar_fallbacks_total",
+        "Blocks redone on the scalar path after a batch-sampler bail",
+        "blocks");
+    Counter &rng_clones = telemetry::registry().counter(
+        "ulpdp_fleet_rng_clones_total",
+        "Prototype RNG clones made by fleet workers",
+        "clones");
 };
 
 FleetMetrics &
@@ -254,10 +272,12 @@ struct FleetRunner::CohortPlan
         hist_hi = cfg.params.range.hi + ext;
 
         // Enumerate the sampling table once, before any worker copies
-        // the prototype: every copy then shares it read-only.
-        if (cfg.mechanism != CohortMechanism::Ideal &&
-            proto.fastPathEnabled())
-            proto.table();
+        // the prototype: every copy then shares it read-only. The
+        // shared handle also feeds the batch sampling layer, so the
+        // whole fleet references one enumeration.
+        if (cfg.mechanism != CohortMechanism::Ideal)
+            table = proto.sharedTable();
+        batch_ok = table != nullptr && fresh_per_node > 0;
 
         worst_loss = cfg.params.epsilon;
         ldp = true;
@@ -316,6 +336,10 @@ struct FleetRunner::CohortPlan
     CohortConfig cfg;
     uint32_t index;
     FxpLaplaceRng proto;
+    /** Shared sampling-table handle (nullptr when no fast path). */
+    std::shared_ptr<const LaplaceSampleTable> table;
+    /** Whether blocks ride the 16-lane batch path. */
+    bool batch_ok = false;
     uint64_t nodes = 0;
     double delta = 1.0;
     int64_t lo_index = 0;
@@ -452,6 +476,16 @@ FleetRunner::hardwareThreads()
     return hw == 0 ? 1 : hw;
 }
 
+namespace {
+std::atomic<bool> g_force_scalar_blocks{false};
+} // anonymous namespace
+
+void
+FleetRunner::forceScalarBlocks(bool on)
+{
+    g_force_scalar_blocks.store(on, std::memory_order_relaxed);
+}
+
 FleetReport
 FleetRunner::run(unsigned num_threads)
 {
@@ -485,11 +519,29 @@ FleetRunner::run(unsigned num_threads)
     }
 
     std::atomic<size_t> next{0};
+    std::atomic<uint64_t> batch_fallbacks{0};
+    std::atomic<uint64_t> rng_clones{0};
     auto worker = [&]() {
+        constexpr size_t W = TausBank::kMaxLanes;
+        // Worker-lifetime scratch, grown once and reused across every
+        // block: the hot loop never allocates.
+        std::vector<int64_t> noise;  // scalar path, one node's batch
+        std::vector<int64_t> rect;   // batch path, trial-major noise
+        std::vector<BatchSampler::Window> windows(W);
+        // The prototype copy is cached across blocks: CordicLog's
+        // tables make every copy allocate, so clone only on a cohort
+        // switch or after an integrity fault. A clean reused clone is
+        // indistinguishable from a fresh one -- the stream is reseeded
+        // per node and the counters are read as per-block deltas.
+        std::optional<FxpLaplaceRng> rng;
+        uint32_t rng_cohort = 0;
+        uint64_t clones = 0;
+        uint64_t fallbacks = 0;
+
         for (;;) {
             size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= items.size())
-                return;
+                break;
             const WorkItem &item = items[i];
             const CohortPlan &plan = plans_[item.cohort];
             const CohortConfig &cfg = plan.cfg;
@@ -502,24 +554,138 @@ FleetRunner::run(unsigned num_threads)
             const uint32_t fresh = plan.fresh_per_node;
             const bool fxp =
                 cfg.mechanism != CohortMechanism::Ideal;
-            const bool batched =
-                cfg.mechanism == CohortMechanism::Naive ||
-                cfg.mechanism == CohortMechanism::Thresholding;
+            const bool truncated =
+                cfg.mechanism == CohortMechanism::Resampling;
             const bool clamp =
                 cfg.mechanism == CohortMechanism::Thresholding;
 
-            // Per-block RNG copy: shares the prototype's enumerated
-            // table (read-only), reseeded per node below.
-            FxpLaplaceRng rng = plan.proto;
-            std::vector<int64_t> noise(batched ? fresh : 0);
-            uint64_t drawn_before = rng.samplesDrawn();
+            // -- Batch path: fill the 16-lane bank with consecutive
+            // nodes and draw every fresh report of the group in one
+            // rect. Lane l is bit-identical to the scalar stream of
+            // node lo + l, so the accumulation below (still strictly
+            // in (node, trial) order) produces the exact scalar
+            // numbers.
+            if (plan.batch_ok &&
+                !g_force_scalar_blocks.load(
+                    std::memory_order_relaxed)) {
+                BatchSampler bs(plan.table,
+                                plan.proto.config().uniform_bits,
+                                plan.proto.quantizer().maxIndex(),
+                                plan.proto.config().integrity_checks);
+                rect.resize(W * static_cast<size_t>(fresh));
+                uint64_t seeds[W];
+                double xs[W];
+                int64_t xis[W];
+                bool ok = true;
+                for (uint64_t lo = item.node_lo; lo < item.node_hi;
+                     lo += W) {
+                    size_t lanes = static_cast<size_t>(
+                        std::min<uint64_t>(W, item.node_hi - lo));
+                    for (size_t l = 0; l < lanes; ++l) {
+                        uint64_t node = lo + l;
+                        seeds[l] =
+                            seeder_.nodeSeed(plan.index, node);
+                        xs[l] = cfg.values.empty()
+                            ? synthValue(
+                                  FleetSeeder::subSeed(seeds[l],
+                                                       kDataSalt),
+                                  plan.data_mean, plan.data_std,
+                                  cfg.params.range.lo,
+                                  cfg.params.range.hi)
+                            : cfg.values[node];
+                        int64_t xi = static_cast<int64_t>(
+                            std::llround(xs[l] / plan.delta));
+                        xis[l] = std::clamp(xi, plan.lo_index,
+                                            plan.hi_index);
+                        if (truncated)
+                            windows[l] = {plan.win_lo - xis[l],
+                                          plan.win_hi - xis[l]};
+                    }
+                    bs.seedLanes(seeds, lanes);
+                    ok = truncated
+                        ? bs.sampleTruncatedRect(windows.data(),
+                                                 rect.data(), fresh)
+                        : bs.sampleRect(rect.data(), fresh);
+                    if (!ok)
+                        break;
+                    for (size_t l = 0; l < lanes; ++l) {
+                        uint64_t node = lo + l;
+                        acc.true_vals.add(xs[l]);
+                        if (fresh < R)
+                            ++acc.exhausted;
+                        double last = 0.0;
+                        for (uint32_t t = 0; t < R; ++t) {
+                            double released;
+                            if (t < fresh) {
+                                int64_t yi =
+                                    xis[l] +
+                                    rect[static_cast<size_t>(t) *
+                                             lanes + l];
+                                if (clamp)
+                                    yi = std::clamp(yi, plan.win_lo,
+                                                    plan.win_hi);
+                                released =
+                                    static_cast<double>(yi) *
+                                    plan.delta;
+                                last = released;
+                                ++acc.fresh;
+                            } else {
+                                // Budget exhausted: replay the last
+                                // fresh report (fresh >= 1 on this
+                                // path, so one always exists).
+                                released = last;
+                                ++acc.replays;
+                            }
+                            acc.hist.add(released);
+                            acc.released.add(released);
+                            acc.error.add(released - xs[l]);
+                            acc.trial_sum[t] += released;
+                            acc.checksum +=
+                                reportDigest(node, t, released);
+                            if (matrix != nullptr)
+                                matrix[static_cast<uint64_t>(t) *
+                                           plan.nodes + node] =
+                                    released;
+                        }
+                    }
+                    acc.samples += lanes * fresh;
+                }
+                if (ok)
+                    continue;
+                // A comparator tripped, or a window holds no URNG
+                // state: discard the whole block and redo it scalar.
+                // Every node restarts from its seed, so the redo is
+                // bit-identical to never having batched, and the
+                // scalar integrity path quarantines (or clamps) with
+                // the exact per-draw semantics.
+                acc = BlockAccum(plan.hist_lo, plan.hist_hi,
+                                 cfg.histogram_bins, R);
+                ++fallbacks;
+            }
+
+            // -- Scalar path: Ideal cohorts, fresh == 0 cohorts,
+            // tableless configurations, and batch-fallback redos.
+            const bool batched =
+                cfg.mechanism == CohortMechanism::Naive || clamp;
+            if (fxp && (!rng || rng_cohort != item.cohort ||
+                        rng->integrityFault())) {
+                rng.emplace(plan.proto);
+                rng_cohort = item.cohort;
+                ++clones;
+            }
+            uint64_t drawn_before = 0;
+            uint64_t integ_before = 0;
+            if (fxp) {
+                drawn_before = rng->samplesDrawn();
+                integ_before = rng->integrityDetections();
+                noise.resize(batched ? fresh : 0);
+            }
 
             for (uint64_t node = item.node_lo; node < item.node_hi;
                  ++node) {
                 uint64_t seed = seeder_.nodeSeed(plan.index, node);
                 double x = cfg.values.empty()
-                    ? synthValue(seeder_.nodeSubSeed(plan.index, node,
-                                                     kDataSalt),
+                    ? synthValue(FleetSeeder::subSeed(seed, kDataSalt),
                                  plan.data_mean, plan.data_std,
                                  cfg.params.range.lo,
                                  cfg.params.range.hi)
@@ -533,9 +699,9 @@ FleetRunner::run(unsigned num_threads)
                     xi = static_cast<int64_t>(
                         std::llround(x / plan.delta));
                     xi = std::clamp(xi, plan.lo_index, plan.hi_index);
-                    rng.urng() = Tausworthe(seed);
+                    rng->urng() = Tausworthe(seed);
                     if (batched && fresh > 0)
-                        rng.sampleBatch(noise.data(), fresh);
+                        rng->sampleBatch(noise.data(), fresh);
                 }
                 std::optional<IdealLaplace> ideal;
                 if (!fxp)
@@ -558,7 +724,7 @@ FleetRunner::run(unsigned num_threads)
                             // total comes from samplesDrawn() below.
                             uint64_t scratch = 0;
                             int64_t yi = drawConfinedOutput(
-                                rng, RangeControl::Resampling, xi,
+                                *rng, RangeControl::Resampling, xi,
                                 plan.win_lo, plan.win_hi,
                                 uint64_t{1} << 20, scratch,
                                 acc.overflows, "FleetRunner");
@@ -589,10 +755,17 @@ FleetRunner::run(unsigned num_threads)
                                node] = released;
                 }
             }
-            if (fxp)
-                acc.samples += rng.samplesDrawn() - drawn_before;
-            acc.integrity += rng.integrityDetections();
+            if (fxp) {
+                acc.samples += rng->samplesDrawn() - drawn_before;
+                acc.integrity +=
+                    rng->integrityDetections() - integ_before;
+            }
         }
+        if (fallbacks != 0)
+            batch_fallbacks.fetch_add(fallbacks,
+                                      std::memory_order_relaxed);
+        if (clones != 0)
+            rng_clones.fetch_add(clones, std::memory_order_relaxed);
     };
 
     auto t0 = std::chrono::steady_clock::now();
@@ -664,6 +837,17 @@ FleetRunner::run(unsigned num_threads)
         m.threads.set(static_cast<double>(report.threads));
         m.throughput.set(report.reportsPerSecond());
         m.seconds.observe(report.seconds);
+        // Batch-layer observability. None of these feed the
+        // FleetReport or its fingerprint: the determinism contract is
+        // about the merged result, not about which path produced it.
+        m.batch_lanes.set(
+            static_cast<double>(TausBank::kMaxLanes));
+        m.batch_prefetch.set(
+            static_cast<double>(TausBank::kMaxLanes));
+        m.batch_fallbacks.inc(
+            batch_fallbacks.load(std::memory_order_relaxed));
+        m.rng_clones.inc(
+            rng_clones.load(std::memory_order_relaxed));
     }
     return report;
 }

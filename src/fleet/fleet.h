@@ -28,13 +28,18 @@
  *    floating-point-associative, which is exactly why the merge tree
  *    is fixed by block index rather than by completion order.
  *
- * The hot path rides the table-driven O(1) sampler: naive and
- * thresholding cohorts draw whole per-node report batches through
- * FxpLaplaceRng::sampleBatch (one table load per report), and
- * resampling cohorts draw window-conditioned reports through the
- * truncated direct-inversion path via drawConfinedOutput (no redraw
- * loop). The per-cohort sampling table is enumerated once on the main
- * thread and shared read-only by every worker.
+ * The hot path rides the batch sampling layer (rng/batch_sampler.h):
+ * workers fill a 16-lane Tausworthe bank with consecutive nodes'
+ * streams and draw every fresh report of the group in one rect --
+ * SIMD-stepped URNG words feeding blocked, prefetched table lookups,
+ * with the window-confined (resampling) variant hoisting the
+ * acceptance mass out of the trial loop. Lane l is bit-identical to
+ * node l's scalar stream, so the batched accumulation (still strictly
+ * in (node, trial) order) produces the exact report values of the
+ * scalar path; any batch-layer integrity bail falls back to redoing
+ * the whole block through the per-draw scalar code. The per-cohort
+ * sampling table is enumerated once on the main thread and shared
+ * read-only by every worker.
  */
 
 #ifndef ULPDP_FLEET_FLEET_H
@@ -310,6 +315,15 @@ class FleetRunner
 
     /** std::thread::hardware_concurrency, floored at 1. */
     static unsigned hardwareThreads();
+
+    /**
+     * Process-wide test hook: route every block through the per-draw
+     * scalar path instead of the batch sampling layer. The merged
+     * FleetReport must be bit-identical either way -- that is the
+     * batch layer's core contract, and the determinism tests prove it
+     * by flipping this switch. Never set in production code.
+     */
+    static void forceScalarBlocks(bool on);
 
   private:
     struct CohortPlan;

@@ -6,21 +6,13 @@ namespace ulpdp {
 
 namespace {
 
-// Weyl increments decorrelating the node, cohort and salt dimensions
-// (golden-ratio constant plus two other odd 64-bit mix constants).
+// Weyl increments decorrelating the node and cohort dimensions
+// (golden-ratio constant plus another odd 64-bit mix constant); the
+// salt increment lives in the header next to subSeed().
 constexpr uint64_t kNodeGamma = 0x9e3779b97f4a7c15ULL;
 constexpr uint64_t kCohortGamma = 0xc2b2ae3d27d4eb4fULL;
-constexpr uint64_t kSaltGamma = 0xd6e8feb86659fd93ULL;
 
 } // anonymous namespace
-
-uint64_t
-FleetSeeder::mix64(uint64_t z)
-{
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
-}
 
 uint64_t
 FleetSeeder::nodeSeed(uint32_t cohort, uint64_t node) const
@@ -41,7 +33,7 @@ uint64_t
 FleetSeeder::nodeSubSeed(uint32_t cohort, uint64_t node,
                          uint64_t salt) const
 {
-    return mix64(nodeSeed(cohort, node) ^ (kSaltGamma * (salt + 1)));
+    return subSeed(nodeSeed(cohort, node), salt);
 }
 
 } // namespace ulpdp

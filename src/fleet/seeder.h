@@ -50,14 +50,35 @@ class FleetSeeder
     uint64_t nodeSubSeed(uint32_t cohort, uint64_t node,
                          uint64_t salt) const;
 
+    /**
+     * nodeSubSeed() when the node seed is already in hand: the fleet
+     * hot loop derives each node seed exactly once and branches the
+     * salted substreams off it, instead of re-deriving (and re-running
+     * the degenerate-seed rejection of) nodeSeed() per consumer.
+     * subSeed(nodeSeed(c, n), salt) == nodeSubSeed(c, n, salt).
+     */
+    static uint64_t subSeed(uint64_t node_seed, uint64_t salt)
+    {
+        return mix64(node_seed ^ (kSaltGamma * (salt + 1)));
+    }
+
     /** The fleet master seed this seeder derives from. */
     uint64_t masterSeed() const { return master_; }
 
     /** SplitMix64 finalizer (public: tests invert it to craft
-     *  degenerate candidates). */
-    static uint64_t mix64(uint64_t z);
+     *  degenerate candidates). Inline: the fleet checksum digests one
+     *  mix per released report. */
+    static uint64_t mix64(uint64_t z)
+    {
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
 
   private:
+    /** Weyl increment decorrelating the salt dimension. */
+    static constexpr uint64_t kSaltGamma = 0xd6e8feb86659fd93ULL;
+
     uint64_t master_;
 };
 

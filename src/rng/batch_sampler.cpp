@@ -1,0 +1,168 @@
+#include "rng/batch_sampler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "rng/laplace_table.h"
+
+namespace ulpdp {
+
+BatchSampler::BatchSampler(
+        std::shared_ptr<const LaplaceSampleTable> table,
+        int uniform_bits, int64_t sat_index, bool integrity_checks)
+    : table_(std::move(table)), uniform_bits_(uniform_bits),
+      sat_index_(sat_index), integrity_checks_(integrity_checks)
+{
+    if (table_ == nullptr)
+        fatal("BatchSampler: need an enumerated sampling table");
+    if (uniform_bits_ < 1 ||
+        uniform_bits_ > LaplaceSampleTable::kMaxUniformBits)
+        fatal("BatchSampler: uniform_bits must be in [1, %d], got %d",
+              LaplaceSampleTable::kMaxUniformBits, uniform_bits_);
+    if (table_->states() != uint64_t{1} << uniform_bits_)
+        fatal("BatchSampler: table enumerates %llu states but "
+              "uniform_bits %d implies %llu",
+              static_cast<unsigned long long>(table_->states()),
+              uniform_bits_,
+              static_cast<unsigned long long>(uint64_t{1}
+                                              << uniform_bits_));
+}
+
+void
+BatchSampler::seedLanes(const uint64_t *seeds, size_t lanes)
+{
+    bank_.seed(seeds, lanes);
+}
+
+bool
+BatchSampler::sampleRect(int64_t *out, size_t trials)
+{
+    const size_t W = bank_.lanes();
+    ULPDP_ASSERT(W > 0);
+    if (trials == 0)
+        return true;
+
+    const uint16_t *direct = table_->directData();
+    const uint32_t mask = (uint32_t{1} << uniform_bits_) - 1u;
+    const int shift = 32 - uniform_bits_;
+    const int64_t sat = sat_index_;
+
+    // Double-buffered words: while trial t's table entries are being
+    // prefetched, the bank already steps trial t+1, so the lookups
+    // land on warm lines.
+    uint32_t magw[2][TausBank::kMaxLanes];
+    uint32_t signw[2][TausBank::kMaxLanes];
+    uint32_t idx[TausBank::kMaxLanes];
+    uint32_t bad = 0;
+
+    bank_.nextWords(magw[0]);
+    bank_.nextWords(signw[0]);
+    for (size_t t = 0; t < trials; ++t) {
+        const size_t cur = t & 1;
+        const uint32_t *mw = magw[cur];
+        const uint32_t *sw = signw[cur];
+        for (size_t l = 0; l < W; ++l) {
+            // Branchless Eq. (9): the all-zeros word means m = 2^Bu,
+            // and the table stores m at slot m - 1, so the wrap of
+            // (raw - 1) mod 2^Bu lands raw == 0 exactly on that slot.
+            idx[l] = ((mw[l] >> shift) - 1u) & mask;
+            __builtin_prefetch(direct + idx[l], 0, 1);
+        }
+        if (t + 1 < trials) {
+            bank_.nextWords(magw[cur ^ 1]);
+            bank_.nextWords(signw[cur ^ 1]);
+        }
+        int64_t *row = out + t * W;
+        for (size_t l = 0; l < W; ++l) {
+            int64_t k = direct[idx[l]];
+            // Deferred comparator: accumulate instead of branching;
+            // the caller redoes the block scalar if anything tripped.
+            bad |= static_cast<uint32_t>(k > sat);
+            // nextSign(): high bit set means +1. Two's-complement
+            // select: ~sm is 0 for +k, all-ones for -k.
+            int64_t sm = static_cast<int32_t>(sw[l]) >> 31;
+            row[l] = (k ^ ~sm) - ~sm;
+        }
+    }
+    return !(integrity_checks_ && bad != 0);
+}
+
+bool
+BatchSampler::sampleTruncatedRect(const Window *win, int64_t *out,
+                                  size_t trials)
+{
+    const size_t W = bank_.lanes();
+    ULPDP_ASSERT(W > 0);
+
+    const uint16_t *rank = table_->rankData();
+    const uint64_t states = table_->states();
+
+    // Hoist the per-lane window constants: acceptance masses, rank
+    // width and the covering-power-of-two shift are fixed per window,
+    // where the scalar path recomputes them every call.
+    uint64_t plus[TausBank::kMaxLanes];
+    uint64_t total[TausBank::kMaxLanes];
+    int rshift[TausBank::kMaxLanes];
+    for (size_t l = 0; l < W; ++l) {
+        ULPDP_ASSERT(win[l].lo <= 0 && win[l].hi >= 0);
+        uint64_t p = table_->cumulativeCount(win[l].hi);
+        uint64_t m = table_->cumulativeCount(-win[l].lo);
+        if (p > states || m > states) {
+            // Corrupted cumulative array. Hardened configurations
+            // bail to the scalar path (which quarantines); unhardened
+            // ones truncate the rank address like the silicon would.
+            if (integrity_checks_)
+                return false;
+            p = std::min(p, states);
+            m = std::min(m, states);
+        }
+        uint64_t tot = p + m;
+        if (tot == 0)
+            return false; // window without support: scalar warn+clamp
+        int width = 1;
+        while ((uint64_t{1} << width) < tot)
+            ++width;
+        plus[l] = p;
+        total[l] = tot;
+        rshift[l] = 32 - width;
+    }
+
+    uint32_t words[TausBank::kMaxLanes];
+    uint64_t ridx[TausBank::kMaxLanes];
+    int64_t neg[TausBank::kMaxLanes];
+    for (size_t t = 0; t < trials; ++t) {
+        bank_.nextWords(words);
+        for (size_t l = 0; l < W; ++l) {
+            // One covering-width draw per lane; a lane that overshoots
+            // its acceptance count redraws on its own stream only
+            // (scalar single-lane steps), preserving the per-stream
+            // word sequence of the scalar rejection loop exactly.
+            uint64_t r = words[l] >> rshift[l];
+            while (r >= total[l])
+                r = bank_.next32Lane(l) >> rshift[l];
+            uint64_t is_neg =
+                static_cast<uint64_t>(r >= plus[l]);
+            ridx[l] = r - (is_neg ? plus[l] : 0);
+            neg[l] = static_cast<int64_t>(is_neg);
+            __builtin_prefetch(rank + ridx[l], 0, 1);
+        }
+        int64_t *row = out + t * W;
+        for (size_t l = 0; l < W; ++l) {
+            int64_t k = rank[ridx[l]];
+            // Arithmetic sign select fused with the window the rank
+            // table promised: k for the positive half, -k for the
+            // negative half.
+            k = (k ^ -neg[l]) + neg[l];
+            if (integrity_checks_ &&
+                (k < win[l].lo || k > win[l].hi)) {
+                // Rank entry escaped its window: corrupted rank
+                // array. The scalar redo quarantines it.
+                return false;
+            }
+            row[l] = k;
+        }
+    }
+    return true;
+}
+
+} // namespace ulpdp

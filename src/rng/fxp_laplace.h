@@ -144,6 +144,15 @@ class FxpLaplaceRng
     const LaplaceSampleTable &table();
 
     /**
+     * Shared handle on the sampling table (built on first use), or
+     * nullptr when the fast path is unavailable. The batch sampling
+     * layer (rng/batch_sampler.h) takes this handle so fleet workers
+     * and per-block RNG copies all reference one enumeration --
+     * nothing is ever re-enumerated or copied per block.
+     */
+    std::shared_ptr<const LaplaceSampleTable> sharedTable();
+
+    /**
      * Mutable access to the sampling table for fault injection
      * (SEUs flip bits in the table SRAM). Returns nullptr when the
      * configuration has no table. Production code never calls this.

@@ -95,6 +95,16 @@ class LaplaceSampleTable
         return cum_[static_cast<size_t>(k)];
     }
 
+    /**
+     * Raw direct-view storage: entry i is lookup(i + 1). The batch
+     * layer uses this for software-prefetched block lookups; the
+     * entries are exactly what lookup() serves.
+     */
+    const uint16_t *directData() const { return direct_.data(); }
+
+    /** Raw rank-view storage: entry r is lookupByRank(r). */
+    const uint16_t *rankData() const { return rank_.data(); }
+
     /** Largest magnitude index with at least one URNG state. */
     int64_t maxIndex() const { return max_index_; }
 

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * AVX2 lockstep kernel for the Tausworthe lane bank.
+ *
+ * This translation unit is the only one compiled with -mavx2 (see
+ * src/rng/CMakeLists.txt); taus_bank.cpp dispatches into it at runtime
+ * after a cpuid check. The kernel is the exact taus88 recurrence of
+ * Tausworthe::next32(), eight lanes per 256-bit vector -- the same
+ * 32-bit shifts, masks and XORs, so every lane is bit-identical to its
+ * scalar twin by construction.
+ */
+
+#if defined(ULPDP_SIMD_AVX2)
+
+#include <cstddef>
+#include <cstdint>
+#include <immintrin.h>
+
+namespace ulpdp {
+
+void
+tausBankStepAvx2(uint32_t *s1, uint32_t *s2, uint32_t *s3,
+                 uint32_t *out, size_t n)
+{
+    size_t l = 0;
+    for (; l + 8 <= n; l += 8) {
+        // The state arrays are alignas(64), so each 8-lane group sits
+        // on a 32-byte boundary; out is caller memory, stored
+        // unaligned.
+        __m256i v1 = _mm256_load_si256(
+            reinterpret_cast<const __m256i *>(s1 + l));
+        __m256i v2 = _mm256_load_si256(
+            reinterpret_cast<const __m256i *>(s2 + l));
+        __m256i v3 = _mm256_load_si256(
+            reinterpret_cast<const __m256i *>(s3 + l));
+        __m256i b;
+
+        b = _mm256_srli_epi32(
+            _mm256_xor_si256(_mm256_slli_epi32(v1, 13), v1), 19);
+        v1 = _mm256_xor_si256(
+            _mm256_slli_epi32(
+                _mm256_and_si256(
+                    v1, _mm256_set1_epi32(
+                            static_cast<int>(0xfffffffeU))),
+                12),
+            b);
+        b = _mm256_srli_epi32(
+            _mm256_xor_si256(_mm256_slli_epi32(v2, 2), v2), 25);
+        v2 = _mm256_xor_si256(
+            _mm256_slli_epi32(
+                _mm256_and_si256(
+                    v2, _mm256_set1_epi32(
+                            static_cast<int>(0xfffffff8U))),
+                4),
+            b);
+        b = _mm256_srli_epi32(
+            _mm256_xor_si256(_mm256_slli_epi32(v3, 3), v3), 11);
+        v3 = _mm256_xor_si256(
+            _mm256_slli_epi32(
+                _mm256_and_si256(
+                    v3, _mm256_set1_epi32(
+                            static_cast<int>(0xfffffff0U))),
+                17),
+            b);
+
+        _mm256_store_si256(reinterpret_cast<__m256i *>(s1 + l), v1);
+        _mm256_store_si256(reinterpret_cast<__m256i *>(s2 + l), v2);
+        _mm256_store_si256(reinterpret_cast<__m256i *>(s3 + l), v3);
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(out + l),
+            _mm256_xor_si256(_mm256_xor_si256(v1, v2), v3));
+    }
+    // Scalar tail for lane counts that are not a multiple of 8.
+    for (; l < n; ++l) {
+        uint32_t b;
+        b = ((s1[l] << 13) ^ s1[l]) >> 19;
+        s1[l] = ((s1[l] & 0xfffffffeU) << 12) ^ b;
+        b = ((s2[l] << 2) ^ s2[l]) >> 25;
+        s2[l] = ((s2[l] & 0xfffffff8U) << 4) ^ b;
+        b = ((s3[l] << 3) ^ s3[l]) >> 11;
+        s3[l] = ((s3[l] & 0xfffffff0U) << 17) ^ b;
+        out[l] = s1[l] ^ s2[l] ^ s3[l];
+    }
+}
+
+} // namespace ulpdp
+
+#endif // ULPDP_SIMD_AVX2

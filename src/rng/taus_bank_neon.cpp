@@ -1,0 +1,63 @@
+/**
+ * @file
+ * NEON lockstep kernel for the Tausworthe lane bank (aarch64).
+ *
+ * Four lanes per 128-bit vector; the exact taus88 recurrence of
+ * Tausworthe::next32(), so every lane is bit-identical to its scalar
+ * twin. NEON is architectural on aarch64, so unlike the AVX2 kernel no
+ * runtime CPU check is needed beyond the compile-time gate.
+ */
+
+#if defined(ULPDP_SIMD_NEON)
+
+#include <arm_neon.h>
+#include <cstddef>
+#include <cstdint>
+
+namespace ulpdp {
+
+void
+tausBankStepNeon(uint32_t *s1, uint32_t *s2, uint32_t *s3,
+                 uint32_t *out, size_t n)
+{
+    size_t l = 0;
+    for (; l + 4 <= n; l += 4) {
+        uint32x4_t v1 = vld1q_u32(s1 + l);
+        uint32x4_t v2 = vld1q_u32(s2 + l);
+        uint32x4_t v3 = vld1q_u32(s3 + l);
+        uint32x4_t b;
+
+        b = vshrq_n_u32(veorq_u32(vshlq_n_u32(v1, 13), v1), 19);
+        v1 = veorq_u32(
+            vshlq_n_u32(vandq_u32(v1, vdupq_n_u32(0xfffffffeU)), 12),
+            b);
+        b = vshrq_n_u32(veorq_u32(vshlq_n_u32(v2, 2), v2), 25);
+        v2 = veorq_u32(
+            vshlq_n_u32(vandq_u32(v2, vdupq_n_u32(0xfffffff8U)), 4),
+            b);
+        b = vshrq_n_u32(veorq_u32(vshlq_n_u32(v3, 3), v3), 11);
+        v3 = veorq_u32(
+            vshlq_n_u32(vandq_u32(v3, vdupq_n_u32(0xfffffff0U)), 17),
+            b);
+
+        vst1q_u32(s1 + l, v1);
+        vst1q_u32(s2 + l, v2);
+        vst1q_u32(s3 + l, v3);
+        vst1q_u32(out + l, veorq_u32(veorq_u32(v1, v2), v3));
+    }
+    // Scalar tail for lane counts that are not a multiple of 4.
+    for (; l < n; ++l) {
+        uint32_t b;
+        b = ((s1[l] << 13) ^ s1[l]) >> 19;
+        s1[l] = ((s1[l] & 0xfffffffeU) << 12) ^ b;
+        b = ((s2[l] << 2) ^ s2[l]) >> 25;
+        s2[l] = ((s2[l] & 0xfffffff8U) << 4) ^ b;
+        b = ((s3[l] << 3) ^ s3[l]) >> 11;
+        s3[l] = ((s3[l] & 0xfffffff0U) << 17) ^ b;
+        out[l] = s1[l] ^ s2[l] ^ s3[l];
+    }
+}
+
+} // namespace ulpdp
+
+#endif // ULPDP_SIMD_NEON

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the BENCH_*.json side-channel files.
+
+Compares a freshly produced bench JSON against a committed baseline
+(bench/baselines/) and fails when performance regressed beyond the
+tolerance or when a determinism fingerprint moved at all:
+
+ - keys named "fingerprint" must match the baseline bit for bit
+   (a mismatch is a correctness bug, never a perf matter);
+ - "ns_per_*" keys are lower-is-better timings, gated at
+   current <= baseline * (1 + tolerance);
+ - "reports_per_second" keys are higher-is-better throughputs, gated
+   at current >= baseline * (1 - tolerance).
+
+Being faster than the baseline never fails the gate; refresh the
+baseline (regenerate the JSON on the reference machine and commit it)
+when an intentional improvement should tighten it. Structural drift --
+a gated key present in the baseline but missing from the current run --
+fails loudly, so a bench cannot silently stop reporting a metric.
+
+Usage:
+    check_bench_regression.py CURRENT BASELINE [--tolerance 0.2]
+                              [--skip-timing]
+
+--skip-timing checks only the fingerprints; sanitizer and
+scalar-fallback builds use it, where timings are meaningless but the
+merged-report bits must still match the committed baseline exactly.
+"""
+
+import argparse
+import json
+import sys
+
+
+def walk(current, baseline, path, findings):
+    """Recursively pair up gated keys of the two JSON trees."""
+    if isinstance(baseline, dict):
+        if not isinstance(current, dict):
+            findings.append((path, "shape", None, None, False))
+            return
+        for key, base_val in baseline.items():
+            sub = f"{path}.{key}" if path else key
+            if key == "fingerprint" or key.startswith("ns_per_") or \
+                    key == "reports_per_second":
+                if key not in current:
+                    findings.append((sub, "missing", base_val, None,
+                                     False))
+                else:
+                    findings.append((sub, kind_of(key), base_val,
+                                     current[key], True))
+            elif key in current:
+                walk(current[key], base_val, sub, findings)
+    elif isinstance(baseline, list) and isinstance(current, list):
+        for i, (cur, base) in enumerate(zip(current, baseline)):
+            walk(cur, base, f"{path}[{i}]", findings)
+
+
+def kind_of(key):
+    if key == "fingerprint":
+        return "fingerprint"
+    if key.startswith("ns_per_"):
+        return "lower_better"
+    return "higher_better"
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Gate a bench JSON against a committed baseline.")
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--tolerance", type=float, default=0.2,
+                    help="allowed fractional regression (default 0.2)")
+    ap.add_argument("--skip-timing", action="store_true",
+                    help="check only fingerprints (sanitizer builds)")
+    args = ap.parse_args()
+
+    with open(args.current) as f:
+        current = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    findings = []
+    walk(current, baseline, "", findings)
+
+    failures = 0
+    checked = 0
+    for path, kind, base, cur, present in findings:
+        if not present:
+            print(f"FAIL {path}: present in baseline but not in the "
+                  f"current run ({kind})")
+            failures += 1
+            continue
+        if kind == "fingerprint":
+            ok = cur == base
+            checked += 1
+            print(f"{'ok  ' if ok else 'FAIL'} {path}: "
+                  f"{cur} vs baseline {base} (exact)")
+            failures += 0 if ok else 1
+            continue
+        if args.skip_timing:
+            continue
+        if not isinstance(cur, (int, float)) or \
+                not isinstance(base, (int, float)) or base <= 0:
+            print(f"FAIL {path}: non-numeric or non-positive value "
+                  f"({cur!r} vs {base!r})")
+            failures += 1
+            continue
+        checked += 1
+        ratio = cur / base
+        if kind == "lower_better":
+            ok = ratio <= 1.0 + args.tolerance
+        else:
+            ok = ratio >= 1.0 - args.tolerance
+        print(f"{'ok  ' if ok else 'FAIL'} {path}: {cur:g} vs "
+              f"baseline {base:g} ({ratio:.2f}x, "
+              f"{'lower' if kind == 'lower_better' else 'higher'} "
+              f"is better, tolerance {args.tolerance:.0%})")
+        failures += 0 if ok else 1
+
+    if checked == 0:
+        print("FAIL: no gated metrics found -- wrong file pair?")
+        return 1
+    print(f"\n{checked} metrics checked, {failures} failures")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
