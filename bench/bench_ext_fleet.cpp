@@ -22,9 +22,26 @@
  * a bit-identical fingerprint (telemetry witnesses the run, it never
  * feeds back into it).
  *
+ * Measurement protocol (the PR 5 baseline was a single unwarmed
+ * sample per sweep point, which recorded thread-pool spawn cost as
+ * "scaling" and a *negative* telemetry overhead):
+ *
+ *  - every sweep point runs one untimed warmup epoch first (parks the
+ *    worker pool at the right width, touches every slab) and then
+ *    reports best-of-N over N >= 1 measured epochs (--repeats,
+ *    default 3) -- steady-state throughput, not cold-start;
+ *  - the telemetry comparison interleaves off/on epoch pairs and
+ *    compares medians, so drift hits both sides equally; a negative
+ *    overhead reading is a noise-floor artifact and is clamped to 0
+ *    in the headline number (the raw value and a below-noise flag are
+ *    still emitted);
+ *  - every epoch of every mode still must reproduce the sweep's
+ *    fingerprint bit for bit.
+ *
  * Flags:
  *   --nodes N     nodes per cohort        (default 200000)
  *   --reports R   reports per node        (default 8)
+ *   --repeats N   measured epochs per sweep point, best-of (default 3)
  *   --json PATH   JSON output path        (default BENCH_fleet.json)
  *   --prom PATH   Prometheus exposition   (default BENCH_fleet.prom)
  */
@@ -113,6 +130,8 @@ main(int argc, char **argv)
     uint64_t nodes = flagValue(argc, argv, "--nodes", 200000);
     uint32_t reports = static_cast<uint32_t>(
         flagValue(argc, argv, "--reports", 8));
+    uint32_t repeats = static_cast<uint32_t>(std::max<uint64_t>(
+        1, flagValue(argc, argv, "--repeats", 3)));
     std::string json_path = bench::jsonPathFromArgs(argc, argv);
     if (json_path.empty())
         json_path = "BENCH_fleet.json";
@@ -132,11 +151,13 @@ main(int argc, char **argv)
 
     std::printf("\nfleet: 2 cohorts x %llu nodes x %u reports "
                 "(%llu reports total), batch layer: %zu-lane %s "
-                "kernel, hardware threads: %u\n\n",
+                "kernel, hardware threads: %u\n"
+                "protocol: 1 warmup epoch + best-of-%u measured "
+                "epochs per thread count\n\n",
                 static_cast<unsigned long long>(nodes), reports,
                 static_cast<unsigned long long>(2 * nodes * reports),
                 TausBank::kMaxLanes, TausBank::kernelName(),
-                hw);
+                hw, repeats);
 
     FleetRunner runner(makeConfig(nodes, reports));
 
@@ -146,21 +167,33 @@ main(int argc, char **argv)
 
     std::vector<double> rates;
     std::vector<uint64_t> fingerprints;
-    double base_seconds = 0.0;
+    bool deterministic = true;
     for (unsigned t : sweep) {
-        FleetReport rep = runner.run(t);
-        uint64_t fp = rep.fingerprint();
-        if (t == sweep.front())
-            base_seconds = rep.seconds;
-        rates.push_back(rep.reportsPerSecond());
+        // Untimed warmup: parks the persistent pool at this width,
+        // faults in every slab, and fixes the fingerprint the
+        // measured epochs must reproduce.
+        FleetReport warm = runner.run(t);
+        uint64_t fp = warm.fingerprint();
+        double best_seconds = warm.seconds;
+        double best_rate = warm.reportsPerSecond();
+        for (uint32_t r = 0; r < repeats; ++r) {
+            FleetReport rep = runner.run(t);
+            deterministic =
+                deterministic && rep.fingerprint() == fp;
+            if (rep.seconds < best_seconds) {
+                best_seconds = rep.seconds;
+                best_rate = rep.reportsPerSecond();
+            }
+        }
+        rates.push_back(best_rate);
         fingerprints.push_back(fp);
         char sec[32], rate[32], speed[32], fpbuf[32];
-        std::snprintf(sec, sizeof sec, "%.3f", rep.seconds);
-        std::snprintf(rate, sizeof rate, "%.3g",
-                      rep.reportsPerSecond());
+        std::snprintf(sec, sizeof sec, "%.3f", best_seconds);
+        std::snprintf(rate, sizeof rate, "%.3g", best_rate);
         std::snprintf(speed, sizeof speed, "%.2fx",
-                      base_seconds > 0.0 ? base_seconds / rep.seconds
-                                         : 0.0);
+                      rates.front() > 0.0
+                          ? best_rate / rates.front()
+                          : 0.0);
         std::snprintf(fpbuf, sizeof fpbuf, "%016llx",
                       static_cast<unsigned long long>(fp));
         table.addRow({std::to_string(t), sec, rate, speed, fpbuf});
@@ -169,7 +202,6 @@ main(int argc, char **argv)
 
     // Same-seed repeatability: a second run at the largest count.
     FleetReport rerun = runner.run(sweep.back());
-    bool deterministic = true;
     for (uint64_t fp : fingerprints)
         deterministic = deterministic && fp == fingerprints.front();
     deterministic =
@@ -190,23 +222,63 @@ main(int argc, char **argv)
     // enabled. Budget: <= 5% throughput overhead, and the fingerprint
     // must not move (telemetry observes the run; it must never
     // participate in it).
+    //
+    // Protocol: off/on epochs are *interleaved* and compared by
+    // median, so clock drift and scheduler noise land on both sides
+    // of the subtraction. The PR 5 single-shot comparison (one off
+    // run, then one on run) could and did measure telemetry as
+    // *faster* -- a -2.89% "overhead" landed in the committed
+    // baseline. If the median still comes out negative, the true
+    // overhead is below the host's noise floor: the headline number
+    // is clamped to 0 and the reading flagged.
     telemetry::reset();
     telemetry::setEnabled(true);
-    FleetReport instrumented = runner.run(sweep.back());
+    FleetReport warm_on = runner.run(sweep.back()); // instrumented warmup
     telemetry::setEnabled(false);
-    double rate_on = instrumented.reportsPerSecond();
-    double rate_off = rates.back();
-    double overhead_pct = rate_off > 0.0
+    bool telemetry_deterministic =
+        warm_on.fingerprint() == fingerprints.front();
+    std::vector<double> rates_off, rates_on;
+    for (uint32_t r = 0; r < repeats; ++r) {
+        FleetReport off = runner.run(sweep.back());
+        telemetry::setEnabled(true);
+        FleetReport on = runner.run(sweep.back());
+        telemetry::setEnabled(false);
+        rates_off.push_back(off.reportsPerSecond());
+        rates_on.push_back(on.reportsPerSecond());
+        telemetry_deterministic = telemetry_deterministic &&
+            off.fingerprint() == fingerprints.front() &&
+            on.fingerprint() == fingerprints.front();
+    }
+    auto median = [](std::vector<double> v) {
+        std::sort(v.begin(), v.end());
+        size_t n = v.size();
+        return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+    };
+    double rate_off = median(rates_off);
+    double rate_on = median(rates_on);
+    double overhead_raw_pct = rate_off > 0.0
         ? (rate_off - rate_on) / rate_off * 100.0
         : 0.0;
-    bool telemetry_deterministic =
-        instrumented.fingerprint() == fingerprints.front();
-    std::printf("\ntelemetry overhead at %u threads: %.3g -> %.3g "
-                "reports/sec (%+.2f%%, budget <= 5%%)\n",
-                sweep.back(), rate_off, rate_on, overhead_pct);
+    bool overhead_below_noise = overhead_raw_pct < 0.0;
+    double overhead_pct = std::max(0.0, overhead_raw_pct);
+    std::printf("\ntelemetry overhead at %u threads (median of %u "
+                "interleaved off/on pairs): %.3g -> %.3g reports/sec "
+                "(%+.2f%%%s, budget <= 5%%)\n",
+                sweep.back(), repeats, rate_off, rate_on,
+                overhead_pct,
+                overhead_below_noise ? ", raw reading negative: "
+                                       "below noise floor, clamped"
+                                     : "");
     std::printf("fingerprint with telemetry enabled: %s\n",
                 telemetry_deterministic ? "unchanged (PASS)"
                                         : "CHANGED (FAIL)");
+    // Re-observe exactly one instrumented epoch so the exported
+    // metric values below describe a single epoch, not the interleave
+    // loop.
+    telemetry::reset();
+    telemetry::setEnabled(true);
+    runner.run(sweep.back());
+    telemetry::setEnabled(false);
     if (telemetry::writePrometheusFile(telemetry::registry(),
                                        prom_path))
         std::printf("Prometheus exposition written to %s (%zu series "
@@ -259,6 +331,8 @@ main(int argc, char **argv)
     json.field("reports_per_node", reports);
     json.field("cohorts", uint64_t{2});
     json.field("hardware_threads", hw);
+    json.field("warmup_epochs_per_point", uint64_t{1});
+    json.field("measured_epochs_per_point", uint64_t{repeats});
     json.field("simd_kernel", TausBank::kernelName());
     json.field("batch_lanes",
                static_cast<uint64_t>(TausBank::kMaxLanes));
@@ -284,6 +358,9 @@ main(int argc, char **argv)
     json.field("cycle_model_device_cycles", total.cycles);
     json.field("telemetry_reports_per_second", rate_on);
     json.field("telemetry_overhead_pct", overhead_pct);
+    json.field("telemetry_overhead_raw_pct", overhead_raw_pct);
+    json.field("telemetry_overhead_below_noise",
+               overhead_below_noise);
     json.field("telemetry_fingerprint_unchanged",
                telemetry_deterministic);
     telemetry::metricsToJson(telemetry::registry(), json);

@@ -358,11 +358,48 @@ struct FleetRunner::CohortPlan
     bool ldp = false;
 };
 
+/**
+ * Worker-slot scratch that persists across blocks and epochs: the
+ * steady-state hot loop allocates nothing and clones nothing.
+ *
+ * The cached FxpLaplaceRng clone and BatchSampler are keyed by cohort
+ * index; both are rebuilt only on a cohort switch (or after an
+ * integrity fault poisons the RNG clone). The BatchSampler is the
+ * only object that holds the cohort table's shared_ptr -- taking that
+ * copy once per cohort switch instead of once per block keeps the
+ * control block's refcount line out of the cross-core traffic that
+ * serialized PR 3's hot loop. A reused clone is indistinguishable
+ * from a fresh one: streams are reseeded per node and counters are
+ * read as per-block deltas.
+ *
+ * The 64-byte alignment keeps one worker's telemetry deltas
+ * (fallbacks/clones, bumped per block) off its neighbours' lines.
+ */
+struct alignas(64) FleetRunner::WorkerScratch
+{
+    std::vector<int64_t> noise;  // scalar path, one node's batch
+    std::vector<int64_t> rect;   // batch path, trial-major noise
+    std::vector<BatchSampler::Window> windows =
+        std::vector<BatchSampler::Window>(TausBank::kMaxLanes);
+    std::optional<FxpLaplaceRng> rng;
+    uint32_t rng_cohort = 0;
+    std::optional<BatchSampler> sampler;
+    uint32_t sampler_cohort = 0;
+    /** Per-epoch telemetry deltas, flushed by the main thread after
+     *  the merge (never a shared atomic on the hot path). */
+    uint64_t clones = 0;
+    uint64_t fallbacks = 0;
+};
+
 namespace {
 
 /** Private accumulation slab of one block. One thread writes it; the
- *  main thread merges slabs in block-index order afterwards. */
-struct BlockAccum
+ *  main thread merges slabs in block-index order afterwards. The
+ *  64-byte alignment keeps the hot tail counters of adjacent slabs in
+ *  a vector off each other's cache lines -- without it, two workers
+ *  finishing neighbouring blocks ping-pong the boundary line on every
+ *  counter bump. */
+struct alignas(64) BlockAccum
 {
     BlockAccum(double hist_lo, double hist_hi, size_t bins,
                uint32_t reports_per_node)
@@ -391,6 +428,29 @@ struct WorkItem
     uint64_t node_lo;
     uint64_t node_hi;
     BlockAccum *accum;
+};
+
+/**
+ * One worker's claimable range of block indices [next, end). Owners
+ * claim adaptive chunks from their own queue (an uncontended RMW on a
+ * line no other core touches in the common case); thieves claim
+ * single blocks once their own queue is dry. fetch_add past `end` is
+ * benign -- the claimer sees an out-of-range index and moves on.
+ * Padded so queues in a vector never share a cache line (the shared
+ * single claim counter was one of PR 3's serialization points).
+ */
+struct alignas(64) WorkQueue
+{
+    std::atomic<uint64_t> next{0};
+    uint64_t end = 0;
+    /** Owner's claim chunk: large enough to amortize the RMW, small
+     *  enough to leave steals for ragged tails. */
+    uint64_t chunk = 1;
+
+    bool looksEmpty() const
+    {
+        return next.load(std::memory_order_relaxed) >= end;
+    }
 };
 
 /** Deterministic per-node true reading (clipped Gaussian via
@@ -518,31 +578,19 @@ FleetRunner::run(unsigned num_threads)
         }
     }
 
-    std::atomic<size_t> next{0};
-    std::atomic<uint64_t> batch_fallbacks{0};
-    std::atomic<uint64_t> rng_clones{0};
-    auto worker = [&]() {
+    // One block, start to finish, into its private slab. Which worker
+    // runs it (and when) is irrelevant to the result -- everything
+    // below depends only on (master seed, cohort, node id) and the
+    // static block -> slab mapping.
+    auto processBlock = [&](const WorkItem &item, WorkerScratch &ws) {
         constexpr size_t W = TausBank::kMaxLanes;
-        // Worker-lifetime scratch, grown once and reused across every
-        // block: the hot loop never allocates.
-        std::vector<int64_t> noise;  // scalar path, one node's batch
-        std::vector<int64_t> rect;   // batch path, trial-major noise
-        std::vector<BatchSampler::Window> windows(W);
-        // The prototype copy is cached across blocks: CordicLog's
-        // tables make every copy allocate, so clone only on a cohort
-        // switch or after an integrity fault. A clean reused clone is
-        // indistinguishable from a fresh one -- the stream is reseeded
-        // per node and the counters are read as per-block deltas.
-        std::optional<FxpLaplaceRng> rng;
-        uint32_t rng_cohort = 0;
-        uint64_t clones = 0;
-        uint64_t fallbacks = 0;
+        std::vector<int64_t> &noise = ws.noise;
+        std::vector<int64_t> &rect = ws.rect;
+        std::vector<BatchSampler::Window> &windows = ws.windows;
+        std::optional<FxpLaplaceRng> &rng = ws.rng;
+        uint32_t &rng_cohort = ws.rng_cohort;
 
-        for (;;) {
-            size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= items.size())
-                break;
-            const WorkItem &item = items[i];
+        {
             const CohortPlan &plan = plans_[item.cohort];
             const CohortConfig &cfg = plan.cfg;
             BlockAccum &acc = *item.accum;
@@ -568,10 +616,22 @@ FleetRunner::run(unsigned num_threads)
             if (plan.batch_ok &&
                 !g_force_scalar_blocks.load(
                     std::memory_order_relaxed)) {
-                BatchSampler bs(plan.table,
-                                plan.proto.config().uniform_bits,
-                                plan.proto.quantizer().maxIndex(),
-                                plan.proto.config().integrity_checks);
+                // Cohort-cached sampler: constructing one per block
+                // copied the table's shared_ptr, and the refcount RMW
+                // on that shared control-block line was cross-core
+                // traffic on every block claim. The cached instance
+                // keeps a stable reference; the hot loop below only
+                // ever reads the table through a plain pointer.
+                if (!ws.sampler ||
+                    ws.sampler_cohort != item.cohort) {
+                    ws.sampler.emplace(
+                        plan.table,
+                        plan.proto.config().uniform_bits,
+                        plan.proto.quantizer().maxIndex(),
+                        plan.proto.config().integrity_checks);
+                    ws.sampler_cohort = item.cohort;
+                }
+                BatchSampler &bs = *ws.sampler;
                 rect.resize(W * static_cast<size_t>(fresh));
                 uint64_t seeds[W];
                 double xs[W];
@@ -651,7 +711,7 @@ FleetRunner::run(unsigned num_threads)
                     acc.samples += lanes * fresh;
                 }
                 if (ok)
-                    continue;
+                    return;
                 // A comparator tripped, or a window holds no URNG
                 // state: discard the whole block and redo it scalar.
                 // Every node restarts from its seed, so the redo is
@@ -660,7 +720,7 @@ FleetRunner::run(unsigned num_threads)
                 // the exact per-draw semantics.
                 acc = BlockAccum(plan.hist_lo, plan.hist_hi,
                                  cfg.histogram_bins, R);
-                ++fallbacks;
+                ++ws.fallbacks;
             }
 
             // -- Scalar path: Ideal cohorts, fresh == 0 cohorts,
@@ -671,7 +731,7 @@ FleetRunner::run(unsigned num_threads)
                         rng->integrityFault())) {
                 rng.emplace(plan.proto);
                 rng_cohort = item.cohort;
-                ++clones;
+                ++ws.clones;
             }
             uint64_t drawn_before = 0;
             uint64_t integ_before = 0;
@@ -761,33 +821,94 @@ FleetRunner::run(unsigned num_threads)
                     rng->integrityDetections() - integ_before;
             }
         }
-        if (fallbacks != 0)
-            batch_fallbacks.fetch_add(fallbacks,
-                                      std::memory_order_relaxed);
-        if (clones != 0)
-            rng_clones.fetch_add(clones, std::memory_order_relaxed);
     };
 
-    auto t0 = std::chrono::steady_clock::now();
     unsigned spawn = static_cast<unsigned>(
         std::min<size_t>(num_threads, items.size()));
-    if (spawn <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(spawn);
-        for (unsigned t = 0; t < spawn; ++t)
-            pool.emplace_back(worker);
-        for (std::thread &t : pool)
-            t.join();
+    if (spawn == 0)
+        spawn = 1;
+
+    // Per-worker work queues: contiguous block-index ranges, claimed
+    // chunk-wise by their owner and block-wise by thieves. The
+    // contiguous split keeps one worker walking consecutive slabs
+    // (prefetch-friendly) and makes the common claim an RMW on a line
+    // only the owner touches.
+    std::vector<WorkQueue> queues(spawn);
+    for (unsigned w = 0; w < spawn; ++w) {
+        uint64_t lo = static_cast<uint64_t>(items.size()) * w / spawn;
+        uint64_t hi =
+            static_cast<uint64_t>(items.size()) * (w + 1) / spawn;
+        queues[w].next.store(lo, std::memory_order_relaxed);
+        queues[w].end = hi;
+        queues[w].chunk = std::max<uint64_t>(1, (hi - lo) / 8);
     }
+
+    auto job = [&](unsigned w) {
+        WorkerScratch &ws = *scratch_[w];
+        WorkQueue &own = queues[w];
+        for (;;) {
+            uint64_t i =
+                own.next.fetch_add(own.chunk,
+                                   std::memory_order_relaxed);
+            if (i >= own.end)
+                break;
+            uint64_t hi = std::min(i + own.chunk, own.end);
+            for (; i < hi; ++i)
+                processBlock(items[i], ws);
+        }
+        // Own queue dry: steal single blocks until a full sweep of
+        // the other queues finds nothing. Stealing only moves blocks
+        // between workers; the block -> slab mapping is untouched.
+        for (bool stole = true; stole && spawn > 1;) {
+            stole = false;
+            for (unsigned v = 1; v < spawn; ++v) {
+                WorkQueue &q = queues[(w + v) % spawn];
+                if (q.looksEmpty())
+                    continue;
+                uint64_t i =
+                    q.next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= q.end)
+                    continue;
+                processBlock(items[i], ws);
+                stole = true;
+            }
+        }
+    };
+
+    // Everything below this comment and above the t0 stamp is epoch
+    // setup that must never be timed: growing the parked pool to the
+    // requested width (first epoch only), growing the per-worker
+    // scratch slots, and materializing the type-erased job the pool
+    // dispatches.
+    if (spawn > 1)
+        pool_.reserve(spawn - 1);
+    while (scratch_.size() < spawn)
+        scratch_.push_back(std::make_unique<WorkerScratch>());
+    for (unsigned w = 0; w < spawn; ++w) {
+        scratch_[w]->fallbacks = 0;
+        scratch_[w]->clones = 0;
+    }
+    std::function<void(unsigned)> job_fn = job;
+
+    auto t0 = std::chrono::steady_clock::now();
+    pool_.dispatch(spawn, job_fn);
     auto t1 = std::chrono::steady_clock::now();
+
+    // Per-worker telemetry deltas, summed post-epoch on the main
+    // thread (the pool's dispatch handshake orders the reads after
+    // every worker's writes).
+    uint64_t batch_fallbacks = 0;
+    uint64_t rng_clones = 0;
+    for (unsigned w = 0; w < spawn; ++w) {
+        batch_fallbacks += scratch_[w]->fallbacks;
+        rng_clones += scratch_[w]->clones;
+    }
 
     // Merge the block slabs in block-index order -- the fixed merge
     // tree that makes the floating-point results independent of which
     // thread ran which block.
     FleetReport report;
-    report.threads = spawn == 0 ? 1 : spawn;
+    report.threads = spawn;
     report.seconds =
         std::chrono::duration<double>(t1 - t0).count();
     for (size_t c = 0; c < plans_.size(); ++c) {
@@ -844,10 +965,8 @@ FleetRunner::run(unsigned num_threads)
             static_cast<double>(TausBank::kMaxLanes));
         m.batch_prefetch.set(
             static_cast<double>(TausBank::kMaxLanes));
-        m.batch_fallbacks.inc(
-            batch_fallbacks.load(std::memory_order_relaxed));
-        m.rng_clones.inc(
-            rng_clones.load(std::memory_order_relaxed));
+        m.batch_fallbacks.inc(batch_fallbacks);
+        m.rng_clones.inc(rng_clones);
     }
     return report;
 }

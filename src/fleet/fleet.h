@@ -18,10 +18,11 @@
  *    simulates a node cannot change what the node does.
  *  - Work is sharded into fixed-size *blocks* of consecutive nodes.
  *    The block size is a configuration constant, not a function of
- *    the thread count; each block accumulates into its own private
- *    histogram / Welford / counter slab (no locks, no atomics, no
- *    sharing on the hot path -- the only synchronisation is one
- *    relaxed fetch_add per block to claim work).
+ *    the thread count; each block accumulates into its own private,
+ *    cache-line-aligned histogram / Welford / counter slab (no locks,
+ *    no atomics, no sharing on the hot path -- the only
+ *    synchronisation is the relaxed claim RMW on a per-worker work
+ *    queue, plus occasional steals from a drained worker).
  *  - At the end the main thread merges the block slabs in block-index
  *    order. Integer counters and histogram bins are trivially
  *    order-independent; Welford merges and trial sums are *not*
@@ -46,6 +47,7 @@
 #define ULPDP_FLEET_FLEET_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -53,6 +55,7 @@
 #include "common/stats.h"
 #include "core/fxp_params.h"
 #include "fleet/seeder.h"
+#include "fleet/worker_pool.h"
 
 namespace ulpdp {
 
@@ -289,8 +292,31 @@ struct FleetReport
 };
 
 /**
- * Runs fleet epochs across a thread pool with statically sharded,
- * dynamically claimed blocks.
+ * Runs fleet epochs across a persistent worker pool with per-worker
+ * work-stealing block queues.
+ *
+ * Scheduling (all of it invisible to the merged result):
+ *
+ *  - Worker threads are spawned once, before the first epoch's timer
+ *    starts, and park between epochs (FleetWorkerPool). PR 3 spawned
+ *    and joined threads inside every run(), which cost more than the
+ *    bench epoch itself and flattened the scaling curve.
+ *  - Each worker owns a contiguous, cache-line-padded queue of block
+ *    indices and claims them in adaptive chunks from its own queue --
+ *    no shared claim counter, so the common path has zero cross-core
+ *    cache-line traffic. A worker that drains its queue steals single
+ *    blocks from the fullest-looking victim, which balances ragged
+ *    cohorts without perturbing the block-to-slab mapping.
+ *  - Per-worker scratch (RNG clones, batch samplers holding a
+ *    raw-pointer view of the cohort table, noise rects) persists
+ *    across blocks *and epochs*, so the hot loop never allocates and
+ *    never touches the shared table's shared_ptr control block.
+ *
+ * None of this can move a bit of the FleetReport: block -> accumulator
+ * slab is a static mapping, every block's content depends only on
+ * (master seed, cohort, node id), and the merge order is block index.
+ * Work-stealing changes *when* a block runs and on *which* thread --
+ * two dimensions the result provably does not depend on.
  */
 class FleetRunner
 {
@@ -327,10 +353,16 @@ class FleetRunner
 
   private:
     struct CohortPlan;
+    struct WorkerScratch;
 
     FleetConfig config_;
     FleetSeeder seeder_;
     std::vector<CohortPlan> plans_;
+    /** Parked helper threads, reused by every epoch. */
+    FleetWorkerPool pool_;
+    /** Per-worker-slot scratch (RNG clones, batch samplers, rects),
+     *  reused across epochs; grown to the largest thread count seen. */
+    std::vector<std::unique_ptr<WorkerScratch>> scratch_;
 };
 
 } // namespace ulpdp

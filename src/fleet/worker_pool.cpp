@@ -1,0 +1,82 @@
+#include "fleet/worker_pool.h"
+
+namespace ulpdp {
+
+FleetWorkerPool::~FleetWorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread &t : helpers_)
+        t.join();
+}
+
+void
+FleetWorkerPool::reserve(unsigned helpers)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (helpers_.size() < helpers) {
+        unsigned id = static_cast<unsigned>(helpers_.size());
+        helpers_.emplace_back([this, id] { helperMain(id); });
+    }
+}
+
+size_t
+FleetWorkerPool::helperCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return helpers_.size();
+}
+
+void
+FleetWorkerPool::dispatch(unsigned workers,
+                          const std::function<void(unsigned)> &job)
+{
+    if (workers <= 1) {
+        job(0);
+        return;
+    }
+    unsigned helpers = workers - 1;
+    reserve(helpers);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = &job;
+        active_helpers_ = helpers;
+        outstanding_ = helpers;
+        ++epoch_;
+    }
+    wake_cv_.notify_all();
+
+    job(0);
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+    job_ = nullptr;
+}
+
+void
+FleetWorkerPool::helperMain(unsigned id)
+{
+    uint64_t seen_epoch = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        wake_cv_.wait(lock, [&] {
+            return stop_ || epoch_ != seen_epoch;
+        });
+        if (stop_)
+            return;
+        seen_epoch = epoch_;
+        if (id >= active_helpers_)
+            continue; // parked out of this epoch
+        const std::function<void(unsigned)> *job = job_;
+        lock.unlock();
+        (*job)(id + 1);
+        lock.lock();
+        if (--outstanding_ == 0)
+            done_cv_.notify_all();
+    }
+}
+
+} // namespace ulpdp

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Persistent parked worker pool for the fleet engine.
+ *
+ * PR 3's engine created and joined a fresh std::thread per worker on
+ * every FleetRunner::run() call, *inside* the timed region. For the
+ * bench cohort (a ~6 ms epoch) the spawn/teardown tax alone ate the
+ * entire parallel win -- the committed PR 5 baseline recorded 0.86x
+ * "speedup" at 8 threads. This pool fixes the lifecycle half of that
+ * bug: threads are created once (lazily, on the first dispatch that
+ * needs them), park on a condition variable between epochs, and are
+ * reused by every subsequent epoch of any thread count. Steady-state
+ * dispatch cost is one mutex round-trip plus a wakeup, independent of
+ * how many epochs the runner has executed.
+ *
+ * Determinism: the pool schedules *workers*, never *work*. Which
+ * pooled thread runs which worker index has no effect on the merged
+ * FleetReport -- work-to-result mapping is fixed by block index in
+ * the engine (fleet.cpp), and worker indices only select scratch
+ * slots and work-queue ownership.
+ *
+ * Thread-safety: dispatch() and the destructor must be called from
+ * one thread at a time (FleetRunner serializes run() by contract; the
+ * engine's stress tests cover repeated dispatch and teardown under
+ * TSan). All pool state is mutex-protected -- the hot path of the
+ * *workers* never touches the pool; they only return to it when their
+ * epoch's job function runs out of work.
+ */
+
+#ifndef ULPDP_FLEET_WORKER_POOL_H
+#define ULPDP_FLEET_WORKER_POOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ulpdp {
+
+/**
+ * Lazily grown pool of parked threads that run one job function per
+ * epoch. The calling thread always participates as worker 0, so a
+ * single-threaded dispatch never touches a lock or spawns anything.
+ */
+class FleetWorkerPool
+{
+  public:
+    FleetWorkerPool() = default;
+
+    /** Wakes and joins every parked thread. */
+    ~FleetWorkerPool();
+
+    FleetWorkerPool(const FleetWorkerPool &) = delete;
+    FleetWorkerPool &operator=(const FleetWorkerPool &) = delete;
+
+    /**
+     * Ensure at least @p helpers parked helper threads exist. Called
+     * by the engine *before* starting its epoch timer so first-epoch
+     * spawn cost never lands in the measured region.
+     */
+    void reserve(unsigned helpers);
+
+    /**
+     * Run job(w) for every worker index w in [0, workers). The caller
+     * executes job(0) itself; parked helpers execute indices 1..W-1
+     * and park again. Returns after every index completed.
+     */
+    void dispatch(unsigned workers,
+                  const std::function<void(unsigned)> &job);
+
+    /** Helper threads currently alive (test/telemetry hook). */
+    size_t helperCount() const;
+
+  private:
+    void helperMain(unsigned id);
+
+    mutable std::mutex mutex_;
+    std::condition_variable wake_cv_;
+    std::condition_variable done_cv_;
+    std::vector<std::thread> helpers_;
+    const std::function<void(unsigned)> *job_ = nullptr;
+    /** Epoch counter; a helper runs when it observes a new epoch and
+     *  its id is below the epoch's active helper count. */
+    uint64_t epoch_ = 0;
+    unsigned active_helpers_ = 0;
+    unsigned outstanding_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_FLEET_WORKER_POOL_H

@@ -506,5 +506,142 @@ TEST(FleetEngine, ThreadZeroSelectsHardware)
     EXPECT_GT(rep.reportsPerSecond(), 0.0);
 }
 
+// ---------------------------------------------------------------------
+// Persistent-pool / work-stealing stress (TSan-clean by construction:
+// the fleet-smoke CI job runs this file under ULPDP_SANITIZE=thread)
+// ---------------------------------------------------------------------
+
+/** Restores the process-wide scalar-block switch on scope exit so a
+ *  failing assertion cannot leak forced-scalar mode into later
+ *  tests. */
+struct ScopedForceScalar
+{
+    explicit ScopedForceScalar(bool on)
+    {
+        FleetRunner::forceScalarBlocks(on);
+    }
+    ~ScopedForceScalar() { FleetRunner::forceScalarBlocks(false); }
+};
+
+/**
+ * Ragged fleet: node counts that are multiples of neither the
+ * scheduling block size nor the 16-lane batch width, a block size
+ * that is itself not a lane multiple, and cohorts of very different
+ * sizes so the static per-worker queue split is lopsided and the
+ * stealing path must run.
+ */
+FleetConfig
+raggedFleet()
+{
+    FxpMechanismParams p;
+    p.range = SensorRange(0.0, 10.0);
+    p.epsilon = 0.5;
+    p.uniform_bits = 17;
+    p.output_bits = 14;
+    p.delta = 10.0 / 32.0;
+
+    FleetConfig fc;
+    fc.master_seed = 1234;
+    fc.block_nodes = 83; // prime: never a multiple of 16 lanes
+    auto makeCohort = [&](const char *name, CohortMechanism m,
+                          uint64_t nodes, uint32_t reports) {
+        CohortConfig c;
+        c.name = name;
+        c.mechanism = m;
+        c.params = p;
+        c.nodes = nodes;
+        c.reports_per_node = reports;
+        c.analyze_loss = false;
+        return c;
+    };
+    fc.cohorts = {
+        makeCohort("thr", CohortMechanism::Thresholding, 997, 3),
+        makeCohort("res", CohortMechanism::Resampling, 2503, 2),
+        makeCohort("tiny", CohortMechanism::Thresholding, 7, 5),
+        makeCohort("ideal", CohortMechanism::Ideal, 61, 1),
+    };
+    return fc;
+}
+
+TEST(FleetStress, RaggedCohortsBitExactAcrossThreadCounts)
+{
+    FleetRunner runner(raggedFleet());
+    FleetReport base = runner.run(1);
+    for (unsigned threads : {2u, 3u, 8u, 16u}) {
+        FleetReport rep = runner.run(threads);
+        SCOPED_TRACE(threads);
+        expectIdentical(base, rep);
+    }
+}
+
+TEST(FleetStress, RepeatedEpochsOnOneRunnerReuseParkedPool)
+{
+    // Many epochs on ONE runner instance, alternating thread counts
+    // up and down: the pool must wake exactly the requested worker
+    // set each epoch, leave the surplus parked, and never leave a
+    // stale job visible to a parked thread (a UAF here is what TSan
+    // and ASan watch for -- the job lambda dies with each run()).
+    FleetRunner runner(raggedFleet());
+    FleetReport base = runner.run(8);
+    for (unsigned threads : {1u, 16u, 2u, 8u, 3u, 1u, 16u}) {
+        FleetReport rep = runner.run(threads);
+        SCOPED_TRACE(threads);
+        EXPECT_EQ(rep.fingerprint(), base.fingerprint());
+    }
+    expectIdentical(base, runner.run(8));
+}
+
+TEST(FleetStress, ForcedScalarMatchesBatchedUnderStealing)
+{
+    // The work-stealing path must be bit-exact in both execution
+    // modes, and the two modes must agree with each other -- the
+    // batch layer's core contract, now exercised through ragged
+    // steal-heavy schedules instead of the uniform smallFleet().
+    FleetRunner runner(raggedFleet());
+    FleetReport batched = runner.run(8);
+    {
+        ScopedForceScalar forced(true);
+        FleetReport scalar8 = runner.run(8);
+        FleetReport scalar3 = runner.run(3);
+        expectIdentical(batched, scalar8);
+        expectIdentical(batched, scalar3);
+    }
+    // And back: leaving forced-scalar mode restores the batch path
+    // with the same merged bits.
+    expectIdentical(batched, runner.run(16));
+}
+
+TEST(FleetStress, RunnersAreIndependentAfterTeardown)
+{
+    // A runner's parked threads belong to that runner; destroying it
+    // must join them (no leaked threads touching freed queues), and a
+    // fresh runner must reproduce the same report from scratch.
+    uint64_t fp_first = 0;
+    {
+        FleetRunner runner(raggedFleet());
+        fp_first = runner.run(8).fingerprint();
+    } // ~FleetRunner joins the pool here
+    FleetRunner again(raggedFleet());
+    EXPECT_EQ(again.run(16).fingerprint(), fp_first);
+    EXPECT_EQ(again.run(1).fingerprint(), fp_first);
+}
+
+TEST(FleetStress, BudgetedRaggedCohortsReplayDeterministically)
+{
+    // Replay bookkeeping (exhausted nodes, cache replays) must also
+    // be schedule-independent on the stealing path.
+    FleetConfig fc = raggedFleet();
+    fc.cohorts[0].budget_per_node = 2.1; // 2 of 3 reports fresh
+    fc.cohorts[1].budget_per_node = 1.0; // 1 of 2 reports fresh
+    FleetRunner runner(fc);
+    FleetReport one = runner.run(1);
+    FleetReport many = runner.run(16);
+    expectIdentical(one, many);
+    EXPECT_EQ(one.cohorts[0].nodes_exhausted, 997u);
+    EXPECT_EQ(one.cohorts[0].cache_replays, 997u);
+    EXPECT_EQ(one.cohorts[1].nodes_exhausted, 2503u);
+    EXPECT_EQ(one.cohorts[1].cache_replays, 2503u);
+}
+
 } // anonymous namespace
 } // namespace ulpdp

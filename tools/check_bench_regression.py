@@ -12,6 +12,23 @@ tolerance or when a determinism fingerprint moved at all:
  - "reports_per_second" keys are higher-is-better throughputs, gated
    at current >= baseline * (1 - tolerance).
 
+On top of the baseline comparison, two absolute checks run against
+the CURRENT run alone (no baseline value involved):
+
+ - scaling floor: every sweep entry carrying "threads" and
+   "speedup_vs_1" must meet the per-thread-count minimum speedup
+   (--scaling-floors, default 2:1.5,4:3.0,8:5.5). The flat-scaling
+   bug this gate exists for -- speedup_vs_1 = 0.86 at 8 threads --
+   sailed through the old timing gate because each thread count's
+   *throughput* was within tolerance of its equally-flat baseline.
+   Host-core-count guard: a floor for t threads is enforced only when
+   the current run's "hardware_threads" is at least t, and the whole
+   check is skipped below 4 cores (a small runner cannot witness
+   scaling at all; the skip is reported, not silent).
+ - telemetry overhead: "telemetry_overhead_pct" must lie in
+   [0, --telemetry-budget] (default 5.0). A negative value means the
+   bench's clamp protocol is missing, which is its own failure.
+
 Being faster than the baseline never fails the gate; refresh the
 baseline (regenerate the JSON on the reference machine and commit it)
 when an intentional improvement should tighten it. Structural drift --
@@ -21,10 +38,14 @@ fails loudly, so a bench cannot silently stop reporting a metric.
 Usage:
     check_bench_regression.py CURRENT BASELINE [--tolerance 0.2]
                               [--skip-timing]
+                              [--scaling-floors 2:1.5,4:3.0,8:5.5]
+                              [--telemetry-budget 5.0]
 
 --skip-timing checks only the fingerprints; sanitizer and
 scalar-fallback builds use it, where timings are meaningless but the
 merged-report bits must still match the committed baseline exactly.
+It also skips the scaling-floor and telemetry-overhead checks (both
+are timing-derived).
 """
 
 import argparse
@@ -63,6 +84,81 @@ def kind_of(key):
     return "higher_better"
 
 
+def parse_floors(spec):
+    """'2:1.5,4:3.0,8:5.5' -> {2: 1.5, 4: 3.0, 8: 5.5}."""
+    floors = {}
+    for part in filter(None, spec.split(",")):
+        threads, floor = part.split(":")
+        floors[int(threads)] = float(floor)
+    return floors
+
+
+def find_scaling_entries(node, out):
+    """Collect every dict carrying both a thread count and a measured
+    speedup, wherever it sits in the JSON tree."""
+    if isinstance(node, dict):
+        if "threads" in node and "speedup_vs_1" in node:
+            out.append(node)
+        for value in node.values():
+            find_scaling_entries(value, out)
+    elif isinstance(node, list):
+        for value in node:
+            find_scaling_entries(value, out)
+
+
+def check_scaling(current, floors, min_cores):
+    """Enforce per-thread-count speedup floors on the current run.
+
+    Returns (checked, failures). Guarded by the host core count
+    recorded in the run itself: a floor for t threads only applies
+    when the host had >= t cores, and nothing applies below
+    `min_cores` (a 1-core container's sweep measures timeslicing,
+    not scaling).
+    """
+    cores = current.get("hardware_threads")
+    entries = []
+    find_scaling_entries(current, entries)
+    if not entries:
+        return 0, 0
+    if not isinstance(cores, int) or cores < min_cores:
+        print(f"skip scaling floors: host reports {cores!r} cores "
+              f"(< {min_cores}); scaling cannot be witnessed here")
+        return 0, 0
+    checked = failures = 0
+    for entry in entries:
+        threads = entry["threads"]
+        speedup = entry["speedup_vs_1"]
+        floor = floors.get(threads)
+        if floor is None or threads <= 1:
+            continue
+        if cores < threads:
+            print(f"skip scaling floor at {threads} threads: host "
+                  f"has only {cores} cores")
+            continue
+        checked += 1
+        ok = isinstance(speedup, (int, float)) and speedup >= floor
+        print(f"{'ok  ' if ok else 'FAIL'} speedup_vs_1 at {threads} "
+              f"threads: {speedup:g} (floor {floor:g}, host cores "
+              f"{cores})")
+        failures += 0 if ok else 1
+    return checked, failures
+
+
+def check_telemetry_overhead(current, budget):
+    """Enforce 0 <= telemetry_overhead_pct <= budget on the current
+    run. Returns (checked, failures)."""
+    if "telemetry_overhead_pct" not in current:
+        return 0, 0
+    pct = current["telemetry_overhead_pct"]
+    ok = isinstance(pct, (int, float)) and 0.0 <= pct <= budget
+    detail = "negative: bench clamp protocol missing" \
+        if isinstance(pct, (int, float)) and pct < 0 \
+        else f"budget {budget:g}%"
+    print(f"{'ok  ' if ok else 'FAIL'} telemetry_overhead_pct: "
+          f"{pct!r} ({detail})")
+    return 1, 0 if ok else 1
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="Gate a bench JSON against a committed baseline.")
@@ -72,6 +168,16 @@ def main():
                     help="allowed fractional regression (default 0.2)")
     ap.add_argument("--skip-timing", action="store_true",
                     help="check only fingerprints (sanitizer builds)")
+    ap.add_argument("--scaling-floors", default="2:1.5,4:3.0,8:5.5",
+                    help="per-thread-count minimum speedup_vs_1, as "
+                         "THREADS:FLOOR pairs (default "
+                         "2:1.5,4:3.0,8:5.5); empty string disables")
+    ap.add_argument("--min-scaling-cores", type=int, default=4,
+                    help="skip all scaling floors when the current "
+                         "run's host has fewer cores (default 4)")
+    ap.add_argument("--telemetry-budget", type=float, default=5.0,
+                    help="max allowed telemetry_overhead_pct "
+                         "(default 5.0)")
     args = ap.parse_args()
 
     with open(args.current) as f:
@@ -116,6 +222,17 @@ def main():
               f"{'lower' if kind == 'lower_better' else 'higher'} "
               f"is better, tolerance {args.tolerance:.0%})")
         failures += 0 if ok else 1
+
+    if not args.skip_timing:
+        scaling_checked, scaling_failed = check_scaling(
+            current, parse_floors(args.scaling_floors),
+            args.min_scaling_cores)
+        checked += scaling_checked
+        failures += scaling_failed
+        overhead_checked, overhead_failed = check_telemetry_overhead(
+            current, args.telemetry_budget)
+        checked += overhead_checked
+        failures += overhead_failed
 
     if checked == 0:
         print("FAIL: no gated metrics found -- wrong file pair?")
