@@ -105,6 +105,10 @@ struct FaultStats
     /** configure() calls whose epsilon was rounded to a power of 2. */
     uint64_t epsilon_rounding_warnings = 0;
 
+    /** Ledger journal appends that failed before output release (the
+     *  transaction was withheld and the controller latched). */
+    uint64_t ledger_append_failures = 0;
+
     /** Sum of the detection counters (not the degradation ones): how
      *  many times a fault was *noticed*. */
     uint64_t
@@ -112,7 +116,8 @@ struct FaultStats
     {
         return urng_health_alarms + table_crc_failures +
                table_bounds_faults + checkpoint_restore_failures +
-               timer_glitches_rejected + bus_retries;
+               timer_glitches_rejected + bus_retries +
+               ledger_append_failures;
     }
 
     FaultStats &
@@ -128,6 +133,7 @@ struct FaultStats
         fail_secure_reports += o.fail_secure_reports;
         resample_overflows += o.resample_overflows;
         epsilon_rounding_warnings += o.epsilon_rounding_warnings;
+        ledger_append_failures += o.ledger_append_failures;
         return *this;
     }
 };

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "core/budget_ledger.h"
 #include "core/privacy_loss.h"
 #include "rng/health.h"
 #include "telemetry/telemetry.h"
@@ -341,6 +342,17 @@ BudgetController::request(double x)
     double loss = segmentLoss(ext);
     ULPDP_ASSERT(budgetCovers(budget_, loss));
 
+    // Durability gate: the spend must be on flash before the value
+    // leaves the device. A failed append means the power is dying (or
+    // the ledger is halted) -- withhold the fresh draw and serve the
+    // cache, which is already-released data. The draw consumed RNG
+    // state but released nothing, so no privacy was spent.
+    if (ledger_ != nullptr && !ledger_->journalSpend(loss)) {
+        ++fault_stats_.ledger_append_failures;
+        latchFault("ledger append failed before output release");
+        return serveCached();
+    }
+
     BudgetResponse resp;
     resp.samples_drawn = samples;
     budget_ -= loss;
@@ -458,6 +470,41 @@ BudgetController::restoreFromCheckpoint(const BudgetCheckpoint &cp)
     return true;
 }
 
+bool
+BudgetController::restoreFromLedger()
+{
+    if (ledger_ == nullptr)
+        return false;
+    if (ledger_->halted()) {
+        ++fault_stats_.checkpoint_restore_failures;
+        warn("BudgetController: ledger unrecoverable; restoring to "
+             "zero remaining budget");
+        budget_ = 0.0;
+        cache_.reset();
+        ticks_since_replenish_ = 0;
+        return false;
+    }
+    // Same monotone rule as restoreFromCheckpoint(): the ledger can
+    // only make the device more conservative, never hand back budget.
+    double rem = ledger_->remaining();
+    if (!(rem >= 0.0))
+        rem = 0.0;
+    budget_ = std::min(budget_, std::min(rem,
+                                         config_.initial_budget));
+    if (ledger_->cache().has_value() &&
+        std::isfinite(*ledger_->cache()))
+        cache_ = *ledger_->cache();
+    return true;
+}
+
+bool
+BudgetController::checkpointToLedger()
+{
+    if (ledger_ == nullptr)
+        return false;
+    return ledger_->commitCheckpoint(budget_, cache_);
+}
+
 void
 BudgetController::advanceTime(uint64_t ticks)
 {
@@ -467,6 +514,11 @@ BudgetController::advanceTime(uint64_t ticks)
     if (ticks_since_replenish_ >= config_.replenish_period) {
         ticks_since_replenish_ %= config_.replenish_period;
         budget_ = config_.initial_budget;
+        // The refill is a policy event, not a spend: record it as a
+        // checkpoint so recovery resumes from the replenished state
+        // instead of replaying pre-refill spends against it.
+        if (ledger_ != nullptr && !ledger_->halted())
+            checkpointToLedger();
         if (telemetry::enabled()) {
             budgetMetrics().replenishments.inc();
             telemetry::event(EventKind::Replenish,

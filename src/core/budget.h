@@ -34,6 +34,7 @@
 
 namespace ulpdp {
 
+class BudgetLedger;
 class RngHealthMonitor;
 
 /**
@@ -269,6 +270,36 @@ class BudgetController
         health_ = monitor;
     }
 
+    /**
+     * Attach the durable budget ledger (borrowed pointer; must
+     * outlive the controller and be mounted). From then on every
+     * fresh report's loss is journaled to flash *before* the value is
+     * released: if the append cannot complete (power dying, device
+     * dead, ledger halted) the transaction is withheld -- the cached
+     * report is served instead and the controller latches fail-secure.
+     * The persisted record is therefore always at least as pessimistic
+     * as what left the device.
+     */
+    void attachLedger(BudgetLedger *ledger) { ledger_ = ledger; }
+
+    /**
+     * Adopt the attached ledger's recovered state after a mount:
+     * remaining budget becomes min(current, ledger) -- the same
+     * monotone rule as restoreFromCheckpoint() -- and the cached
+     * report is taken from the ledger's latest checkpoint. A halted
+     * (unrecoverable) ledger restores to zero remaining budget with
+     * an empty cache and returns false.
+     */
+    bool restoreFromLedger();
+
+    /**
+     * Commit the controller's authoritative state to the attached
+     * ledger as a two-phase checkpoint (bounds journal replay length;
+     * call at quiet points). False when no ledger is attached or the
+     * commit was cut.
+     */
+    bool checkpointToLedger();
+
     /** True once a detected fault latched cache-only service. */
     bool faultLatched() const { return fault_latched_; }
 
@@ -335,6 +366,7 @@ class BudgetController
     uint64_t ticks_since_replenish_ = 0;
 
     // Hardening state.
+    BudgetLedger *ledger_ = nullptr;
     const RngHealthMonitor *health_ = nullptr;
     bool fault_latched_ = false;
     uint64_t requests_since_scrub_ = 0;

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Abstract persistent-storage device under the budget ledger.
+ *
+ * PR 2 made the budget checkpoint CRC-protected and monotone, but the
+ * medium it survives on stayed an abstraction: the chaos harness
+ * handed a struct across a simulated power cycle and the only failure
+ * mode was a bit flip. Real ULP nodes persist into NOR flash, whose
+ * failure modes are richer and *asymmetric*: programming can only
+ * clear bits (1 -> 0), erasing is slow and block-granular, a power
+ * loss mid-program leaves a prefix of the write (and a partially
+ * programmed byte at the cut), a power loss mid-erase leaves a
+ * half-erased block, and every erase wears the block out a little.
+ *
+ * This interface is what the ledger (core layer) writes through. The
+ * simulation library implements it with a faithful NOR model plus
+ * fault-injection hooks (sim/nor_flash.h); the core layer never
+ * depends on the simulator, matching the FaultHook layering of
+ * common/fault.h.
+ *
+ * Contract every implementation must keep:
+ *
+ *  - read() always succeeds and returns the bits as the device would
+ *    sense them (stuck-at faults show up here, not as errors);
+ *  - program() only clears bits; attempting to set a 0 back to 1 is
+ *    silently ineffective for that bit, exactly like the silicon;
+ *  - program()/erase() return false when power was lost mid-operation.
+ *    The partial state (a programmed prefix, a half-erased block) is
+ *    retained, and the device refuses further mutations until
+ *    powerCycle() -- callers must treat false as "you are about to
+ *    die" and make no further assumptions about durability.
+ */
+
+#ifndef ULPDP_CORE_FLASH_DEVICE_H
+#define ULPDP_CORE_FLASH_DEVICE_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ulpdp {
+
+/** Physical layout of a flash part. */
+struct FlashGeometry
+{
+    /** Erase blocks the part provides. */
+    uint32_t block_count = 8;
+
+    /** Bytes per erase block (erase granularity). */
+    uint32_t block_size = 256;
+
+    /** Total addressable bytes. */
+    uint64_t
+    totalBytes() const
+    {
+        return static_cast<uint64_t>(block_count) * block_size;
+    }
+};
+
+/** Storage interface the budget ledger journals through. */
+class FlashDevice
+{
+  public:
+    virtual ~FlashDevice() = default;
+
+    /** The part's geometry (immutable). */
+    virtual const FlashGeometry &geometry() const = 0;
+
+    /** Read @p len bytes at byte address @p addr into @p dst. */
+    virtual void read(uint64_t addr, void *dst, size_t len) const = 0;
+
+    /**
+     * Program @p len bytes at @p addr. NOR semantics: the stored
+     * value becomes old & new per bit. Returns false when power was
+     * lost mid-program (a prefix of the bytes -- possibly plus a
+     * partially programmed byte -- made it to the array).
+     */
+    virtual bool program(uint64_t addr, const void *src,
+                         size_t len) = 0;
+
+    /**
+     * Erase one block to all-0xFF. Returns false when power was lost
+     * mid-erase (a prefix of the block reads erased, the rest holds
+     * stale data; the erase count still advanced -- wear is physical).
+     */
+    virtual bool erase(uint32_t block) = 0;
+
+    /** Lifetime erase count of @p block (wear). */
+    virtual uint64_t eraseCount(uint32_t block) const = 0;
+
+    /** False after a mid-operation power loss until powerCycle(). */
+    virtual bool alive() const = 0;
+
+    /** Restore power. Array contents persist; wear persists. */
+    virtual void powerCycle() = 0;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_CORE_FLASH_DEVICE_H

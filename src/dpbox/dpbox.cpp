@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "core/budget_ledger.h"
 #include "telemetry/telemetry.h"
 
 namespace ulpdp {
@@ -164,6 +165,24 @@ DpBox::chargeBudget(int64_t out)
     }
     if (budget_ + 1e-12 < loss)
         return std::nullopt;
+
+    // Durability gate: the spend hits flash before the noised word
+    // hits the output port. A cut append means the power is dying --
+    // withhold the transaction (the caller replays the cache) and,
+    // on hardened silicon, latch fail-secure.
+    if (ledger_ != nullptr && !ledger_->journalSpend(loss)) {
+        ++fault_stats_.ledger_append_failures;
+        if (config_.harden_faults && !fault_latched_) {
+            fault_latched_ = true;
+            warn("DpBox: ledger append failed before output release; "
+                 "latching cache-only service");
+            telemetry::event(
+                EventKind::FaultLatch, stats_.cycles,
+                static_cast<double>(fault_stats_.detections()));
+        }
+        return std::nullopt;
+    }
+
     budget_ -= loss;
     return loss;
 }

@@ -223,6 +223,15 @@ class DpBox
      */
     void attachFaultHook(FaultHook *hook);
 
+    /**
+     * Attach the durable budget ledger (borrowed; must outlive the
+     * device and be mounted). Each spend is journaled before the
+     * noised word reaches the output port; a failed append withholds
+     * the transaction and (when harden_faults) latches cache-only
+     * service. nullptr detaches.
+     */
+    void attachLedger(BudgetLedger *ledger) { ledger_ = ledger; }
+
     /** True once a detected fault latched cache-only service. */
     bool faultLatched() const { return fault_latched_; }
 
@@ -291,6 +300,7 @@ class DpBox
     // injector hook, and the fail-secure latch.
     RngHealthMonitor health_;
     FaultHook *fault_hook_ = nullptr;
+    BudgetLedger *ledger_ = nullptr;
     bool fault_latched_ = false;
     FaultStats fault_stats_;
 

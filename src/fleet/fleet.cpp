@@ -12,6 +12,7 @@
 
 #include "common/logging.h"
 #include "core/budget.h"
+#include "core/budget_ledger.h"
 #include "core/privacy_loss.h"
 #include "core/threshold_calc.h"
 #include "rng/batch_sampler.h"
@@ -239,7 +240,7 @@ struct FleetRunner::CohortPlan
 
         // Worst-case flat charge per fresh report (never undercharges,
         // and the affordable count needs no randomness to evaluate).
-        double charge = controlled
+        per_report_charge = controlled
             ? cfg.loss_multiple * cfg.params.epsilon
             : cfg.params.epsilon;
         fresh_per_node = cfg.reports_per_node;
@@ -247,8 +248,8 @@ struct FleetRunner::CohortPlan
             uint32_t f = 0;
             double remaining = cfg.budget_per_node;
             while (f < cfg.reports_per_node &&
-                   budgetCovers(remaining, charge)) {
-                remaining -= charge;
+                   budgetCovers(remaining, per_report_charge)) {
+                remaining -= per_report_charge;
                 ++f;
             }
             fresh_per_node = f;
@@ -354,6 +355,9 @@ struct FleetRunner::CohortPlan
     double hist_lo = 0.0;
     double hist_hi = 1.0;
     uint32_t fresh_per_node = 0;
+    /** Worst-case loss one fresh report is metered at (epoch-ledger
+     *  journaling uses the same bound: never undercharges). */
+    double per_report_charge = 0.0;
     double worst_loss = 0.0;
     bool ldp = false;
 };
@@ -950,8 +954,26 @@ FleetRunner::run(unsigned num_threads)
         report.total_reports += res.reports;
         if (telemetry::enabled())
             publishCohort(res);
+
+        // Durable epoch accounting: journal the cohort's worst-case
+        // loss (fresh reports x the flat metering bound -- never an
+        // undercharge) and seal the epoch with a checkpoint. Main
+        // thread, post-merge: the FleetReport and its fingerprint are
+        // already final, so a ledger cannot move a bit of them.
+        if (config_.epoch_ledger != nullptr &&
+            res.fresh_reports > 0) {
+            double charged = static_cast<double>(res.fresh_reports) *
+                             plan.per_report_charge;
+            if (!config_.epoch_ledger->journalSpend(charged))
+                warn("FleetRunner: epoch ledger append failed for "
+                     "cohort '%s'", res.name.c_str());
+        }
         report.cohorts.push_back(std::move(res));
     }
+    if (config_.epoch_ledger != nullptr)
+        config_.epoch_ledger->commitCheckpoint(
+            config_.epoch_ledger->remaining(),
+            config_.epoch_ledger->cache());
     if (telemetry::enabled()) {
         FleetMetrics &m = fleetMetrics();
         m.runs.inc();

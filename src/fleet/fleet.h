@@ -159,6 +159,8 @@ struct CohortConfig
     bool analyze_loss = true;
 };
 
+class BudgetLedger;
+
 /** Fleet-wide configuration. */
 struct FleetConfig
 {
@@ -176,6 +178,19 @@ struct FleetConfig
 
     /** The cohorts to simulate. */
     std::vector<CohortConfig> cohorts;
+
+    /**
+     * Optional durable epoch ledger (borrowed; must outlive the
+     * runner and be mounted). After each epoch's merge the main
+     * thread journals, per cohort, the worst-case privacy loss of its
+     * fresh reports (fresh_reports x the same flat per-report bound
+     * the budget metering uses -- never an undercharge) and commits a
+     * checkpoint. Journaling happens entirely outside the parallel
+     * section and after the merge, so it cannot move a bit of the
+     * FleetReport: the fingerprint is identical with and without a
+     * ledger attached on a fault-free run.
+     */
+    BudgetLedger *epoch_ledger = nullptr;
 };
 
 /** Merged per-cohort result. */

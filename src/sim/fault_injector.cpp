@@ -15,6 +15,9 @@ FaultInjector::FaultInjector(const FaultCampaignConfig &config)
         config.bus_timeout_rate,    config.bus_corrupt_rate,
         config.power_loss_rate,     config.checkpoint_corrupt_rate,
         config.timer_glitch_rate,
+        config.flash_program_loss_rate,
+        config.flash_erase_loss_rate,
+        config.flash_stuck_bit_rate,
     };
     for (double r : rates) {
         if (!(r >= 0.0 && r <= 1.0))
@@ -109,6 +112,10 @@ FaultInjector::tick()
         roll() < config_.power_loss_rate) {
         power_loss_pending_ = true;
     }
+    if (config_.flash_stuck_bit_rate > 0.0 &&
+        roll() < config_.flash_stuck_bit_rate) {
+        flash_stuck_pending_ = true;
+    }
 }
 
 bool
@@ -131,6 +138,81 @@ FaultInjector::tableSeuPending(size_t &byte_offset, int &bit,
     ++stats_.table_seus;
     byte_offset = static_cast<size_t>(rng_.next32()) % table_bytes;
     bit = static_cast<int>(rng_.next32() & 7);
+    return true;
+}
+
+size_t
+FaultInjector::programPowerLoss(size_t len)
+{
+    if (program_cut_armed_) {
+        if (program_cut_at_ >= len)
+            return SIZE_MAX; // op too short to reach the armed cut
+        program_cut_armed_ = false;
+        ++stats_.flash_program_losses;
+        return program_cut_at_;
+    }
+    if (config_.flash_program_loss_rate > 0.0 &&
+        roll() < config_.flash_program_loss_rate) {
+        ++stats_.flash_program_losses;
+        return static_cast<size_t>(rng_.next32()) % len;
+    }
+    return SIZE_MAX;
+}
+
+uint8_t
+FaultInjector::partialProgramMask()
+{
+    // Which 1 -> 0 transitions of the cut byte completed: uniform
+    // over all subsets, including none (0x00) and all (0xFF).
+    return static_cast<uint8_t>(rng_.next32() & 0xFF);
+}
+
+size_t
+FaultInjector::erasePowerLoss(size_t block_bytes)
+{
+    if (erase_cut_armed_) {
+        if (erase_cut_at_ >= block_bytes)
+            return SIZE_MAX;
+        erase_cut_armed_ = false;
+        ++stats_.flash_erase_losses;
+        return erase_cut_at_;
+    }
+    if (config_.flash_erase_loss_rate > 0.0 &&
+        roll() < config_.flash_erase_loss_rate) {
+        ++stats_.flash_erase_losses;
+        return static_cast<size_t>(rng_.next32()) % block_bytes;
+    }
+    return SIZE_MAX;
+}
+
+void
+FaultInjector::armProgramLossAt(size_t k)
+{
+    program_cut_armed_ = true;
+    program_cut_at_ = k;
+}
+
+void
+FaultInjector::armEraseLossAt(size_t m)
+{
+    erase_cut_armed_ = true;
+    erase_cut_at_ = m;
+}
+
+bool
+FaultInjector::flashStuckBitPending(uint64_t &addr, int &bit,
+                                    bool &value,
+                                    uint64_t region_bytes)
+{
+    if (!flash_stuck_pending_ || region_bytes == 0)
+        return false;
+    flash_stuck_pending_ = false;
+    ++stats_.flash_stuck_bits;
+    addr = ((static_cast<uint64_t>(rng_.next32()) << 32) |
+            rng_.next32()) %
+           region_bytes;
+    bit = static_cast<int>(rng_.next32() & 7);
+    value = (rng_.next32() & 1) != 0;
     return true;
 }
 

@@ -35,6 +35,7 @@
 
 #include "common/fault.h"
 #include "rng/tausworthe.h"
+#include "sim/nor_flash.h"
 
 namespace ulpdp {
 
@@ -81,6 +82,19 @@ struct FaultCampaignConfig
     /** Per replenishment-timer comparison: the timer spuriously
      *  claims the period elapsed. */
     double timer_glitch_rate = 0.0;
+
+    /** Per flash program op: power is cut after a uniform number of
+     *  programmed bytes (the byte at the cut partially programs). */
+    double flash_program_loss_rate = 0.0;
+
+    /** Per flash erase op: power is cut after a uniform number of
+     *  erased bytes, leaving a half-erased block. */
+    double flash_erase_loss_rate = 0.0;
+
+    /** Per tick: one random bit of the flash journal region sticks
+     *  (oxide breakdown on the sense path). Realised by the harness
+     *  via flashStuckBitPending(). */
+    double flash_stuck_bit_rate = 0.0;
 };
 
 /** What one campaign actually injected (not what was detected). */
@@ -96,6 +110,9 @@ struct FaultInjectionStats
     uint64_t power_losses = 0;
     uint64_t checkpoints_corrupted = 0;
     uint64_t timer_glitches = 0;
+    uint64_t flash_program_losses = 0;
+    uint64_t flash_erase_losses = 0;
+    uint64_t flash_stuck_bits = 0;
 
     /** Total faults injected across all sites. */
     uint64_t
@@ -103,12 +120,14 @@ struct FaultInjectionStats
     {
         return urng_bit_flips + urng_stuck_events + table_seus +
                bus_nacks + bus_timeouts + bus_corruptions +
-               power_losses + checkpoints_corrupted + timer_glitches;
+               power_losses + checkpoints_corrupted + timer_glitches +
+               flash_program_losses + flash_erase_losses +
+               flash_stuck_bits;
     }
 };
 
 /** Seeded multi-site fault injector (see file comment). */
-class FaultInjector : public FaultHook
+class FaultInjector : public FaultHook, public FlashFaultHook
 {
   public:
     /** @param config Campaign rates; every rate must be in [0, 1]. */
@@ -119,6 +138,33 @@ class FaultInjector : public FaultHook
     bool replenishGlitch() override;
     BusFaultKind busFault() override;
     uint8_t corruptBusByte(uint8_t byte) override;
+
+    // Passive flash sites (FlashFaultHook interface). A one-shot
+    // armed cut (armProgramLossAt / armEraseLossAt) takes precedence
+    // over the random rates -- that is how the storm harness sweeps
+    // "power loss after exactly k programmed bytes" over every
+    // distinct offset.
+    size_t programPowerLoss(size_t len) override;
+    uint8_t partialProgramMask() override;
+    size_t erasePowerLoss(size_t block_bytes) override;
+
+    /**
+     * Arm a deterministic one-shot cut: the next program op of more
+     * than @p k bytes loses power after exactly @p k bytes (ops too
+     * short to reach the cut complete and leave it armed). Reproduces
+     * one exact torn-write shape on demand.
+     */
+    void armProgramLossAt(size_t k);
+
+    /** Arm a deterministic one-shot cut of the next erase after
+     *  exactly @p m erased bytes. */
+    void armEraseLossAt(size_t m);
+
+    /** An armed one-shot program/erase cut has not fired yet. */
+    bool flashCutArmed() const
+    {
+        return program_cut_armed_ || erase_cut_armed_;
+    }
 
     /**
      * Advance campaign time by one transaction tick: rolls the
@@ -146,6 +192,16 @@ class FaultInjector : public FaultHook
      */
     bool corruptCheckpointMaybe(void *bytes, size_t len);
 
+    /**
+     * Consume a pending flash stuck-at fault (armed by tick()): picks
+     * a uniform victim bit over @p region_bytes and returns it in
+     * @p addr / @p bit plus the stuck value. Returns false when none
+     * is pending (or the region is empty). The harness realises it
+     * via NorFlashModel::stickBit().
+     */
+    bool flashStuckBitPending(uint64_t &addr, int &bit, bool &value,
+                              uint64_t region_bytes);
+
     /** Injection counters so far. */
     const FaultInjectionStats &stats() const { return stats_; }
 
@@ -164,6 +220,11 @@ class FaultInjector : public FaultHook
     uint32_t stuck_word_ = 0;
     bool power_loss_pending_ = false;
     bool table_seu_pending_ = false;
+    bool flash_stuck_pending_ = false;
+    bool program_cut_armed_ = false;
+    size_t program_cut_at_ = 0;
+    bool erase_cut_armed_ = false;
+    size_t erase_cut_at_ = 0;
 };
 
 } // namespace ulpdp

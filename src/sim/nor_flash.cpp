@@ -1,0 +1,143 @@
+#include "sim/nor_flash.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+
+NorFlashModel::NorFlashModel(const FlashGeometry &geometry)
+    : geom_(geometry)
+{
+    if (geom_.block_count == 0 || geom_.block_size == 0)
+        fatal("NorFlashModel: geometry must be non-empty");
+    data_.assign(geom_.totalBytes(), 0xFF);
+    erase_counts_.assign(geom_.block_count, 0);
+}
+
+uint8_t
+NorFlashModel::sense(uint64_t addr) const
+{
+    uint8_t byte = data_[addr];
+    if (!stuck_or_.empty())
+        byte = (byte | stuck_or_[addr]) & ~stuck_clear_[addr];
+    return byte;
+}
+
+void
+NorFlashModel::read(uint64_t addr, void *dst, size_t len) const
+{
+    ULPDP_ASSERT(addr + len <= data_.size());
+    uint8_t *out = static_cast<uint8_t *>(dst);
+    if (stuck_or_.empty()) {
+        std::memcpy(out, data_.data() + addr, len);
+        return;
+    }
+    for (size_t i = 0; i < len; ++i)
+        out[i] = sense(addr + i);
+}
+
+bool
+NorFlashModel::program(uint64_t addr, const void *src, size_t len)
+{
+    ULPDP_ASSERT(addr + len <= data_.size());
+    if (!alive_ || len == 0)
+        return alive_;
+    ++stats_.program_ops;
+
+    size_t cut = hook_ != nullptr ? hook_->programPowerLoss(len)
+                                  : SIZE_MAX;
+    const uint8_t *in = static_cast<const uint8_t *>(src);
+    size_t complete = std::min(cut, len);
+    for (size_t i = 0; i < complete; ++i)
+        data_[addr + i] &= in[i]; // 1 -> 0 only
+    stats_.bytes_programmed += complete;
+
+    if (cut >= len)
+        return true;
+
+    // The byte at the cut point: only the transitions the charge pump
+    // finished before the rail collapsed actually cleared.
+    uint8_t mask = hook_->partialProgramMask();
+    uint8_t old = data_[addr + cut];
+    uint8_t target = old & in[cut];
+    data_[addr + cut] = (old & ~mask) | (target & mask);
+
+    ++stats_.program_power_losses;
+    alive_ = false;
+    return false;
+}
+
+bool
+NorFlashModel::erase(uint32_t block)
+{
+    ULPDP_ASSERT(block < geom_.block_count);
+    if (!alive_)
+        return false;
+    ++stats_.erase_ops;
+    ++erase_counts_[block]; // wear is physical, even for a cut erase
+
+    uint64_t base = static_cast<uint64_t>(block) * geom_.block_size;
+    size_t cut = hook_ != nullptr
+                     ? hook_->erasePowerLoss(geom_.block_size)
+                     : SIZE_MAX;
+    size_t erased = std::min<size_t>(cut, geom_.block_size);
+    std::memset(data_.data() + base, 0xFF, erased);
+
+    if (cut >= geom_.block_size)
+        return true;
+    ++stats_.erase_power_losses;
+    alive_ = false;
+    return false;
+}
+
+uint64_t
+NorFlashModel::eraseCount(uint32_t block) const
+{
+    ULPDP_ASSERT(block < geom_.block_count);
+    return erase_counts_[block];
+}
+
+void
+NorFlashModel::powerCycle()
+{
+    alive_ = true;
+    ++stats_.power_cycles;
+}
+
+void
+NorFlashModel::stickBit(uint64_t addr, int bit, bool value)
+{
+    ULPDP_ASSERT(addr < data_.size() && bit >= 0 && bit < 8);
+    if (stuck_or_.empty()) {
+        stuck_or_.assign(data_.size(), 0);
+        stuck_clear_.assign(data_.size(), 0);
+    }
+    uint8_t m = static_cast<uint8_t>(1u << bit);
+    if (value) {
+        stuck_or_[addr] |= m;
+        stuck_clear_[addr] &= ~m;
+    } else {
+        stuck_clear_[addr] |= m;
+        stuck_or_[addr] &= ~m;
+    }
+    ++stats_.stuck_bits;
+}
+
+uint64_t
+NorFlashModel::wearSpread() const
+{
+    auto [mn, mx] = std::minmax_element(erase_counts_.begin(),
+                                        erase_counts_.end());
+    return *mx - *mn;
+}
+
+uint64_t
+NorFlashModel::maxEraseCount() const
+{
+    return *std::max_element(erase_counts_.begin(),
+                             erase_counts_.end());
+}
+
+} // namespace ulpdp

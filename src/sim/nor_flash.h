@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Simulated NOR flash with faithful failure semantics (NF2FS-style
+ * device model) and fault-injection hooks.
+ *
+ * The model implements the core-layer FlashDevice contract with the
+ * three properties that make NOR persistence hard to get right:
+ *
+ *  - Program-before-erase bit semantics: programming can only clear
+ *    bits (stored = old & written). Writing 0xFF is a no-op; "updating
+ *    in place" silently ANDs, which is exactly the bug class the
+ *    ledger's append-only record format exists to avoid.
+ *  - Bounded granularity: programs are byte-granular, erases are
+ *    block-granular, and both can be cut by a power loss. A cut
+ *    program retains the fully programmed prefix plus a *partially*
+ *    programmed byte at the cut point (only a subset of that byte's
+ *    1 -> 0 transitions completed). A cut erase retains an erased
+ *    prefix with stale data behind it; the wear still happened.
+ *  - Wear: per-block erase counters, so a leveling policy is
+ *    observable and testable.
+ *
+ * Fault injection is split like common/fault.h: the *hook* interface
+ * (FlashFaultHook) is consulted at the exact datapath points where
+ * the physical fault would strike (per program op, per erase op), and
+ * stuck-at bits are armed directly on the model by the harness. A
+ * null hook is a fault-free part.
+ */
+
+#ifndef ULPDP_SIM_NOR_FLASH_H
+#define ULPDP_SIM_NOR_FLASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/flash_device.h"
+
+namespace ulpdp {
+
+/**
+ * Injection interface of the flash fault sites. Every method defaults
+ * to pass-through (no fault). The FaultInjector implements this next
+ * to its existing FaultHook surface so one seeded stream drives every
+ * fault class of a campaign.
+ */
+class FlashFaultHook
+{
+  public:
+    virtual ~FlashFaultHook() = default;
+
+    /**
+     * One program operation of @p len bytes is about to run. Return
+     * the number of bytes after which power is lost (0 <= k < len:
+     * bytes [0, k) complete, byte k partially programs, nothing
+     * after), or SIZE_MAX for no fault.
+     */
+    virtual size_t
+    programPowerLoss(size_t len)
+    {
+        (void)len;
+        return SIZE_MAX;
+    }
+
+    /**
+     * Which 1 -> 0 transitions of the byte at the cut point completed
+     * before the charge pump died: a bit set in the mask means that
+     * bit's programming took effect. 0x00 = none, 0xFF = all.
+     */
+    virtual uint8_t partialProgramMask() { return 0x00; }
+
+    /**
+     * One block erase of @p block_bytes bytes is about to run. Return
+     * the number of bytes erased before power is lost (0 <= m <
+     * block_bytes), or SIZE_MAX for no fault.
+     */
+    virtual size_t
+    erasePowerLoss(size_t block_bytes)
+    {
+        (void)block_bytes;
+        return SIZE_MAX;
+    }
+};
+
+/** Observability counters of one simulated part. */
+struct NorFlashStats
+{
+    uint64_t program_ops = 0;
+    uint64_t erase_ops = 0;
+    uint64_t bytes_programmed = 0;
+    uint64_t program_power_losses = 0;
+    uint64_t erase_power_losses = 0;
+    uint64_t power_cycles = 0;
+    uint64_t stuck_bits = 0;
+};
+
+/** Simulated NOR part (see file comment). */
+class NorFlashModel : public FlashDevice
+{
+  public:
+    explicit NorFlashModel(const FlashGeometry &geometry);
+
+    // FlashDevice interface.
+    const FlashGeometry &geometry() const override { return geom_; }
+    void read(uint64_t addr, void *dst, size_t len) const override;
+    bool program(uint64_t addr, const void *src, size_t len) override;
+    bool erase(uint32_t block) override;
+    uint64_t eraseCount(uint32_t block) const override;
+    bool alive() const override { return alive_; }
+    void powerCycle() override;
+
+    /** Attach the fault hook (borrowed; nullptr detaches). */
+    void attachFaultHook(FlashFaultHook *hook) { hook_ = hook; }
+
+    /**
+     * Arm a stuck-at fault: bit @p bit of the byte at @p addr reads
+     * as @p value forever after (oxide breakdown). The array contents
+     * are untouched -- the fault sits on the sense path, so an erase
+     * does not clear it.
+     */
+    void stickBit(uint64_t addr, int bit, bool value);
+
+    /** Injection/usage counters. */
+    const NorFlashStats &stats() const { return stats_; }
+
+    /** Max - min erase count across blocks (wear spread). */
+    uint64_t wearSpread() const;
+
+    /** Highest erase count across blocks. */
+    uint64_t maxEraseCount() const;
+
+    /** Whole-array view for post-mortem test assertions. */
+    const std::vector<uint8_t> &raw() const { return data_; }
+
+  private:
+    /** Apply the armed stuck-at faults to one sensed byte. */
+    uint8_t sense(uint64_t addr) const;
+
+    FlashGeometry geom_;
+    std::vector<uint8_t> data_;
+    /** Per-byte masks of the armed stuck-at faults: a read senses
+     *  (stored | stuck_or) & ~stuck_and_clear. Empty until the first
+     *  stickBit() call keeps the fault-free read path allocation-free. */
+    std::vector<uint8_t> stuck_or_;
+    std::vector<uint8_t> stuck_clear_;
+    std::vector<uint64_t> erase_counts_;
+    FlashFaultHook *hook_ = nullptr;
+    bool alive_ = true;
+    NorFlashStats stats_;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_SIM_NOR_FLASH_H

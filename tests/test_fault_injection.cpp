@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstring>
 #include <limits>
 #include <memory>
@@ -318,6 +319,78 @@ TEST(BudgetCheckpoint, NonFiniteBudgetCollapsesToZero)
 
     EXPECT_TRUE(ctrl.restoreFromCheckpoint(cp));
     EXPECT_DOUBLE_EQ(ctrl.remainingBudget(), 0.0);
+}
+
+TEST(BudgetCheckpoint, ZeroRemainingRestoresHaltedNotUninitialized)
+{
+    // A checkpoint taken at *exactly* zero remaining budget is a
+    // legitimate, valid image of a halted device -- it must restore
+    // to the halted state (cache replay of the persisted report),
+    // never be mistaken for an uninitialized/corrupt page.
+    FxpMechanismParams p = testParams();
+    auto cfg = testConfig(p, RangeControl::Thresholding, 10.0);
+    BudgetController a(p, cfg);
+    BudgetResponse last = a.request(4.0);
+
+    BudgetCheckpoint cp = a.checkpoint();
+    double zero = 0.0;
+    std::memcpy(&cp.budget_bits, &zero, sizeof zero);
+    cp.crc = cp.computeCrc();
+    ASSERT_TRUE(cp.valid());
+
+    BudgetController b(p, cfg);
+    EXPECT_TRUE(b.restoreFromCheckpoint(cp)); // valid, not a failure
+    EXPECT_EQ(b.faultStats().checkpoint_restore_failures, 0u);
+    EXPECT_DOUBLE_EQ(b.remainingBudget(), 0.0);
+
+    // Halted state with the persisted cache: the device replays the
+    // last released report, not the uninitialized-restore midpoint.
+    BudgetResponse r = b.request(9.0);
+    EXPECT_TRUE(r.from_cache);
+    EXPECT_DOUBLE_EQ(r.value, last.value);
+    EXPECT_DOUBLE_EQ(r.charged, 0.0);
+}
+
+TEST(BudgetCheckpoint, CrcCoversEveryFieldAndMagicLeadsTheImage)
+{
+    // The CRC seals every byte that precedes it -- magic, flags,
+    // budget, cache and tick counter alike. Flip any single bit of
+    // that span and the image must not validate; no field is outside
+    // the seal.
+    FxpMechanismParams p = testParams();
+    auto cfg = testConfig(p, RangeControl::Thresholding, 10.0);
+    BudgetController ctrl(p, cfg);
+    ctrl.request(4.0);
+    ctrl.advanceTime(3);
+    BudgetCheckpoint cp = ctrl.checkpoint();
+    ASSERT_TRUE(cp.valid());
+
+    // Magic sits at offset 0 so a blank page fails before anything
+    // else is even interpreted, and every persisted field precedes
+    // the CRC so the seal covers all of them (only compiler tail
+    // padding sits after the CRC itself).
+    EXPECT_EQ(offsetof(BudgetCheckpoint, magic), 0u);
+    const size_t sealed = offsetof(BudgetCheckpoint, crc);
+    EXPECT_LT(offsetof(BudgetCheckpoint, flags), sealed);
+    EXPECT_LT(offsetof(BudgetCheckpoint, budget_bits), sealed);
+    EXPECT_LT(offsetof(BudgetCheckpoint, cache_bits), sealed);
+    EXPECT_LT(offsetof(BudgetCheckpoint, ticks_since_replenish),
+              sealed);
+    EXPECT_EQ(sealed,
+              offsetof(BudgetCheckpoint, ticks_since_replenish) +
+                  sizeof cp.ticks_since_replenish);
+
+    auto *bytes = reinterpret_cast<uint8_t *>(&cp);
+    for (size_t byte = 0; byte < sealed; ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            bytes[byte] ^= static_cast<uint8_t>(1u << bit);
+            EXPECT_FALSE(cp.valid())
+                << "bit " << bit << " of byte " << byte
+                << " escaped the CRC";
+            bytes[byte] ^= static_cast<uint8_t>(1u << bit);
+        }
+    }
+    EXPECT_TRUE(cp.valid()); // all flips undone
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * NOR flash model tests: the asymmetric failure semantics the ledger
+ * depends on. Programming only clears bits, erase is block-granular,
+ * a cut program retains a prefix plus a partially programmed byte, a
+ * cut erase leaves a half-erased block with its wear advanced, and
+ * stuck-at faults sit on the sense path where no erase can reach.
+ */
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/fault_injector.h"
+#include "sim/nor_flash.h"
+
+namespace ulpdp {
+namespace {
+
+FlashGeometry
+smallGeom()
+{
+    FlashGeometry g;
+    g.block_count = 4;
+    g.block_size = 64;
+    return g;
+}
+
+/** Cuts exactly one scripted program/erase op at a scripted byte. */
+struct ScriptedFlashHook : FlashFaultHook
+{
+    int64_t cut_program_op = -1; //!< 0-based op index; -1 = never
+    size_t cut_program_at = 0;
+    uint8_t mask = 0x00;
+    int64_t cut_erase_op = -1;
+    size_t cut_erase_at = 0;
+    int64_t program_ops = 0;
+    int64_t erase_ops = 0;
+
+    size_t
+    programPowerLoss(size_t len) override
+    {
+        int64_t op = program_ops++;
+        if (op == cut_program_op && cut_program_at < len)
+            return cut_program_at;
+        return SIZE_MAX;
+    }
+
+    uint8_t partialProgramMask() override { return mask; }
+
+    size_t
+    erasePowerLoss(size_t block_bytes) override
+    {
+        int64_t op = erase_ops++;
+        if (op == cut_erase_op && cut_erase_at < block_bytes)
+            return cut_erase_at;
+        return SIZE_MAX;
+    }
+};
+
+TEST(NorFlash, FreshPartSensesErased)
+{
+    NorFlashModel flash(smallGeom());
+    std::vector<uint8_t> buf(flash.geometry().totalBytes());
+    flash.read(0, buf.data(), buf.size());
+    for (uint8_t b : buf)
+        ASSERT_EQ(b, 0xFF);
+    EXPECT_TRUE(flash.alive());
+    EXPECT_EQ(flash.wearSpread(), 0u);
+}
+
+TEST(NorFlash, ProgramOnlyClearsBits)
+{
+    NorFlashModel flash(smallGeom());
+    uint8_t first = 0xF0;
+    ASSERT_TRUE(flash.program(7, &first, 1));
+    // "Updating in place" ANDs: bits cannot come back without erase.
+    uint8_t second = 0x3C;
+    ASSERT_TRUE(flash.program(7, &second, 1));
+    uint8_t got = 0;
+    flash.read(7, &got, 1);
+    EXPECT_EQ(got, 0xF0 & 0x3C);
+    // Writing 0xFF is a no-op.
+    uint8_t ff = 0xFF;
+    ASSERT_TRUE(flash.program(7, &ff, 1));
+    flash.read(7, &got, 1);
+    EXPECT_EQ(got, 0xF0 & 0x3C);
+}
+
+TEST(NorFlash, EraseRestoresBlockAndCountsWear)
+{
+    NorFlashModel flash(smallGeom());
+    std::vector<uint8_t> zeros(flash.geometry().block_size, 0x00);
+    ASSERT_TRUE(flash.program(0, zeros.data(), zeros.size()));
+    ASSERT_TRUE(flash.erase(0));
+    uint8_t got = 0;
+    flash.read(0, &got, 1);
+    EXPECT_EQ(got, 0xFF);
+    EXPECT_EQ(flash.eraseCount(0), 1u);
+    EXPECT_EQ(flash.eraseCount(1), 0u);
+    EXPECT_EQ(flash.wearSpread(), 1u);
+    EXPECT_EQ(flash.maxEraseCount(), 1u);
+}
+
+TEST(NorFlash, CutProgramRetainsExactPrefix)
+{
+    NorFlashModel flash(smallGeom());
+    ScriptedFlashHook hook;
+    hook.cut_program_op = 0;
+    hook.cut_program_at = 3;
+    hook.mask = 0x00; // no transition of the cut byte completed
+    flash.attachFaultHook(&hook);
+
+    uint8_t data[8];
+    std::memset(data, 0xA5, sizeof data);
+    EXPECT_FALSE(flash.program(0, data, sizeof data));
+    EXPECT_FALSE(flash.alive());
+
+    uint8_t got[8];
+    flash.read(0, got, sizeof got);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(got[i], 0xA5) << i; // completed prefix
+    EXPECT_EQ(got[3], 0xFF);          // cut byte, no transitions
+    for (int i = 4; i < 8; ++i)
+        EXPECT_EQ(got[i], 0xFF) << i; // never reached
+    EXPECT_EQ(flash.stats().program_power_losses, 1u);
+
+    // Dead until power cycles; then the array state persists.
+    EXPECT_FALSE(flash.program(32, data, 1));
+    flash.powerCycle();
+    EXPECT_TRUE(flash.alive());
+    flash.read(0, got, sizeof got);
+    EXPECT_EQ(got[0], 0xA5);
+}
+
+TEST(NorFlash, CutByteProgramsOnlyTheMaskedTransitions)
+{
+    NorFlashModel flash(smallGeom());
+    ScriptedFlashHook hook;
+    hook.cut_program_op = 0;
+    hook.cut_program_at = 0;
+    hook.mask = 0x0F; // only the low nibble's transitions completed
+    flash.attachFaultHook(&hook);
+
+    uint8_t byte = 0x00; // wants to clear every bit
+    EXPECT_FALSE(flash.program(5, &byte, 1));
+    uint8_t got = 0;
+    flash.read(5, &got, 1);
+    EXPECT_EQ(got, 0xF0); // high nibble still erased
+}
+
+TEST(NorFlash, CutEraseLeavesHalfErasedBlockAndWear)
+{
+    NorFlashModel flash(smallGeom());
+    std::vector<uint8_t> zeros(flash.geometry().block_size, 0x00);
+    ASSERT_TRUE(flash.program(0, zeros.data(), zeros.size()));
+
+    ScriptedFlashHook hook;
+    hook.cut_erase_op = 0;
+    hook.cut_erase_at = 10;
+    flash.attachFaultHook(&hook);
+
+    EXPECT_FALSE(flash.erase(0));
+    EXPECT_FALSE(flash.alive());
+    // Wear is physical: the interrupted erase still aged the block.
+    EXPECT_EQ(flash.eraseCount(0), 1u);
+
+    std::vector<uint8_t> got(flash.geometry().block_size);
+    flash.read(0, got.data(), got.size());
+    for (size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(got[i], 0xFF) << i; // erased prefix
+    for (size_t i = 10; i < got.size(); ++i)
+        EXPECT_EQ(got[i], 0x00) << i; // stale suffix
+    EXPECT_EQ(flash.stats().erase_power_losses, 1u);
+}
+
+TEST(NorFlash, StuckBitsSitOnTheSensePath)
+{
+    NorFlashModel flash(smallGeom());
+    flash.stickBit(4, 0, true);  // reads as 1 forever
+    flash.stickBit(4, 7, false); // reads as 0 forever
+
+    uint8_t zero = 0x00;
+    ASSERT_TRUE(flash.program(4, &zero, 1));
+    uint8_t got = 0;
+    flash.read(4, &got, 1);
+    EXPECT_EQ(got, 0x01); // bit 0 stuck high despite the program
+
+    // An erase cannot heal a sense-path fault.
+    ASSERT_TRUE(flash.erase(0));
+    flash.read(4, &got, 1);
+    EXPECT_EQ(got, 0x7F); // bit 7 stuck low despite the erase
+    EXPECT_EQ(flash.stats().stuck_bits, 2u);
+
+    // The array itself is untouched by the fault.
+    EXPECT_EQ(flash.raw()[4], 0xFF);
+}
+
+TEST(NorFlash, InjectorDrivesFlashSitesSeeded)
+{
+    FaultCampaignConfig cfg;
+    cfg.seed = 7;
+    cfg.flash_program_loss_rate = 0.5;
+    cfg.flash_erase_loss_rate = 0.5;
+    FaultInjector inj(cfg);
+    FaultInjector replay(cfg);
+
+    NorFlashModel a(smallGeom());
+    NorFlashModel b(smallGeom());
+    a.attachFaultHook(&inj);
+    b.attachFaultHook(&replay);
+
+    uint8_t pattern[16];
+    std::memset(pattern, 0x5A, sizeof pattern);
+    for (int i = 0; i < 64; ++i) {
+        uint64_t addr = static_cast<uint64_t>(i % 3) *
+                        a.geometry().block_size;
+        bool ra = a.program(addr, pattern, sizeof pattern);
+        bool rb = b.program(addr, pattern, sizeof pattern);
+        ASSERT_EQ(ra, rb) << i;
+        if (!a.alive()) {
+            a.powerCycle();
+            b.powerCycle();
+        }
+    }
+    // Same seed, same campaign: bit-identical arrays and stats.
+    EXPECT_EQ(a.raw(), b.raw());
+    EXPECT_EQ(inj.stats().flash_program_losses,
+              replay.stats().flash_program_losses);
+    EXPECT_GT(inj.stats().flash_program_losses, 0u);
+}
+
+TEST(NorFlash, ArmedCutFiresAtExactOffset)
+{
+    FaultCampaignConfig cfg;
+    cfg.seed = 3;
+    FaultInjector inj(cfg);
+    NorFlashModel flash(smallGeom());
+    flash.attachFaultHook(&inj);
+
+    inj.armProgramLossAt(5);
+    EXPECT_TRUE(inj.flashCutArmed());
+
+    // An op too short to reach the cut completes and leaves it armed.
+    uint8_t small[4];
+    std::memset(small, 0x00, sizeof small);
+    EXPECT_TRUE(flash.program(0, small, sizeof small));
+    EXPECT_TRUE(inj.flashCutArmed());
+
+    uint8_t big[12];
+    std::memset(big, 0x00, sizeof big);
+    EXPECT_FALSE(flash.program(16, big, sizeof big));
+    EXPECT_FALSE(inj.flashCutArmed());
+
+    uint8_t got[12];
+    flash.powerCycle();
+    flash.read(16, got, sizeof got);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(got[i], 0x00) << i;
+    for (int i = 6; i < 12; ++i)
+        EXPECT_EQ(got[i], 0xFF) << i;
+    EXPECT_EQ(inj.stats().flash_program_losses, 1u);
+}
+
+TEST(NorFlash, InjectorStuckBitPendingIsSeeded)
+{
+    FaultCampaignConfig cfg;
+    cfg.seed = 11;
+    cfg.flash_stuck_bit_rate = 1.0;
+    FaultInjector inj(cfg);
+
+    uint64_t addr = 0;
+    int bit = -1;
+    bool value = false;
+    EXPECT_FALSE(inj.flashStuckBitPending(addr, bit, value, 256));
+    inj.tick();
+    ASSERT_TRUE(inj.flashStuckBitPending(addr, bit, value, 256));
+    EXPECT_LT(addr, 256u);
+    EXPECT_GE(bit, 0);
+    EXPECT_LT(bit, 8);
+    // Consumed: a second poll without a tick finds nothing.
+    EXPECT_FALSE(inj.flashStuckBitPending(addr, bit, value, 256));
+    EXPECT_EQ(inj.stats().flash_stuck_bits, 1u);
+}
+
+} // namespace
+} // namespace ulpdp

@@ -40,12 +40,19 @@ Usage:
                               [--skip-timing]
                               [--scaling-floors 2:1.5,4:3.0,8:5.5]
                               [--telemetry-budget 5.0]
+                              [--require-zero KEY ...]
 
 --skip-timing checks only the fingerprints; sanitizer and
 scalar-fallback builds use it, where timings are meaningless but the
 merged-report bits must still match the committed baseline exactly.
 It also skips the scaling-floor and telemetry-overhead checks (both
 are timing-derived).
+
+--require-zero KEY (repeatable) asserts that every occurrence of KEY
+anywhere in the CURRENT run is exactly 0, and that the key occurs at
+least once. This is a correctness gate like the fingerprint -- the
+ledger storm uses it for "budget_resurrections" -- so it is enforced
+even under --skip-timing.
 """
 
 import argparse
@@ -144,6 +151,40 @@ def check_scaling(current, floors, min_cores):
     return checked, failures
 
 
+def find_keys(node, key, out):
+    """Collect every value stored under `key` anywhere in the tree."""
+    if isinstance(node, dict):
+        if key in node:
+            out.append(node[key])
+        for value in node.values():
+            find_keys(value, key, out)
+    elif isinstance(node, list):
+        for value in node:
+            find_keys(value, key, out)
+
+
+def check_require_zero(current, keys):
+    """Enforce that every occurrence of each key is exactly 0 (and
+    that the key exists at all). Returns (checked, failures)."""
+    checked = failures = 0
+    for key in keys:
+        values = []
+        find_keys(current, key, values)
+        checked += 1
+        if not values:
+            print(f"FAIL require-zero {key}: key absent from the "
+                  f"current run (the bench stopped reporting it?)")
+            failures += 1
+            continue
+        bad = [v for v in values if v != 0]
+        ok = not bad
+        print(f"{'ok  ' if ok else 'FAIL'} require-zero {key}: "
+              f"{len(values)} occurrence(s), "
+              f"{'all 0' if ok else f'nonzero values {bad}'}")
+        failures += 0 if ok else 1
+    return checked, failures
+
+
 def check_telemetry_overhead(current, budget):
     """Enforce 0 <= telemetry_overhead_pct <= budget on the current
     run. Returns (checked, failures)."""
@@ -178,6 +219,11 @@ def main():
     ap.add_argument("--telemetry-budget", type=float, default=5.0,
                     help="max allowed telemetry_overhead_pct "
                          "(default 5.0)")
+    ap.add_argument("--require-zero", action="append", default=[],
+                    metavar="KEY",
+                    help="every occurrence of KEY in the current run "
+                         "must be exactly 0 (repeatable; enforced "
+                         "even with --skip-timing)")
     args = ap.parse_args()
 
     with open(args.current) as f:
@@ -222,6 +268,11 @@ def main():
               f"{'lower' if kind == 'lower_better' else 'higher'} "
               f"is better, tolerance {args.tolerance:.0%})")
         failures += 0 if ok else 1
+
+    zero_checked, zero_failed = check_require_zero(
+        current, args.require_zero)
+    checked += zero_checked
+    failures += zero_failed
 
     if not args.skip_timing:
         scaling_checked, scaling_failed = check_scaling(
