@@ -3,13 +3,49 @@
 #include <cmath>
 #include <cstdio>
 
+#include "agg/decode.h"
 #include "common/logging.h"
 #include "common/stats.h"
 #include "data/generators.h"
 #include "fleet/fleet.h"
+#include "query/query.h"
 
 namespace ulpdp {
 namespace bench {
+
+namespace {
+
+/**
+ * Answer @p query from one trial's decoded input-frequency estimate.
+ * Returns false when the decoder serves no estimator for the query
+ * (the row then reports the streaming columns as unsupported).
+ */
+bool
+decodedAnswer(const Query &query, const agg::DecodedFrequencies &d,
+              double input_value0, double delta, double *answer)
+{
+    const std::string name = query.name();
+    if (name == "mean") {
+        *answer = d.mean;
+    } else if (name == "median") {
+        *answer = d.median;
+    } else if (name == "variance") {
+        *answer = d.variance;
+    } else if (name == "stddev") {
+        *answer = std::sqrt(d.variance);
+    } else if (name == "count") {
+        auto *count = dynamic_cast<const CountAboveQuery *>(&query);
+        if (count == nullptr)
+            return false;
+        *answer = agg::decodedCountAbove(d, input_value0, delta,
+                                         count->threshold());
+    } else {
+        return false;
+    }
+    return true;
+}
+
+} // anonymous namespace
 
 void
 banner(const std::string &title, const std::string &what)
@@ -79,6 +115,12 @@ runFourSettings(const Dataset &data, const Query &query, double epsilon,
         c.values = data.values;
         c.reports_per_node = static_cast<uint32_t>(trials);
         c.materialize = true;
+        // Streaming aggregation alongside the materialized path:
+        // per-trial sketch rows let the agg decoder answer the same
+        // query per trial, so the tables compare both estimators on
+        // identical reports. Ideal has no output grid and skips it.
+        c.agg.enabled = m != CohortMechanism::Ideal;
+        c.agg.per_trial = true;
         return c;
     };
     fc.cohorts = {
@@ -114,6 +156,29 @@ runFourSettings(const Dataset &data, const Query &query, double epsilon,
 
         row.ldp = c.ldp;
         row.worst_loss = c.worst_loss;
+
+        // Streaming estimator: decode each trial's sketch row and
+        // answer the query from the decoded input frequencies.
+        if (c.agg) {
+            const CohortAggResult &ar = *c.agg;
+            RunningStats agg_err;
+            bool supported = true;
+            for (int t = 0; t < trials && supported; ++t) {
+                agg::DecodedFrequencies d = ar.decoder->decode(
+                    ar.sketch.trialSlots(static_cast<uint32_t>(t)),
+                    ar.input_value0, ar.delta);
+                double answer = 0.0;
+                supported = decodedAnswer(query, d, ar.input_value0,
+                                          ar.delta, &answer);
+                if (supported)
+                    agg_err.add(std::abs(answer - true_value));
+            }
+            row.agg_supported = supported;
+            if (supported) {
+                row.agg_mae = agg_err.mean();
+                row.agg_mae_std = agg_err.stddev();
+            }
+        }
         rows.push_back(std::move(row));
     }
     return rows;

@@ -60,6 +60,17 @@ struct SettingRow
 
     /** Worst-case exact privacy loss (inf for the naive baseline). */
     double worst_loss = 0.0;
+
+    /**
+     * Streaming-decoder MAE for the same query: each trial's sketch
+     * slot counts decoded by the agg channel-inversion estimator
+     * instead of evaluating the query on materialized reports. False
+     * for the Ideal setting (no output grid to sketch on) and for
+     * queries the decoder does not serve.
+     */
+    bool agg_supported = false;
+    double agg_mae = 0.0;
+    double agg_mae_std = 0.0;
 };
 
 /**

@@ -39,8 +39,8 @@ utilityTableMain(
            "full sets, 500 trials).");
 
     TextTable table;
-    table.setHeader({"Dataset", "Setting", "MAE", "Rel.err", "LDP?",
-                     "WorstLoss", "AvgSamples"});
+    table.setHeader({"Dataset", "Setting", "MAE", "AggMAE", "Rel.err",
+                     "LDP?", "WorstLoss", "AvgSamples"});
 
     JsonWriter json;
     json.beginObject();
@@ -62,6 +62,10 @@ utilityTableMain(
                 row.setting,
                 TextTable::fmtPlusMinus(row.util.mae,
                                         row.util.mae_std),
+                row.agg_supported
+                    ? TextTable::fmtPlusMinus(row.agg_mae,
+                                              row.agg_mae_std)
+                    : "-",
                 TextTable::fmtPercent(
                     row.util.mae / data.range.length()),
                 row.ldp ? "Y" : "N",
@@ -75,6 +79,9 @@ utilityTableMain(
             json.field("setting", row.setting);
             json.field("mae", row.util.mae);
             json.field("mae_std", row.util.mae_std);
+            json.field("agg_supported", row.agg_supported);
+            json.field("agg_mae", row.agg_mae);
+            json.field("agg_mae_std", row.agg_mae_std);
             json.field("relative_error",
                        row.util.mae / data.range.length());
             json.field("ldp", row.ldp);
@@ -92,7 +99,10 @@ utilityTableMain(
     std::printf(
         "\nExpected shape (paper %s): all four settings show similar "
         "MAE on every dataset;\nonly the FxP HW Baseline has LDP? = N "
-        "(infinite worst-case loss).\n",
+        "(infinite worst-case loss).\nAggMAE is the same query "
+        "answered by the streaming sketch decoder (src/agg)\nper "
+        "trial; '-' marks settings/queries the decoder does not "
+        "serve.\n",
         table_name.c_str());
 
     if (!json_path.empty() && json.writeFile(json_path))

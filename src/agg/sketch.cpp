@@ -1,0 +1,191 @@
+#include "agg/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+namespace agg {
+
+CountMinSketch::CountMinSketch(uint32_t depth, uint32_t width_log2,
+                               uint64_t seed)
+    : depth_(depth), seed_(seed)
+{
+    if (depth < 1 || depth > 16)
+        fatal("count-min depth %u out of range [1, 16]", depth);
+    if (width_log2 < 1 || width_log2 > 26)
+        fatal("count-min width_log2 %u out of range [1, 26]",
+              width_log2);
+    width_ = uint64_t(1) << width_log2;
+    row_keys_.resize(depth_);
+    for (uint32_t r = 0; r < depth_; ++r)
+        row_keys_[r] = mixHash(seed_ + r);
+    counters_.assign(static_cast<size_t>(depth_) * width_, 0);
+}
+
+uint64_t
+CountMinSketch::estimate(uint64_t item) const
+{
+    ULPDP_ASSERT(configured());
+    const uint64_t mask = width_ - 1;
+    uint64_t best = UINT64_MAX;
+    for (uint32_t r = 0; r < depth_; ++r) {
+        size_t slot =
+            static_cast<size_t>(mixHash(item ^ row_keys_[r]) & mask);
+        best = std::min(best,
+                        counters_[static_cast<size_t>(r) * width_ +
+                                  slot]);
+    }
+    return best;
+}
+
+void
+CountMinSketch::merge(const CountMinSketch &other)
+{
+    if (depth_ != other.depth_ || width_ != other.width_ ||
+        seed_ != other.seed_) {
+        fatal("count-min merge shape mismatch: %ux%llu seed %llx vs "
+              "%ux%llu seed %llx",
+              depth_, static_cast<unsigned long long>(width_),
+              static_cast<unsigned long long>(seed_), other.depth_,
+              static_cast<unsigned long long>(other.width_),
+              static_cast<unsigned long long>(other.seed_));
+    }
+    for (size_t i = 0; i < counters_.size(); ++i)
+        counters_[i] += other.counters_[i];
+    total_ += other.total_;
+}
+
+void
+CountMinSketch::clear()
+{
+    std::fill(counters_.begin(), counters_.end(), uint64_t(0));
+    total_ = 0;
+}
+
+std::vector<HeavyHitter>
+topK(const CountMinSketch &sketch, uint64_t domain, size_t k)
+{
+    ULPDP_ASSERT(sketch.configured());
+    std::vector<HeavyHitter> hits;
+    hits.reserve(std::min<uint64_t>(domain, k + 1));
+    // Maintain a sorted (descending estimate, ascending item) prefix
+    // of size <= k while enumerating the domain in index order: with
+    // the bounded domains this layer meets (RR categories, output
+    // grid slots) a straight scan beats heap bookkeeping and has a
+    // single deterministic answer by construction.
+    auto rank_before = [](const HeavyHitter &a, const HeavyHitter &b) {
+        if (a.estimate != b.estimate)
+            return a.estimate > b.estimate;
+        return a.item < b.item;
+    };
+    for (uint64_t item = 0; item < domain; ++item) {
+        HeavyHitter h{item, sketch.estimate(item)};
+        if (h.estimate == 0)
+            continue;
+        if (hits.size() == k &&
+            !rank_before(h, hits.back()))
+            continue;
+        hits.insert(std::upper_bound(hits.begin(), hits.end(), h,
+                                     rank_before),
+                    h);
+        if (hits.size() > k)
+            hits.pop_back();
+    }
+    return hits;
+}
+
+QuantileSketch::QuantileSketch(double lo, double hi, uint32_t buckets)
+    : lo_(lo), hi_(hi)
+{
+    if (!(hi > lo))
+        fatal("quantile sketch range [%g, %g] is empty", lo, hi);
+    if (buckets == 0)
+        fatal("quantile sketch needs at least one bucket");
+    width_ = (hi_ - lo_) / buckets;
+    counts_.assign(buckets, 0);
+}
+
+void
+QuantileSketch::add(double value, uint64_t count)
+{
+    ULPDP_ASSERT(configured());
+    if (value < lo_) {
+        underflow_ += count;
+    } else if (value >= hi_) {
+        // The closed upper edge belongs to the last bucket; anything
+        // strictly above is overflow.
+        if (value == hi_)
+            counts_.back() += count;
+        else
+            overflow_ += count;
+    } else {
+        auto b = static_cast<size_t>((value - lo_) / width_);
+        if (b >= counts_.size())
+            b = counts_.size() - 1;
+        counts_[b] += count;
+    }
+    total_ += count;
+}
+
+void
+QuantileSketch::addBucket(uint32_t bucket, uint64_t count)
+{
+    ULPDP_ASSERT(bucket < counts_.size());
+    counts_[bucket] += count;
+    total_ += count;
+}
+
+double
+QuantileSketch::quantile(double q) const
+{
+    ULPDP_ASSERT(configured());
+    if (total_ == 0)
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    // Target the ceil of q * total so quantile(0) with mass present
+    // still lands inside the distribution's support.
+    double target = q * static_cast<double>(total_);
+    if (target < 1.0)
+        target = 1.0;
+    double cum = static_cast<double>(underflow_);
+    if (cum >= target)
+        return lo_;
+    for (size_t b = 0; b < counts_.size(); ++b) {
+        double c = static_cast<double>(counts_[b]);
+        if (cum + c >= target && c > 0.0) {
+            double frac = (target - cum) / c;
+            return lo_ + (static_cast<double>(b) + frac) * width_;
+        }
+        cum += c;
+    }
+    return hi_;
+}
+
+void
+QuantileSketch::merge(const QuantileSketch &other)
+{
+    if (counts_.size() != other.counts_.size() || lo_ != other.lo_ ||
+        hi_ != other.hi_) {
+        fatal("quantile sketch merge binning mismatch: "
+              "%zu buckets on [%g, %g] vs %zu on [%g, %g]",
+              counts_.size(), lo_, hi_, other.counts_.size(),
+              other.lo_, other.hi_);
+    }
+    for (size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+}
+
+void
+QuantileSketch::clear()
+{
+    std::fill(counts_.begin(), counts_.end(), uint64_t(0));
+    underflow_ = overflow_ = total_ = 0;
+}
+
+} // namespace agg
+} // namespace ulpdp

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Mergeable streaming sketches for the server-side aggregation layer.
+ *
+ * A real LDP collector never materializes the report stream: at
+ * ~5e7 reports/s the fleet engine emits more data per second than an
+ * analyst wants to hold per day. What the estimators of this repo
+ * actually consume are *counts* -- per-category counts for k-ary
+ * randomized response, per-grid-slot counts for the numeric
+ * mechanisms -- and counts have the one property a parallel collector
+ * needs: integer addition is associative and commutative, so shards
+ * can accumulate privately and merge in any order with a bit-identical
+ * result. Every sketch in this file is built exclusively from
+ * unsigned 64-bit counters for exactly that reason; none holds a
+ * float, so the fleet's signature determinism invariant (merged
+ * results identical across thread counts) extends to the aggregation
+ * layer for free.
+ *
+ *  - CountMinSketch: the classic depth x width counter matrix
+ *    (Cormode-Muthukrishnan) with pairwise-independent row hashes
+ *    derived from a seeded SplitMix finalizer. Point estimates
+ *    overcount by at most total/width per row (union bound over
+ *    collisions), never undercount.
+ *  - topK(): deterministic heavy hitters over an enumerable item
+ *    domain, ranked by count-min estimate with index tie-break --
+ *    the candidate enumeration variant of the count-min heavy-hitter
+ *    algorithm (the report domains here -- RR categories, output grid
+ *    slots -- are always bounded by construction).
+ *  - QuantileSketch: fixed equal-width buckets over a closed value
+ *    interval with under/overflow buckets, answering quantile queries
+ *    by CDF walk with linear interpolation inside the hit bucket.
+ *    Bucket resolution is chosen by the caller; when buckets coincide
+ *    with the mechanism's Delta grid the answers are exact.
+ */
+
+#ifndef ULPDP_AGG_SKETCH_H
+#define ULPDP_AGG_SKETCH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ulpdp {
+namespace agg {
+
+/** SplitMix64 finalizer: the repo-standard cheap mixing step (same
+ *  construction FleetSeeder uses; duplicated here so the aggregation
+ *  layer stays independent of the fleet engine it feeds from). */
+inline uint64_t
+mixHash(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Count-min sketch over 64-bit item identifiers.
+ *
+ * All state is integer counters, so merge() is exact, associative and
+ * commutative; a sharded ingest merged in any order equals the
+ * single-threaded sketch bit for bit.
+ */
+class CountMinSketch
+{
+  public:
+    /** Empty sketch (unconfigured; add() is invalid until assigned). */
+    CountMinSketch() = default;
+
+    /**
+     * @param depth Hash rows (1..16). More rows shrink the
+     *        probability of a bad estimate, not its magnitude.
+     * @param width_log2 log2 of counters per row (1..26). Wider rows
+     *        shrink the overcount bound total/width.
+     * @param seed Seed the per-row hash keys derive from; two
+     *        sketches merge only if their seeds (and shapes) match.
+     */
+    CountMinSketch(uint32_t depth, uint32_t width_log2,
+                   uint64_t seed = 0x5ce7c4a66b1ULL);
+
+    /** Whether the sketch has a configured shape. */
+    bool configured() const { return depth_ != 0; }
+
+    /** Count @p item @p count times. Hot path: depth_ mixes + adds. */
+    void add(uint64_t item, uint64_t count = 1)
+    {
+        const uint64_t mask = width_ - 1;
+        for (uint32_t r = 0; r < depth_; ++r) {
+            size_t slot = static_cast<size_t>(
+                mixHash(item ^ row_keys_[r]) & mask);
+            counters_[static_cast<size_t>(r) * width_ + slot] += count;
+        }
+        total_ += count;
+    }
+
+    /**
+     * Point estimate: min over rows. Never below the true count;
+     * above it by at most total()/width() per colliding row.
+     */
+    uint64_t estimate(uint64_t item) const;
+
+    /** Elementwise counter add. Fatal unless shapes and seeds match. */
+    void merge(const CountMinSketch &other);
+
+    /** Zero every counter, keeping the shape. */
+    void clear();
+
+    /** Total weight added across all items. */
+    uint64_t total() const { return total_; }
+
+    uint32_t depth() const { return depth_; }
+    uint64_t width() const { return width_; }
+    uint64_t seed() const { return seed_; }
+
+    /** Counter-array footprint in bytes. */
+    size_t bytes() const { return counters_.size() * sizeof(uint64_t); }
+
+    /** Raw counters (row-major, depth x width) -- byte-identical
+     *  across shardings, which is how the merge tests compare. */
+    const std::vector<uint64_t> &counters() const { return counters_; }
+
+  private:
+    uint32_t depth_ = 0;
+    uint64_t width_ = 0;
+    uint64_t seed_ = 0;
+    uint64_t total_ = 0;
+    std::vector<uint64_t> row_keys_;
+    /** SoA counter matrix: row r at [r * width_, (r + 1) * width_). */
+    std::vector<uint64_t> counters_;
+};
+
+/** One heavy hitter: an item and its count-min estimate. */
+struct HeavyHitter
+{
+    uint64_t item = 0;
+    uint64_t estimate = 0;
+};
+
+/**
+ * Deterministic top-k over the enumerable domain [0, domain): items
+ * ranked by count-min estimate, descending, ties broken by smaller
+ * item id. Items with estimate 0 are never reported.
+ */
+std::vector<HeavyHitter> topK(const CountMinSketch &sketch,
+                              uint64_t domain, size_t k);
+
+/**
+ * Fixed-bucket quantile sketch over a closed interval [lo, hi].
+ *
+ * Integer bucket counters only: merge() is exact and order-free.
+ * Samples outside the interval land in under/overflow buckets and
+ * pin the corresponding quantiles to the interval edge.
+ */
+class QuantileSketch
+{
+  public:
+    /** Empty sketch (unconfigured until assigned). */
+    QuantileSketch() = default;
+
+    /**
+     * @param lo Lower edge of the bucketed range.
+     * @param hi Upper edge; must exceed @p lo.
+     * @param buckets Equal-width buckets; must be positive.
+     */
+    QuantileSketch(double lo, double hi, uint32_t buckets);
+
+    /** Whether the sketch has a configured shape. */
+    bool configured() const { return !counts_.empty(); }
+
+    /** Count @p value @p count times. */
+    void add(double value, uint64_t count = 1);
+
+    /** Count bucket @p bucket directly (weighted grid ingest). */
+    void addBucket(uint32_t bucket, uint64_t count);
+
+    /**
+     * Quantile q in [0, 1] by CDF walk: the returned value is the
+     * linear interpolation inside the first bucket whose cumulative
+     * count reaches q * total. Underflow mass answers lo, overflow
+     * mass answers hi. 0 when empty.
+     */
+    double quantile(double q) const;
+
+    /** Median, i.e. quantile(0.5). */
+    double median() const { return quantile(0.5); }
+
+    /** Elementwise add. Fatal unless binning matches. */
+    void merge(const QuantileSketch &other);
+
+    /** Zero every counter, keeping the binning. */
+    void clear();
+
+    uint64_t total() const { return total_; }
+    uint64_t underflow() const { return underflow_; }
+    uint64_t overflow() const { return overflow_; }
+    uint32_t numBuckets() const
+    {
+        return static_cast<uint32_t>(counts_.size());
+    }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+
+    /** Counter-array footprint in bytes. */
+    size_t bytes() const { return counts_.size() * sizeof(uint64_t); }
+
+    /** Raw bucket counters (merge-equivalence comparisons). */
+    const std::vector<uint64_t> &counts() const { return counts_; }
+
+  private:
+    double lo_ = 0.0;
+    double hi_ = 0.0;
+    double width_ = 1.0;
+    uint64_t total_ = 0;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    std::vector<uint64_t> counts_;
+};
+
+} // namespace agg
+} // namespace ulpdp
+
+#endif // ULPDP_AGG_SKETCH_H

@@ -1,0 +1,105 @@
+#include "agg/stream.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ulpdp {
+namespace agg {
+
+CohortSketch::CohortSketch(const AggConfig &cfg, size_t span,
+                           uint32_t trial_rows, double slot0_value,
+                           double delta)
+    : span_(span), trial_rows_(trial_rows), slot0_value_(slot0_value),
+      delta_(delta)
+{
+    if (span == 0)
+        fatal("cohort sketch needs a non-empty output window");
+    if (trial_rows == 0)
+        fatal("cohort sketch needs at least one trial row");
+    if (!(delta > 0.0))
+        fatal("cohort sketch needs a positive grid step (got %g)",
+              delta);
+    slots_.assign(span_ * trial_rows_, 0);
+    cm_ = CountMinSketch(cfg.cm_depth, cfg.cm_width_log2, cfg.cm_seed);
+    // Quantile buckets tile the released-value window treating slot s
+    // as the half-open cell [value(s), value(s) + delta): bucket
+    // edges then line up with grid cells and the CDF interpolation
+    // stays inside the window.
+    quantiles_ = QuantileSketch(
+        slot0_value_, slot0_value_ + static_cast<double>(span_) * delta_,
+        cfg.quantile_buckets);
+}
+
+void
+CohortSketch::ingestDelta(const uint64_t *delta)
+{
+    ULPDP_ASSERT(configured());
+    const size_t cells = slots_.size();
+    for (size_t i = 0; i < cells; ++i)
+        slots_[i] += delta[i];
+    // Count-min and quantile feed on per-slot totals across trial
+    // rows: one weighted add per populated slot instead of one per
+    // report, which is what keeps the flush off the critical path
+    // (span total updates per ~4096-report block).
+    const uint32_t nb = quantiles_.numBuckets();
+    for (size_t s = 0; s < span_; ++s) {
+        uint64_t c = 0;
+        for (uint32_t t = 0; t < trial_rows_; ++t)
+            c += delta[static_cast<size_t>(t) * span_ + s];
+        if (c == 0)
+            continue;
+        cm_.add(static_cast<uint64_t>(s), c);
+        auto bucket = static_cast<uint32_t>(
+            (s * static_cast<size_t>(nb)) / span_);
+        quantiles_.addBucket(bucket, c);
+        total_ += c;
+    }
+}
+
+void
+CohortSketch::merge(const CohortSketch &other)
+{
+    if (span_ != other.span_ || trial_rows_ != other.trial_rows_) {
+        fatal("cohort sketch merge shape mismatch: %zu x %u vs "
+              "%zu x %u slots",
+              span_, trial_rows_, other.span_, other.trial_rows_);
+    }
+    for (size_t i = 0; i < slots_.size(); ++i)
+        slots_[i] += other.slots_[i];
+    cm_.merge(other.cm_);
+    quantiles_.merge(other.quantiles_);
+    total_ += other.total_;
+}
+
+void
+CohortSketch::clear()
+{
+    std::fill(slots_.begin(), slots_.end(), uint64_t(0));
+    cm_.clear();
+    quantiles_.clear();
+    total_ = 0;
+}
+
+std::vector<uint64_t>
+CohortSketch::slotTotals() const
+{
+    std::vector<uint64_t> totals(span_, 0);
+    for (uint32_t t = 0; t < trial_rows_; ++t) {
+        const uint64_t *row = &slots_[static_cast<size_t>(t) * span_];
+        for (size_t s = 0; s < span_; ++s)
+            totals[s] += row[s];
+    }
+    return totals;
+}
+
+std::vector<uint64_t>
+CohortSketch::trialSlots(uint32_t trial) const
+{
+    ULPDP_ASSERT(trial < trial_rows_);
+    const uint64_t *row = &slots_[static_cast<size_t>(trial) * span_];
+    return std::vector<uint64_t>(row, row + span_);
+}
+
+} // namespace agg
+} // namespace ulpdp

@@ -48,6 +48,28 @@ class Histogram
         ++counts_[bin];
     }
 
+    /**
+     * Count one sample @p n times in O(1). The weighted ingest path
+     * for sketch slot totals: folding a 1e7-node slot vector must not
+     * cost 1e7 increments. Counters are uint64 throughout, so
+     * weighted adds cannot overflow before ~1.8e19 samples.
+     */
+    void add(double x, uint64_t n)
+    {
+        total_ += n;
+        if (x < lo_) {
+            underflow_ += n;
+            return;
+        }
+        if (x > hi_) {
+            overflow_ += n;
+            return;
+        }
+        size_t bin = static_cast<size_t>((x - lo_) / width_);
+        bin = std::min(bin, counts_.size() - 1);
+        counts_[bin] += n;
+    }
+
     /** Count a whole vector of samples. */
     void addAll(const std::vector<double> &xs);
 

@@ -8,6 +8,20 @@
 namespace ulpdp {
 
 void
+RunningStats::addRepeated(double x, uint64_t n)
+{
+    if (n == 0)
+        return;
+    RunningStats point;
+    point.count_ = n;
+    point.mean_ = x;
+    point.m2_ = 0.0;
+    point.min_ = x;
+    point.max_ = x;
+    merge(point);
+}
+
+void
 RunningStats::merge(const RunningStats &other)
 {
     if (other.count_ == 0)
@@ -16,7 +30,7 @@ RunningStats::merge(const RunningStats &other)
         *this = other;
         return;
     }
-    size_t n = count_ + other.count_;
+    uint64_t n = count_ + other.count_;
     double delta = other.mean_ - mean_;
     double na = static_cast<double>(count_);
     double nb = static_cast<double>(other.count_);

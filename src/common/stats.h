@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -37,14 +38,26 @@ class RunningStats
         max_ = std::max(max_, x);
     }
 
+    /**
+     * Fold @p n copies of sample @p x in O(1) (a merge with a
+     * synthetic zero-variance accumulator). Lets callers replay
+     * weighted slot counts -- e.g. 1e7-node sketch totals -- without
+     * 1e7 add() calls.
+     */
+    void addRepeated(double x, uint64_t n);
+
     /** Merge another accumulator into this one (parallel Welford). */
     void merge(const RunningStats &other);
 
     /** Reset to the empty state. */
     void reset();
 
-    /** Number of samples seen so far. */
-    size_t count() const { return count_; }
+    /**
+     * Number of samples seen so far. Explicitly 64-bit: fleet-scale
+     * merges exceed 2^32 samples (1e7 nodes x hundreds of reports),
+     * which a 32-bit size_t count would silently wrap.
+     */
+    uint64_t count() const { return count_; }
 
     /** Arithmetic mean; 0 when empty. */
     double mean() const { return count_ ? mean_ : 0.0; }
@@ -65,7 +78,7 @@ class RunningStats
     double max() const { return max_; }
 
   private:
-    size_t count_ = 0;
+    uint64_t count_ = 0;
     double mean_ = 0.0;
     double m2_ = 0.0;
     double min_ = std::numeric_limits<double>::infinity();

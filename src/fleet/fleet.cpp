@@ -167,6 +167,34 @@ publishCohort(const CohortResult &res)
                 "Sampler-table integrity faults detected",
                 "faults", labels)
         .inc(res.rng_integrity_detections);
+    if (res.agg) {
+        reg.counter("ulpdp_agg_ingested_reports_total",
+                    "Reports folded into the streaming sketches",
+                    "reports", labels)
+            .inc(res.agg->sketch.total());
+        reg.counter("ulpdp_agg_dropped_reports_total",
+                    "Reports outside the sketch window (should be 0)",
+                    "reports", labels)
+            .inc(res.agg->dropped);
+        reg.gauge("ulpdp_agg_sketch_bytes",
+                  "Merged sketch counter footprint",
+                  "bytes", labels)
+            .set(static_cast<double>(res.agg->sketch.bytes()));
+        reg.gauge("ulpdp_agg_heavy_hitters",
+                  "Heavy-hitter slots reported by the last epoch",
+                  "slots", labels)
+            .set(static_cast<double>(res.agg->heavy.size()));
+        reg.gauge("ulpdp_agg_boundary_mass",
+                  "Observed report fraction on the window-edge slots",
+                  "fraction", labels)
+            .set(res.agg->decoded.boundary_mass_observed);
+        reg.histogram("ulpdp_agg_decode_seconds",
+                      "Post-merge channel-inversion decode latency",
+                      "seconds",
+                      {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0},
+                      labels)
+            .observe(res.agg->decode_seconds);
+    }
 }
 
 } // anonymous namespace
@@ -318,6 +346,43 @@ struct FleetRunner::CohortPlan
             worst_loss = std::numeric_limits<double>::infinity();
             ldp = false;
         }
+
+        // Streaming aggregation: resolve the sketch window from the
+        // mechanism's exact output model and precompute the unbiased
+        // channel-inversion decoder, once, on the main thread. Ideal
+        // cohorts have no output grid and skip the layer.
+        if (cfg.agg.enabled &&
+            cfg.mechanism != CohortMechanism::Ideal) {
+            ThresholdCalculator calc(cfg.params);
+            auto pmf = calc.pmf();
+            std::unique_ptr<DiscreteOutputModel> model;
+            switch (cfg.mechanism) {
+              case CohortMechanism::Naive:
+                model = std::make_unique<NaiveOutputModel>(
+                    pmf, calc.span());
+                break;
+              case CohortMechanism::Resampling:
+                model = std::make_unique<ResamplingOutputModel>(
+                    pmf, calc.span(), threshold);
+                break;
+              case CohortMechanism::Thresholding:
+                model = std::make_unique<ThresholdingOutputModel>(
+                    pmf, calc.span(), threshold);
+                break;
+              default:
+                break;
+            }
+            decoder =
+                std::make_shared<agg::FrequencyDecoder>(*model);
+            agg_out_lo = lo_index + model->outputLo();
+            agg_span = decoder->numOutputs();
+            agg_rows = cfg.agg.per_trial ? cfg.reports_per_node : 1;
+            agg_on = true;
+        } else if (cfg.agg.enabled) {
+            warn("FleetRunner: cohort '%s': streaming aggregation "
+                 "has no output grid under the Ideal mechanism; "
+                 "disabled", cfg.name.c_str());
+        }
     }
 
     RangeControl
@@ -360,6 +425,17 @@ struct FleetRunner::CohortPlan
     double per_report_charge = 0.0;
     double worst_loss = 0.0;
     bool ldp = false;
+
+    /** Streaming aggregation (resolved from cfg.agg; off for Ideal). */
+    bool agg_on = false;
+    /** Absolute output grid index of sketch slot 0. */
+    int64_t agg_out_lo = 0;
+    /** Output slots per trial row. */
+    size_t agg_span = 0;
+    /** Trial rows in the slot array (reports_per_node if per-trial). */
+    uint32_t agg_rows = 1;
+    /** Shared precomputed channel pseudo-inverse. */
+    std::shared_ptr<const agg::FrequencyDecoder> decoder;
 };
 
 /**
@@ -381,6 +457,23 @@ struct FleetRunner::CohortPlan
  */
 struct alignas(64) FleetRunner::WorkerScratch
 {
+    /**
+     * One cohort's private aggregation shard: the worker's mergeable
+     * sketch plus the per-block slot-count delta buffer the hot loop
+     * bumps. The delta is folded into the sketch only when a block
+     * completes, mirroring the BlockAccum discard protocol -- a batch
+     * integrity bail rezeroes the delta before the scalar redo, so a
+     * redone block can never double-count. Heap-owned per cohort, so
+     * one slab's counters never share a line with another worker's.
+     */
+    struct AggSlab
+    {
+        agg::CohortSketch sketch;
+        std::vector<uint64_t> delta;
+        /** Reports whose output index missed the sketch window. */
+        uint64_t dropped = 0;
+    };
+
     std::vector<int64_t> noise;  // scalar path, one node's batch
     std::vector<int64_t> rect;   // batch path, trial-major noise
     std::vector<BatchSampler::Window> windows =
@@ -389,6 +482,9 @@ struct alignas(64) FleetRunner::WorkerScratch
     uint32_t rng_cohort = 0;
     std::optional<BatchSampler> sampler;
     uint32_t sampler_cohort = 0;
+    /** Per-cohort aggregation shards (null for agg-off cohorts);
+     *  cleared per epoch, merged post-epoch in worker-index order. */
+    std::vector<std::unique_ptr<AggSlab>> agg;
     /** Per-epoch telemetry deltas, flushed by the main thread after
      *  the merge (never a shared atomic on the hot path). */
     uint64_t clones = 0;
@@ -514,6 +610,28 @@ FleetReport::fingerprint() const
                                 c.nodes_exhausted,
                                 c.rng_integrity_detections};
         acc = foldBytes(acc, counters, sizeof counters);
+        // Streaming-aggregation state extends the fingerprint only
+        // for cohorts that opted in, so agg-off runs keep their
+        // committed baseline fingerprints bit for bit.
+        if (c.agg) {
+            for (uint64_t s : c.agg->sketch.slots())
+                acc = FleetSeeder::mix64(acc ^ s);
+            acc = FleetSeeder::mix64(acc ^ c.agg->sketch.total());
+            acc = FleetSeeder::mix64(acc ^ c.agg->dropped);
+            for (double v : c.agg->decoded.counts)
+                acc = FleetSeeder::mix64(acc ^ doubleBits(v));
+            uint64_t moments[5] = {
+                doubleBits(c.agg->decoded.mean),
+                doubleBits(c.agg->decoded.variance),
+                doubleBits(c.agg->decoded.median),
+                doubleBits(c.agg->decoded.boundary_mass_observed),
+                doubleBits(c.agg->decoded.boundary_mass_expected)};
+            acc = foldBytes(acc, moments, sizeof moments);
+            for (const agg::HeavyHitter &h : c.agg->heavy) {
+                acc = FleetSeeder::mix64(acc ^ h.item);
+                acc = FleetSeeder::mix64(acc ^ h.estimate);
+            }
+        }
     }
     return acc;
 }
@@ -606,6 +724,37 @@ FleetRunner::run(unsigned num_threads)
             const uint32_t fresh = plan.fresh_per_node;
             const bool fxp =
                 cfg.mechanism != CohortMechanism::Ideal;
+
+            // Streaming aggregation: bump per-block slot deltas in
+            // the worker's private buffer and fold them into its
+            // sketch only when the block completes (so the batch
+            // bail-and-redo protocol cannot double-count). One
+            // predictable branch + one counter bump per report when
+            // enabled; a never-taken branch when not.
+            WorkerScratch::AggSlab *slab = plan.agg_on
+                ? ws.agg[item.cohort].get()
+                : nullptr;
+            uint64_t *agg_delta = nullptr;
+            const uint64_t agg_dropped_before =
+                slab != nullptr ? slab->dropped : 0;
+            if (slab != nullptr) {
+                std::fill(slab->delta.begin(), slab->delta.end(),
+                          uint64_t(0));
+                agg_delta = slab->delta.data();
+            }
+            const int64_t agg_lo = plan.agg_out_lo;
+            const size_t agg_span = plan.agg_span;
+            const size_t agg_stride =
+                plan.agg_rows > 1 ? agg_span : 0;
+            auto aggRecord = [&](uint32_t t, int64_t yi) {
+                size_t s = static_cast<size_t>(yi - agg_lo);
+                if (s < agg_span) [[likely]] {
+                    ++agg_delta[static_cast<size_t>(t) * agg_stride +
+                                s];
+                } else {
+                    ++slab->dropped;
+                }
+            };
             const bool truncated =
                 cfg.mechanism == CohortMechanism::Resampling;
             const bool clamp =
@@ -678,6 +827,7 @@ FleetRunner::run(unsigned num_threads)
                         if (fresh < R)
                             ++acc.exhausted;
                         double last = 0.0;
+                        int64_t last_yi = 0;
                         for (uint32_t t = 0; t < R; ++t) {
                             double released;
                             if (t < fresh) {
@@ -692,6 +842,7 @@ FleetRunner::run(unsigned num_threads)
                                     static_cast<double>(yi) *
                                     plan.delta;
                                 last = released;
+                                last_yi = yi;
                                 ++acc.fresh;
                             } else {
                                 // Budget exhausted: replay the last
@@ -700,6 +851,8 @@ FleetRunner::run(unsigned num_threads)
                                 released = last;
                                 ++acc.replays;
                             }
+                            if (agg_delta != nullptr)
+                                aggRecord(t, last_yi);
                             acc.hist.add(released);
                             acc.released.add(released);
                             acc.error.add(released - xs[l]);
@@ -714,17 +867,26 @@ FleetRunner::run(unsigned num_threads)
                     }
                     acc.samples += lanes * fresh;
                 }
-                if (ok)
+                if (ok) {
+                    if (agg_delta != nullptr)
+                        slab->sketch.ingestDelta(agg_delta);
                     return;
+                }
                 // A comparator tripped, or a window holds no URNG
                 // state: discard the whole block and redo it scalar.
                 // Every node restarts from its seed, so the redo is
                 // bit-identical to never having batched, and the
                 // scalar integrity path quarantines (or clamps) with
-                // the exact per-draw semantics.
+                // the exact per-draw semantics. The agg delta is
+                // discarded with the slab for the same reason.
                 acc = BlockAccum(plan.hist_lo, plan.hist_hi,
                                  cfg.histogram_bins, R);
                 ++ws.fallbacks;
+                if (agg_delta != nullptr) {
+                    std::fill(slab->delta.begin(), slab->delta.end(),
+                              uint64_t(0));
+                    slab->dropped = agg_dropped_before;
+                }
             }
 
             // -- Scalar path: Ideal cohorts, fresh == 0 cohorts,
@@ -772,6 +934,11 @@ FleetRunner::run(unsigned num_threads)
                     ideal.emplace(plan.lambda, seed);
 
                 std::optional<double> cached;
+                // Output index mirror of `cached` for the agg slot
+                // stream; the midpoint fallback uses the nearest grid
+                // slot of the released midpoint value.
+                int64_t cached_yi = static_cast<int64_t>(
+                    std::llround(plan.mid_value / plan.delta));
                 for (uint32_t t = 0; t < R; ++t) {
                     double released;
                     if (t < fresh) {
@@ -782,6 +949,7 @@ FleetRunner::run(unsigned num_threads)
                                                 plan.win_hi);
                             released = static_cast<double>(yi) *
                                        plan.delta;
+                            cached_yi = yi;
                         } else if (fxp) {
                             // drawConfinedOutput's samples out-param
                             // is per-request (it assigns); the block
@@ -794,6 +962,7 @@ FleetRunner::run(unsigned num_threads)
                                 acc.overflows, "FleetRunner");
                             released = static_cast<double>(yi) *
                                        plan.delta;
+                            cached_yi = yi;
                         } else {
                             released = x + ideal->sample();
                             ++acc.samples;
@@ -809,6 +978,8 @@ FleetRunner::run(unsigned num_threads)
                             cached ? *cached : plan.mid_value;
                         ++acc.replays;
                     }
+                    if (agg_delta != nullptr)
+                        aggRecord(t, cached_yi);
                     acc.hist.add(released);
                     acc.released.add(released);
                     acc.error.add(released - x);
@@ -824,6 +995,8 @@ FleetRunner::run(unsigned num_threads)
                 acc.integrity +=
                     rng->integrityDetections() - integ_before;
             }
+            if (agg_delta != nullptr)
+                slab->sketch.ingestDelta(agg_delta);
         }
     };
 
@@ -889,8 +1062,33 @@ FleetRunner::run(unsigned num_threads)
     while (scratch_.size() < spawn)
         scratch_.push_back(std::make_unique<WorkerScratch>());
     for (unsigned w = 0; w < spawn; ++w) {
-        scratch_[w]->fallbacks = 0;
-        scratch_[w]->clones = 0;
+        WorkerScratch &ws = *scratch_[w];
+        ws.fallbacks = 0;
+        ws.clones = 0;
+        // Aggregation shards: allocate once per (worker, cohort) --
+        // sized by the plan, so epoch reuse only zeroes counters --
+        // and always reset before the timer starts. Only the first
+        // `spawn` scratch slots are merged below, so slots left over
+        // from a wider earlier epoch cannot leak stale counts.
+        if (ws.agg.size() < plans_.size())
+            ws.agg.resize(plans_.size());
+        for (size_t c = 0; c < plans_.size(); ++c) {
+            const CohortPlan &plan = plans_[c];
+            if (!plan.agg_on)
+                continue;
+            auto &slab = ws.agg[c];
+            if (!slab) {
+                slab = std::make_unique<WorkerScratch::AggSlab>();
+                slab->sketch = agg::CohortSketch(
+                    plan.cfg.agg, plan.agg_span, plan.agg_rows,
+                    static_cast<double>(plan.agg_out_lo) * plan.delta,
+                    plan.delta);
+                slab->delta.assign(slab->sketch.slotCells(), 0);
+            } else {
+                slab->sketch.clear();
+            }
+            slab->dropped = 0;
+        }
     }
     std::function<void(unsigned)> job_fn = job;
 
@@ -952,6 +1150,43 @@ FleetRunner::run(unsigned num_threads)
         res.ldp = plan.ldp;
         res.matrix = std::move(matrices[c]);
         report.total_reports += res.reports;
+
+        // Streaming aggregation: merge the worker shards (worker
+        // index order by repo convention, though the all-integer
+        // sketch state makes the merge order-free), scan the heavy
+        // hitters, and run the unbiased channel-inversion decode.
+        // Main thread, post-parallel-section: the decode never sits
+        // on the ingest hot path.
+        if (plan.agg_on) {
+            auto ar = std::make_shared<CohortAggResult>();
+            ar->sketch = agg::CohortSketch(
+                plan.cfg.agg, plan.agg_span, plan.agg_rows,
+                static_cast<double>(plan.agg_out_lo) * plan.delta,
+                plan.delta);
+            for (unsigned w = 0; w < spawn; ++w) {
+                const auto &slab = scratch_[w]->agg[c];
+                if (slab) {
+                    ar->sketch.merge(slab->sketch);
+                    ar->dropped += slab->dropped;
+                }
+            }
+            if (plan.cfg.agg.heavy_hitters > 0) {
+                ar->heavy = agg::topK(ar->sketch.cm(),
+                                      ar->sketch.span(),
+                                      plan.cfg.agg.heavy_hitters);
+            }
+            ar->decoder = plan.decoder;
+            ar->input_value0 =
+                static_cast<double>(plan.lo_index) * plan.delta;
+            ar->delta = plan.delta;
+            auto d0 = std::chrono::steady_clock::now();
+            ar->decoded = plan.decoder->decode(
+                ar->sketch.slotTotals(), ar->input_value0,
+                plan.delta);
+            ar->decode_seconds = std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - d0).count();
+            res.agg = std::move(ar);
+        }
         if (telemetry::enabled())
             publishCohort(res);
 

@@ -51,6 +51,8 @@
 #include <string>
 #include <vector>
 
+#include "agg/decode.h"
+#include "agg/stream.h"
 #include "common/histogram.h"
 #include "common/stats.h"
 #include "core/fxp_params.h"
@@ -157,6 +159,16 @@ struct CohortConfig
      *  every (input, output) pair once per cohort on the main thread;
      *  cheap for paper-sized spans, skippable for throughput runs). */
     bool analyze_loss = true;
+
+    /**
+     * Streaming aggregation (src/agg): per-worker mergeable sketch
+     * slabs ride the block hot loop and the post-epoch merge decodes
+     * them with the unbiased channel-inversion estimator. Off by
+     * default -- enabling it extends the fingerprint with the sketch
+     * state, so existing baselines are untouched until a cohort opts
+     * in. Ignored for Ideal cohorts (no output grid to sketch on).
+     */
+    agg::AggConfig agg;
 };
 
 class BudgetLedger;
@@ -191,6 +203,44 @@ struct FleetConfig
      * ledger attached on a fault-free run.
      */
     BudgetLedger *epoch_ledger = nullptr;
+};
+
+/**
+ * Merged streaming-aggregation state of one cohort (present iff the
+ * cohort enabled CohortConfig::agg). Everything except decode_seconds
+ * is part of the determinism contract: the sketch is pure integer
+ * counters merged shard-wise, and the decode is a deterministic
+ * function of those integers, so every field is bit-identical across
+ * thread counts.
+ */
+struct CohortAggResult
+{
+    /** Merged sketch state (exact slot counts, count-min, quantiles). */
+    agg::CohortSketch sketch;
+
+    /** Heavy-hitter slots by count-min estimate, deterministic order. */
+    std::vector<agg::HeavyHitter> heavy;
+
+    /** Unbiased channel-inversion decode of the merged slot totals. */
+    agg::DecodedFrequencies decoded;
+
+    /** The cohort's precomputed decoder; utility benches reuse it for
+     *  per-trial decodes over sketch.trialSlots(t). */
+    std::shared_ptr<const agg::FrequencyDecoder> decoder;
+
+    /** Physical value of input grid index 0 and the grid step, for
+     *  feeding decoder->decode() externally. */
+    double input_value0 = 0.0;
+    double delta = 0.0;
+
+    /** Reports whose output index fell outside the sketch window
+     *  (should be 0; a defensive counter, folded into the
+     *  fingerprint so a drop can never pass silently). */
+    uint64_t dropped = 0;
+
+    /** Wall-clock seconds of the post-merge decode (not part of the
+     *  determinism contract). */
+    double decode_seconds = 0.0;
 };
 
 /** Merged per-cohort result. */
@@ -268,6 +318,10 @@ struct CohortResult
     /** Materialized report matrix (reports_per_node x nodes,
      *  row-major); empty unless CohortConfig::materialize. */
     std::vector<double> matrix;
+
+    /** Streaming-aggregation result; null unless CohortConfig::agg
+     *  was enabled for this cohort. */
+    std::shared_ptr<CohortAggResult> agg;
 
     /** True population mean. */
     double trueMean() const { return true_stats.mean(); }

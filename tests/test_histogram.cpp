@@ -82,6 +82,28 @@ TEST(Histogram, AddAllMatchesLoop)
     EXPECT_EQ(a.count(1), b.count(1));
 }
 
+TEST(Histogram, WeightedAddMatchesLoopAndCrossesFourBillion)
+{
+    Histogram looped(0.0, 1.0, 4);
+    for (int i = 0; i < 500; ++i)
+        looped.add(0.3);
+    Histogram weighted(0.0, 1.0, 4);
+    weighted.add(0.3, 500);
+    EXPECT_EQ(weighted.count(1), looped.count(1));
+    EXPECT_EQ(weighted.total(), looped.total());
+
+    // Sketch-slot folds at 1e7-node populations push single bins past
+    // uint32; counters must be 64-bit end to end.
+    Histogram big(0.0, 1.0, 4);
+    big.add(0.3, (uint64_t{1} << 32) + 7);
+    big.add(-1.0, uint64_t{1} << 32); // weighted underflow
+    big.add(2.0, 3);                  // weighted overflow
+    EXPECT_EQ(big.count(1), (uint64_t{1} << 32) + 7);
+    EXPECT_EQ(big.underflow(), uint64_t{1} << 32);
+    EXPECT_EQ(big.overflow(), 3u);
+    EXPECT_EQ(big.total(), (uint64_t{1} << 33) + 10);
+}
+
 TEST(Histogram, AsciiRenderingHasOneRowPerBin)
 {
     Histogram h(0.0, 1.0, 3);

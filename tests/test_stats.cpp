@@ -147,5 +147,42 @@ TEST(BatchStats, MeanAbsError)
     EXPECT_DOUBLE_EQ(batch::meanAbsError({}, {}), 0.0);
 }
 
+TEST(RunningStats, AddRepeatedMatchesLoop)
+{
+    RunningStats looped;
+    for (int i = 0; i < 1000; ++i)
+        looped.add(3.25);
+    looped.add(-1.5);
+    RunningStats weighted;
+    weighted.addRepeated(3.25, 1000);
+    weighted.add(-1.5);
+    EXPECT_EQ(weighted.count(), looped.count());
+    EXPECT_DOUBLE_EQ(weighted.mean(), looped.mean());
+    EXPECT_NEAR(weighted.variance(), looped.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(weighted.min(), looped.min());
+    EXPECT_DOUBLE_EQ(weighted.max(), looped.max());
+}
+
+TEST(RunningStats, CountSurvivesPastFourBillion)
+{
+    // A 1e7-node fleet at hundreds of reports per node exceeds
+    // uint32; the accumulator must count in 64 bits. Weighted adds
+    // make the boundary reachable in O(1).
+    RunningStats s;
+    s.addRepeated(1.0, (uint64_t{1} << 32) + 5);
+    s.addRepeated(3.0, (uint64_t{1} << 32) + 5);
+    EXPECT_EQ(s.count(), (uint64_t{1} << 33) + 10);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_NEAR(s.variance(), 1.0, 1e-9);
+
+    // Merging two half-populations crosses the boundary the same way.
+    RunningStats a, b;
+    a.addRepeated(5.0, uint64_t{3} << 31);
+    b.addRepeated(5.0, uint64_t{3} << 31);
+    a.merge(b);
+    EXPECT_EQ(a.count(), uint64_t{3} << 32);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+}
+
 } // anonymous namespace
 } // namespace ulpdp

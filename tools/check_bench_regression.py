@@ -28,6 +28,12 @@ the CURRENT run alone (no baseline value involved):
  - telemetry overhead: "telemetry_overhead_pct" must lie in
    [0, --telemetry-budget] (default 5.0). A negative value means the
    bench's clamp protocol is missing, which is its own failure.
+ - absolute rate floors: --min-rate KEY:FLOOR (repeatable) requires
+   every occurrence of KEY in the current run to be a number >= FLOOR
+   and the key to occur at least once. Unlike the ratio gate this
+   does not drift with the baseline: the agg bench uses it to pin the
+   single-thread ingest rate at the line-rate requirement (2e7/s)
+   no matter what a fast reference machine committed.
 
 Being faster than the baseline never fails the gate; refresh the
 baseline (regenerate the JSON on the reference machine and commit it)
@@ -41,12 +47,13 @@ Usage:
                               [--scaling-floors 2:1.5,4:3.0,8:5.5]
                               [--telemetry-budget 5.0]
                               [--require-zero KEY ...]
+                              [--min-rate KEY:FLOOR ...]
 
 --skip-timing checks only the fingerprints; sanitizer and
 scalar-fallback builds use it, where timings are meaningless but the
 merged-report bits must still match the committed baseline exactly.
-It also skips the scaling-floor and telemetry-overhead checks (both
-are timing-derived).
+It also skips the scaling-floor, telemetry-overhead and min-rate
+checks (all are timing-derived).
 
 --require-zero KEY (repeatable) asserts that every occurrence of KEY
 anywhere in the CURRENT run is exactly 0, and that the key occurs at
@@ -185,6 +192,42 @@ def check_require_zero(current, keys):
     return checked, failures
 
 
+def parse_min_rates(specs):
+    """['ingest_reports_per_second_1t:2.0e7'] -> {key: floor}."""
+    floors = {}
+    for spec in specs:
+        key, _, floor = spec.rpartition(":")
+        if not key:
+            raise SystemExit(
+                f"--min-rate needs KEY:FLOOR, got {spec!r}")
+        floors[key] = float(floor)
+    return floors
+
+
+def check_min_rates(current, floors):
+    """Enforce absolute higher-is-better floors on the current run.
+    Every occurrence of the key must be a number >= floor, and the
+    key must occur at least once. Returns (checked, failures)."""
+    checked = failures = 0
+    for key, floor in floors.items():
+        values = []
+        find_keys(current, key, values)
+        checked += 1
+        if not values:
+            print(f"FAIL min-rate {key}: key absent from the current "
+                  f"run (the bench stopped reporting it?)")
+            failures += 1
+            continue
+        bad = [v for v in values
+               if not isinstance(v, (int, float)) or v < floor]
+        ok = not bad
+        print(f"{'ok  ' if ok else 'FAIL'} min-rate {key}: "
+              f"{len(values)} occurrence(s) vs floor {floor:g}"
+              f"{'' if ok else f', below floor: {bad}'}")
+        failures += 0 if ok else 1
+    return checked, failures
+
+
 def check_telemetry_overhead(current, budget):
     """Enforce 0 <= telemetry_overhead_pct <= budget on the current
     run. Returns (checked, failures)."""
@@ -224,6 +267,12 @@ def main():
                     help="every occurrence of KEY in the current run "
                          "must be exactly 0 (repeatable; enforced "
                          "even with --skip-timing)")
+    ap.add_argument("--min-rate", action="append", default=[],
+                    metavar="KEY:FLOOR",
+                    help="every occurrence of KEY in the current run "
+                         "must be >= FLOOR (repeatable; absolute, "
+                         "not baseline-relative; skipped with "
+                         "--skip-timing)")
     args = ap.parse_args()
 
     with open(args.current) as f:
@@ -284,6 +333,10 @@ def main():
             current, args.telemetry_budget)
         checked += overhead_checked
         failures += overhead_failed
+        rate_checked, rate_failed = check_min_rates(
+            current, parse_min_rates(args.min_rate))
+        checked += rate_checked
+        failures += rate_failed
 
     if checked == 0:
         print("FAIL: no gated metrics found -- wrong file pair?")
