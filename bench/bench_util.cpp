@@ -123,11 +123,24 @@ runFourSettings(const Dataset &data, const Query &query, double epsilon,
         c.agg.per_trial = true;
         return c;
     };
+    // The registry mechanisms select by *name* -- the cohort planner
+    // resolves scale corrections / rounding modes through the
+    // registered lowering, so these rows exercise the same path a
+    // user mixing mechanisms would.
+    auto makeNamedCohort = [&](const char *name,
+                               const char *registry_name) {
+        CohortConfig c = makeCohort(name, CohortMechanism::Ideal);
+        c.mechanism_name = registry_name;
+        c.agg.enabled = true;
+        return c;
+    };
     fc.cohorts = {
         makeCohort("Ideal Local DP", CohortMechanism::Ideal),
         makeCohort("FxP HW Baseline", CohortMechanism::Naive),
         makeCohort("Resampling", CohortMechanism::Resampling),
         makeCohort("Thresholding", CohortMechanism::Thresholding),
+        makeNamedCohort("Bounded Laplace", "bounded-laplace"),
+        makeNamedCohort("Discrete Laplace", "discrete-laplace"),
     };
 
     FleetRunner runner(std::move(fc));

@@ -75,8 +75,12 @@ struct SettingRow
 
 /**
  * Run the paper's four settings (ideal / naive FxP / resampling /
- * thresholding) for one dataset and query: methodology of Section V
- * with the loss bound n * eps, thresholds from the exact search.
+ * thresholding) for one dataset and query -- methodology of Section V
+ * with the loss bound n * eps, thresholds from the exact search --
+ * plus the two registry mechanisms that postdate the paper
+ * ("bounded-laplace", "discrete-laplace"), selected by name through
+ * the mechanism registry so the tables triple as a registry
+ * integration test: six rows per dataset.
  *
  * Implemented on the parallel fleet engine: the four settings run as
  * four cohorts of one fleet (dataset entry i = node i, trial t = every

@@ -1,9 +1,10 @@
 /**
  * @file
  * Shared driver for the Tables II-V utility benches: for every
- * Table I dataset, run the four evaluation settings on one query and
- * print the MAE +- std, relative error and LDP verdict rows exactly
- * as the paper's tables are laid out.
+ * Table I dataset, run the paper's four evaluation settings plus the
+ * two registry mechanisms (bounded / discrete Laplace) on one query
+ * and print the MAE +- std, relative error and LDP verdict rows in
+ * the layout of the paper's tables.
  */
 
 #ifndef ULPDP_BENCH_UTILITY_TABLE_H

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Bounded Laplace mechanism (Holohan et al., "The Bounded Laplace
+ * Mechanism in Differential Privacy").
+ *
+ * Instead of extending the release window beyond the sensor range
+ * (resampling/thresholding with T > 0), the bounded Laplace mechanism
+ * confines every output to the sensor range itself -- window
+ * extension T = 0 -- and pays for the confinement by inflating the
+ * Laplace scale. Conditioning Lap(x, b) on [m, M] concentrates mass
+ * differently for different inputs, so the naive scale b = d / eps no
+ * longer meets the eps target; Holohan et al. show the corrected
+ * scale is the fixed point of
+ *
+ *   b = d / (eps - ln(dC(b))),   dC(b) = 2 / (1 + e^{-d / (2b)}),
+ *
+ * where dC(b) bounds the normalisation-constant ratio between the two
+ * extreme inputs m and M (full-range LDP sensitivity d = M - m). The
+ * fixed point exists whenever eps > ln dC(b) along the iteration,
+ * which holds for every eps the paper evaluates.
+ *
+ * This file carries the fixed-point (FxP) variant: the continuous
+ * fixed point only seeds params.lambda_scale; resolveParams() then
+ * verifies the *exact* discrete worst-case loss (Eq. 4) with the
+ * PrivacyLossAnalyzer and widens the scale further if quantization
+ * pushed the loss over the bound. The mechanism itself never rejects:
+ * draws come from the rank view of the sampling table
+ * (FxpLaplaceRng::sampleIndexTruncated), one lookup per report, so
+ * latency is input-independent -- no redraw loop, no timing channel.
+ */
+
+#ifndef ULPDP_CORE_BOUNDED_LAPLACE_H
+#define ULPDP_CORE_BOUNDED_LAPLACE_H
+
+#include "core/fxp_mechanism.h"
+
+namespace ulpdp {
+
+/** Variance-corrected Laplace confined to the sensor range. */
+class BoundedLaplaceMechanism : public FxpMechanismBase
+{
+  public:
+    /**
+     * @param params Resolved parameters: lambda_scale must already
+     *        carry the Holohan correction (use resolveParams(); a
+     *        scale of exactly 1 is rejected as an unresolved block).
+     */
+    explicit BoundedLaplaceMechanism(const FxpMechanismParams &params);
+
+    NoisedReport noise(double x) override;
+    std::string name() const override { return "Bounded Laplace"; }
+    bool guaranteesLdp() const override { return true; }
+
+    /**
+     * Resolve a parameter block for a target worst-case loss of
+     * loss_multiple * eps: seed lambda_scale with the continuous
+     * Holohan fixed point at eps_t = loss_multiple * eps, then refine
+     * against the exact discrete analyzer until the enumerated loss
+     * meets the bound. Fatal if no scale within a factor ~8 of the
+     * seed satisfies it (a mis-provisioned range/eps combination).
+     */
+    static FxpMechanismParams
+    resolveParams(const FxpMechanismParams &base, double loss_multiple);
+
+    /**
+     * The continuous Holohan fixed point: the smallest scale b such
+     * that Lap(x, b) conditioned on [x - ?, x + ?] over a range of
+     * width @p d meets an @p eps target. Fatal when the iteration
+     * leaves the eps > ln dC(b) validity region.
+     */
+    static double holohanScale(double d, double eps);
+
+    /**
+     * Closed-form variance of Lap(x, b) conditioned on [lo, hi]
+     * (Holohan et al., Sec. 4): with A = (x - lo)/b, B = (hi - x)/b
+     * and C = 1 - (e^-A + e^-B)/2,
+     *
+     *   M1 = (b/2)  (e^-A (1 + A)        - e^-B (1 + B))
+     *   M2 = b^2 (2 - e^-A (A^2+2A+2)/2  - e^-B (B^2+2B+2)/2)
+     *   Var = M2/C - (M1/C)^2.
+     *
+     * The FxP sampler's exact model is tested against this continuous
+     * formula to within the quantization error budget.
+     */
+    static double truncatedVariance(double b, double lo, double hi,
+                                    double x);
+
+  private:
+    /** Confined-draw attempt guard for the scalar (no-table) path. */
+    uint64_t max_attempts_;
+};
+
+} // namespace ulpdp
+
+#endif // ULPDP_CORE_BOUNDED_LAPLACE_H

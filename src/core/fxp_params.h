@@ -52,14 +52,28 @@ struct FxpMechanismParams
      *  Off models unhardened silicon in fault experiments. */
     bool rng_integrity_checks = true;
 
+    /** Magnitude quantization mode (Nearest = paper pipeline; Floor =
+     *  discrete-Laplace variant, see FxpLaplaceConfig::Rounding). */
+    FxpLaplaceConfig::Rounding rounding =
+        FxpLaplaceConfig::Rounding::Nearest;
+
+    /**
+     * Multiplier applied to the nominal scale d / eps. The bounded
+     * Laplace mechanism (Holohan et al.) inflates the scale to
+     * b = lambda_scale * d / eps so that confining outputs to the
+     * sensor range still meets the eps target; every other mechanism
+     * leaves this at 1.
+     */
+    double lambda_scale = 1.0;
+
     /** PRNG seed. */
     uint64_t seed = 1;
 
-    /** Laplace scale lambda = d / eps. */
+    /** Laplace scale lambda = lambda_scale * d / eps. */
     double
     lambda() const
     {
-        return range.length() / epsilon;
+        return lambda_scale * range.length() / epsilon;
     }
 
     /** Delta with the default convention applied. */
@@ -79,6 +93,7 @@ struct FxpMechanismParams
         cfg.delta = resolvedDelta();
         cfg.lambda = lambda();
         cfg.log_mode = log_mode;
+        cfg.rounding = rounding;
         cfg.sample_path = sample_path;
         cfg.integrity_checks = rng_integrity_checks;
         return cfg;

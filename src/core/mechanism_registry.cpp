@@ -1,0 +1,356 @@
+#include "core/mechanism_registry.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "core/bounded_laplace.h"
+#include "core/constant_time.h"
+#include "core/discrete_laplace.h"
+#include "core/resampling_mechanism.h"
+#include "core/threshold_calc.h"
+#include "core/thresholding_mechanism.h"
+#include "telemetry/telemetry.h"
+
+namespace ulpdp {
+
+namespace {
+
+/** Registry observability (docs/METRICS.md "Mechanism selection"). */
+struct RegistryMetrics
+{
+    Counter &lookups = telemetry::registry().counter(
+        "ulpdp_registry_lookups_total",
+        "Mechanism registry lookups by name",
+        "lookups");
+    Counter &unknown = telemetry::registry().counter(
+        "ulpdp_registry_unknown_total",
+        "Lookups naming no registered mechanism",
+        "lookups");
+    Counter &instantiations = telemetry::registry().counter(
+        "ulpdp_registry_instantiations_total",
+        "Mechanism objects constructed through the registry",
+        "mechanisms");
+    Counter &lowerings = telemetry::registry().counter(
+        "ulpdp_registry_lowerings_total",
+        "Fleet batch-path lowerings resolved through the registry",
+        "cohorts");
+};
+
+RegistryMetrics &
+metrics()
+{
+    static RegistryMetrics m;
+    return m;
+}
+
+/** The PMF of a resolved parameter block, in the spec's mode. */
+std::shared_ptr<const FxpLaplacePmf>
+pmfFor(const FxpMechanismParams &params, bool enumerate)
+{
+    return std::make_shared<FxpLaplacePmf>(
+            params.rngConfig(),
+            enumerate ? FxpLaplacePmf::Mode::Enumerated
+                      : FxpLaplacePmf::Mode::Analytic);
+}
+
+/**
+ * Resolve a window half-extension: honour an explicit override, else
+ * run the exact search over the (analytic) PMF -- the same search
+ * the fleet planner and ThresholdCalculator callers always ran, so
+ * registry-selected thresholds are bit-identical to hard-wired ones.
+ */
+int64_t
+resolveThreshold(const MechanismSpec &spec,
+                 const FxpMechanismParams &params, RangeControl kind)
+{
+    if (spec.threshold_index >= 0)
+        return spec.threshold_index;
+    ThresholdCalculator calc(params);
+    int64_t t = calc.exactIndex(kind, spec.loss_multiple);
+    if (t < 0)
+        fatal("MechanismRegistry: no window extension meets the "
+              "%g * eps loss bound for this configuration (eps %g, "
+              "Bu %d)", spec.loss_multiple, params.epsilon,
+              params.uniform_bits);
+    return t;
+}
+
+} // namespace
+
+std::shared_ptr<const FxpLaplacePmf>
+MechanismSpec::makePmf() const
+{
+    return pmfFor(params, enumerate_pmf);
+}
+
+MechanismRegistry &
+MechanismRegistry::instance()
+{
+    // Construct-on-first-use: the built-ins register inside the
+    // constructor, so there is no static-initialization-order window
+    // in which the registry exists but is empty.
+    static MechanismRegistry registry;
+    return registry;
+}
+
+void
+MechanismRegistry::add(Entry entry)
+{
+    if (entry.name.empty())
+        fatal("MechanismRegistry: refusing to register an unnamed "
+              "mechanism");
+    if (!entry.make || !entry.model)
+        fatal("MechanismRegistry: mechanism '%s' must provide both a "
+              "factory and an output model (the model is what "
+              "certification enumerates)", entry.name.c_str());
+    for (const Entry &e : entries_) {
+        if (e.name == entry.name)
+            fatal("MechanismRegistry: duplicate mechanism name '%s' "
+                  "(shadowing would un-certify the registered one)",
+                  entry.name.c_str());
+    }
+
+    // Decorate the factories with the selection counters so every
+    // registrant -- built-in or external -- is observable without
+    // writing its own telemetry.
+    auto make = std::move(entry.make);
+    entry.make = [make](const MechanismSpec &spec) {
+        if (telemetry::enabled())
+            metrics().instantiations.inc();
+        return make(spec);
+    };
+    if (entry.lower) {
+        auto lower = std::move(entry.lower);
+        entry.lower = [lower](const MechanismSpec &spec) {
+            if (telemetry::enabled())
+                metrics().lowerings.inc();
+            return lower(spec);
+        };
+    }
+    entries_.push_back(std::move(entry));
+}
+
+const MechanismRegistry::Entry *
+MechanismRegistry::find(const std::string &name) const
+{
+    if (telemetry::enabled())
+        metrics().lookups.inc();
+    for (const Entry &e : entries_) {
+        if (e.name == name)
+            return &e;
+    }
+    if (telemetry::enabled())
+        metrics().unknown.inc();
+    return nullptr;
+}
+
+const MechanismRegistry::Entry &
+MechanismRegistry::at(const std::string &name) const
+{
+    const Entry *e = find(name);
+    if (e == nullptr)
+        fatal("MechanismRegistry: unknown mechanism '%s' (registered: "
+              "%s)", name.c_str(), [this] {
+                  std::string all;
+                  for (const Entry &r : entries_)
+                      all += (all.empty() ? "" : ", ") + r.name;
+                  return all;
+              }().c_str());
+    return *e;
+}
+
+std::vector<std::string>
+MechanismRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const Entry &e : entries_)
+        out.push_back(e.name);
+    return out;
+}
+
+std::vector<std::string>
+MechanismRegistry::namesWithCaps(uint32_t required) const
+{
+    std::vector<std::string> out;
+    for (const Entry &e : entries_) {
+        if (e.hasCaps(required))
+            out.push_back(e.name);
+    }
+    return out;
+}
+
+MechanismRegistry::MechanismRegistry()
+{
+    using mechcap::kBatch;
+    using mechcap::kBoundedOutput;
+    using mechcap::kConstantTime;
+    using mechcap::kSegmentLoss;
+
+    // --- resampling (Section III-B1) -----------------------------
+    {
+        Entry e;
+        e.name = "resampling";
+        e.caps = kBatch | kSegmentLoss;
+        e.summary = "redraw until the output lands in the "
+                    "[m - T*Delta, M + T*Delta] window";
+        e.lower = [](const MechanismSpec &spec) {
+            MechanismLowering low;
+            low.params = spec.params;
+            low.threshold_index = resolveThreshold(
+                    spec, spec.params, RangeControl::Resampling);
+            low.truncated = true;
+            return low;
+        };
+        e.make = [](const MechanismSpec &spec)
+                -> std::unique_ptr<Mechanism> {
+            int64_t t = resolveThreshold(spec, spec.params,
+                                         RangeControl::Resampling);
+            return std::make_unique<ResamplingMechanism>(spec.params,
+                                                         t);
+        };
+        e.model = [](const MechanismSpec &spec)
+                -> std::unique_ptr<DiscreteOutputModel> {
+            int64_t t = resolveThreshold(spec, spec.params,
+                                         RangeControl::Resampling);
+            return std::make_unique<ResamplingOutputModel>(
+                    spec.makePmf(), spec.params.rangeIndexSpan(), t);
+        };
+        add(std::move(e));
+    }
+
+    // --- thresholding (Section III-B2) ---------------------------
+    {
+        Entry e;
+        e.name = "thresholding";
+        e.caps = kBatch | kConstantTime | kSegmentLoss;
+        e.summary = "one draw, clamped into the window (boundary "
+                    "atoms absorb the tail)";
+        e.lower = [](const MechanismSpec &spec) {
+            MechanismLowering low;
+            low.params = spec.params;
+            low.threshold_index = resolveThreshold(
+                    spec, spec.params, RangeControl::Thresholding);
+            low.clamp = true;
+            return low;
+        };
+        e.make = [](const MechanismSpec &spec)
+                -> std::unique_ptr<Mechanism> {
+            int64_t t = resolveThreshold(spec, spec.params,
+                                         RangeControl::Thresholding);
+            return std::make_unique<ThresholdingMechanism>(spec.params,
+                                                           t);
+        };
+        e.model = [](const MechanismSpec &spec)
+                -> std::unique_ptr<DiscreteOutputModel> {
+            int64_t t = resolveThreshold(spec, spec.params,
+                                         RangeControl::Thresholding);
+            return std::make_unique<ThresholdingOutputModel>(
+                    spec.makePmf(), spec.params.rangeIndexSpan(), t);
+        };
+        add(std::move(e));
+    }
+
+    // --- constant-time resampling (Section IV-C) -----------------
+    // No fleet lowering: the K-batch draw is a per-device latency
+    // mitigation the fleet's truncated rank draw already subsumes
+    // (one lookup is constant-time by construction).
+    {
+        Entry e;
+        e.name = "constant-time-resampling";
+        e.caps = kConstantTime | kSegmentLoss;
+        e.summary = "fixed K-draw batch per report; clamp when all "
+                    "K miss";
+        e.make = [](const MechanismSpec &spec)
+                -> std::unique_ptr<Mechanism> {
+            int64_t t = resolveThreshold(spec, spec.params,
+                                         RangeControl::Resampling);
+            return std::make_unique<ConstantTimeResamplingMechanism>(
+                    spec.params, t, spec.batch_size);
+        };
+        e.model = [](const MechanismSpec &spec)
+                -> std::unique_ptr<DiscreteOutputModel> {
+            int64_t t = resolveThreshold(spec, spec.params,
+                                         RangeControl::Resampling);
+            return std::make_unique<ConstantTimeOutputModel>(
+                    spec.makePmf(), spec.params.rangeIndexSpan(), t,
+                    spec.batch_size);
+        };
+        add(std::move(e));
+    }
+
+    // --- bounded Laplace (Holohan et al.) ------------------------
+    {
+        Entry e;
+        e.name = "bounded-laplace";
+        e.caps = kBatch | kConstantTime | kBoundedOutput;
+        e.summary = "variance-corrected scale, outputs confined to "
+                    "the sensor range (T = 0)";
+        e.lower = [](const MechanismSpec &spec) {
+            MechanismLowering low;
+            low.params = BoundedLaplaceMechanism::resolveParams(
+                    spec.params, spec.loss_multiple);
+            low.threshold_index = 0;
+            low.truncated = true;
+            return low;
+        };
+        e.make = [](const MechanismSpec &spec)
+                -> std::unique_ptr<Mechanism> {
+            return std::make_unique<BoundedLaplaceMechanism>(
+                    BoundedLaplaceMechanism::resolveParams(
+                            spec.params, spec.loss_multiple));
+        };
+        e.model = [](const MechanismSpec &spec)
+                -> std::unique_ptr<DiscreteOutputModel> {
+            FxpMechanismParams p =
+                    BoundedLaplaceMechanism::resolveParams(
+                            spec.params, spec.loss_multiple);
+            return std::make_unique<ResamplingOutputModel>(
+                    pmfFor(p, spec.enumerate_pmf),
+                    p.rangeIndexSpan(), 0);
+        };
+        add(std::move(e));
+    }
+
+    // --- discrete Laplace (Floor-rounded pipeline) ---------------
+    {
+        Entry e;
+        e.name = "discrete-laplace";
+        e.caps = kBatch | kSegmentLoss;
+        e.summary = "two-sided geometric from the truncating "
+                    "quantizer; scale pays the ln 2 zero-atom "
+                    "penalty, resampling window control";
+        e.lower = [](const MechanismSpec &spec) {
+            MechanismLowering low;
+            low.params = DiscreteLaplaceMechanism::resolveParams(
+                    spec.params, spec.loss_multiple);
+            low.threshold_index = resolveThreshold(
+                    spec, low.params, RangeControl::Resampling);
+            low.truncated = true;
+            return low;
+        };
+        e.make = [](const MechanismSpec &spec)
+                -> std::unique_ptr<Mechanism> {
+            FxpMechanismParams p =
+                    DiscreteLaplaceMechanism::resolveParams(
+                            spec.params, spec.loss_multiple);
+            int64_t t = resolveThreshold(spec, p,
+                                         RangeControl::Resampling);
+            return std::make_unique<DiscreteLaplaceMechanism>(p, t);
+        };
+        e.model = [](const MechanismSpec &spec)
+                -> std::unique_ptr<DiscreteOutputModel> {
+            FxpMechanismParams p =
+                    DiscreteLaplaceMechanism::resolveParams(
+                            spec.params, spec.loss_multiple);
+            int64_t t = resolveThreshold(spec, p,
+                                         RangeControl::Resampling);
+            return std::make_unique<ResamplingOutputModel>(
+                    pmfFor(p, spec.enumerate_pmf),
+                    p.rangeIndexSpan(), t);
+        };
+        add(std::move(e));
+    }
+}
+
+} // namespace ulpdp

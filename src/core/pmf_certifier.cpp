@@ -1,0 +1,144 @@
+#include "core/pmf_certifier.h"
+
+#include <cmath>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "core/privacy_loss.h"
+
+namespace ulpdp {
+
+namespace {
+
+/** Human-readable capability list for the certificate. */
+std::string
+capNames(uint32_t caps)
+{
+    std::string out;
+    auto append = [&out](const char *name) {
+        out += (out.empty() ? "" : ",");
+        out += name;
+    };
+    if (caps & mechcap::kBatch)
+        append("batch");
+    if (caps & mechcap::kConstantTime)
+        append("constant-time");
+    if (caps & mechcap::kSegmentLoss)
+        append("segment-loss");
+    if (caps & mechcap::kBoundedOutput)
+        append("bounded-output");
+    return out;
+}
+
+} // namespace
+
+PmfCertifier::PmfCertifier(const FxpMechanismParams &profile,
+                           double loss_multiple)
+    : profile_(profile), loss_multiple_(loss_multiple)
+{
+    if (profile.uniform_bits > 24)
+        fatal("PmfCertifier: exhaustive enumeration needs "
+              "uniform_bits <= 24, got %d (2^Bu pipeline "
+              "evaluations per mechanism)", profile.uniform_bits);
+    if (!(loss_multiple >= 1.0))
+        fatal("PmfCertifier: loss multiple must be >= 1, got %g",
+              loss_multiple);
+}
+
+MechanismCertificate
+PmfCertifier::certify(const std::string &name) const
+{
+    const MechanismRegistry::Entry &entry =
+            MechanismRegistry::instance().at(name);
+
+    MechanismSpec spec;
+    spec.params = profile_;
+    spec.loss_multiple = loss_multiple_;
+    spec.enumerate_pmf = true;
+
+    MechanismCertificate cert;
+    cert.mechanism = entry.name;
+    cert.caps = entry.caps;
+    cert.uniform_bits = profile_.uniform_bits;
+    cert.epsilon = profile_.epsilon;
+    cert.loss_multiple = loss_multiple_;
+    cert.bound = loss_multiple_ * profile_.epsilon;
+    cert.states = uint64_t{1} << profile_.uniform_bits;
+    if (entry.lower)
+        cert.threshold_index = entry.lower(spec).threshold_index;
+
+    // The registered output model over the *enumerated* PMF: every
+    // probability in Pr[y | x] traces back to a count of URNG states
+    // that the real pipeline produced, so the analyzer's sup is the
+    // implementation's worst case, not the closed form's.
+    std::unique_ptr<DiscreteOutputModel> model = entry.model(spec);
+    LossReport report = PrivacyLossAnalyzer::analyze(*model);
+
+    cert.worst_case_loss = report.worst_case_loss;
+    cert.worst_output = report.worst_output;
+    cert.infinite_outputs = report.infinite_outputs;
+    cert.margin = cert.bound - report.worst_case_loss;
+    // Same tolerance discipline as ThresholdCalculator's exact
+    // search: absorb the float error of summing ~2^Bu state counts.
+    double tolerant = cert.bound * (1.0 + 1e-9) + 1e-12;
+    cert.certified =
+            report.bounded && report.worst_case_loss <= tolerant;
+    return cert;
+}
+
+std::vector<MechanismCertificate>
+PmfCertifier::certifyAll() const
+{
+    std::vector<MechanismCertificate> out;
+    for (const std::string &name :
+         MechanismRegistry::instance().names())
+        out.push_back(certify(name));
+    return out;
+}
+
+bool
+PmfCertifier::allCertified(
+        const std::vector<MechanismCertificate> &certs)
+{
+    for (const MechanismCertificate &c : certs) {
+        if (!c.certified)
+            return false;
+    }
+    return !certs.empty();
+}
+
+void
+PmfCertifier::writeJson(const std::vector<MechanismCertificate> &certs,
+                        const std::string &path)
+{
+    if (path.empty())
+        return;
+    JsonWriter json;
+    json.beginObject();
+    json.beginArray("certificates");
+    for (const MechanismCertificate &c : certs) {
+        json.beginObject();
+        json.field("mechanism", c.mechanism);
+        json.field("caps", capNames(c.caps));
+        json.field("uniform_bits", c.uniform_bits);
+        json.field("epsilon", c.epsilon);
+        json.field("loss_multiple", c.loss_multiple);
+        json.field("bound", c.bound);
+        json.field("threshold_index", c.threshold_index);
+        json.field("states", c.states);
+        json.field("worst_case_loss", c.worst_case_loss);
+        json.field("worst_output", c.worst_output);
+        json.field("infinite_outputs", c.infinite_outputs);
+        json.field("margin", c.margin);
+        json.field("certified", c.certified);
+        json.endObject();
+    }
+    json.endArray();
+    json.field("all_certified", allCertified(certs));
+    json.endObject();
+    if (!json.writeFile(path))
+        fatal("PmfCertifier: cannot write certificate file '%s'",
+              path.c_str());
+}
+
+} // namespace ulpdp

@@ -13,6 +13,7 @@
 #include "common/logging.h"
 #include "core/budget.h"
 #include "core/budget_ledger.h"
+#include "core/mechanism_registry.h"
 #include "core/privacy_loss.h"
 #include "core/threshold_calc.h"
 #include "rng/batch_sampler.h"
@@ -211,8 +212,31 @@ cohortMechanismName(CohortMechanism m)
         return "Resampling";
       case CohortMechanism::Thresholding:
         return "Thresholding";
+      case CohortMechanism::BoundedLaplace:
+        return "Bounded Laplace";
+      case CohortMechanism::DiscreteLaplace:
+        return "Discrete Laplace";
     }
     panic("cohortMechanismName: invalid mechanism");
+}
+
+const char *
+cohortMechanismRegistryName(CohortMechanism m)
+{
+    switch (m) {
+      case CohortMechanism::Ideal:
+      case CohortMechanism::Naive:
+        return nullptr;
+      case CohortMechanism::Resampling:
+        return "resampling";
+      case CohortMechanism::Thresholding:
+        return "thresholding";
+      case CohortMechanism::BoundedLaplace:
+        return "bounded-laplace";
+      case CohortMechanism::DiscreteLaplace:
+        return "discrete-laplace";
+    }
+    panic("cohortMechanismRegistryName: invalid mechanism");
 }
 
 /**
@@ -223,14 +247,51 @@ cohortMechanismName(CohortMechanism m)
  */
 struct FleetRunner::CohortPlan
 {
-    CohortPlan(const CohortConfig &c, uint32_t cohort_index)
-        : cfg(c), index(cohort_index),
-          proto(c.params.rngConfig(), /*seed=*/1)
+    /**
+     * The cohort's mechanism, resolved through the registry before
+     * any member that depends on the resolved parameter block (the
+     * prototype RNG is member-initialized from it, so bounded-Laplace
+     * scale corrections and discrete-Laplace rounding modes are in
+     * effect from the first enumeration).
+     */
+    struct Mech
     {
-        if (!(cfg.params.epsilon > 0.0))
-            fatal("FleetRunner: cohort '%s': epsilon must be "
-                  "positive, got %g", cfg.name.c_str(),
-                  cfg.params.epsilon);
+        /** Resolved parameters (lambda_scale / rounding applied). */
+        FxpMechanismParams params;
+
+        /** Registry name; empty for the two non-registered legacy
+         *  settings (Ideal, Naive). */
+        std::string registry_name;
+
+        /** Display label for reports. */
+        std::string label;
+
+        /** Effective enum value (best effort for registry names
+         *  without an enum mirror). */
+        CohortMechanism mech_enum = CohortMechanism::Thresholding;
+
+        /** Window half-extension T in Delta units. */
+        int64_t threshold = 0;
+
+        /** Hot-loop execution shape (MechanismLowering). */
+        bool truncated = false;
+        bool clamp = false;
+
+        /** Legacy settings outside the registry. */
+        bool ideal = false;
+        bool naive = false;
+    };
+
+    static Mech resolveMechanism(const CohortConfig &c);
+
+    CohortPlan(const CohortConfig &c, uint32_t cohort_index)
+        : CohortPlan(c, cohort_index, resolveMechanism(c))
+    {}
+
+    CohortPlan(const CohortConfig &c, uint32_t cohort_index, Mech m)
+        : cfg(c), index(cohort_index), mech(std::move(m)),
+          proto(mech.params.rngConfig(), /*seed=*/1)
+    {
         nodes = cfg.values.empty()
             ? cfg.nodes
             : static_cast<uint64_t>(cfg.values.size());
@@ -247,22 +308,13 @@ struct FleetRunner::CohortPlan
         hi_index = static_cast<int64_t>(
             std::llround(cfg.params.range.hi / delta));
         mid_value = 0.5 * (cfg.params.range.lo + cfg.params.range.hi);
-        lambda = cfg.params.lambda();
+        lambda = mech.params.lambda();
 
-        bool controlled =
-            cfg.mechanism == CohortMechanism::Resampling ||
-            cfg.mechanism == CohortMechanism::Thresholding;
-        threshold = 0;
-        if (controlled) {
-            ThresholdCalculator calc(cfg.params);
-            threshold = cfg.threshold_index >= 0
-                ? cfg.threshold_index
-                : calc.exactIndex(kind(), cfg.loss_multiple);
-            if (threshold < 0)
-                fatal("FleetRunner: cohort '%s': no valid threshold "
-                      "for loss bound %g * eps", cfg.name.c_str(),
-                      cfg.loss_multiple);
-        }
+        // Every registered mechanism guarantees the loss_multiple *
+        // eps per-query bound (that is what certification enforces);
+        // only the legacy uncontrolled settings charge plain eps.
+        const bool controlled = !mech.ideal && !mech.naive;
+        threshold = mech.threshold;
         win_lo = lo_index - threshold;
         win_hi = hi_index + threshold;
 
@@ -304,37 +356,20 @@ struct FleetRunner::CohortPlan
         // the prototype: every copy then shares it read-only. The
         // shared handle also feeds the batch sampling layer, so the
         // whole fleet references one enumeration.
-        if (cfg.mechanism != CohortMechanism::Ideal)
+        if (!mech.ideal)
             table = proto.sharedTable();
         batch_ok = table != nullptr && fresh_per_node > 0;
 
         worst_loss = cfg.params.epsilon;
         ldp = true;
-        if (cfg.analyze_loss &&
-            cfg.mechanism != CohortMechanism::Ideal) {
-            ThresholdCalculator calc(cfg.params);
-            auto pmf = calc.pmf();
+        if (cfg.analyze_loss && !mech.ideal) {
             LossReport rep;
-            switch (cfg.mechanism) {
-              case CohortMechanism::Naive: {
-                NaiveOutputModel model(pmf, calc.span());
+            if (mech.naive) {
+                ThresholdCalculator calc(cfg.params);
+                NaiveOutputModel model(calc.pmf(), calc.span());
                 rep = PrivacyLossAnalyzer::analyze(model);
-                break;
-              }
-              case CohortMechanism::Resampling: {
-                ResamplingOutputModel model(pmf, calc.span(),
-                                            threshold);
-                rep = PrivacyLossAnalyzer::analyze(model);
-                break;
-              }
-              case CohortMechanism::Thresholding: {
-                ThresholdingOutputModel model(pmf, calc.span(),
-                                              threshold);
-                rep = PrivacyLossAnalyzer::analyze(model);
-                break;
-              }
-              default:
-                break;
+            } else {
+                rep = PrivacyLossAnalyzer::analyze(*outputModel());
             }
             worst_loss = rep.bounded
                 ? rep.worst_case_loss
@@ -342,7 +377,7 @@ struct FleetRunner::CohortPlan
             double bound =
                 cfg.loss_multiple * cfg.params.epsilon + 1e-9;
             ldp = rep.bounded && rep.worst_case_loss <= bound;
-        } else if (cfg.mechanism == CohortMechanism::Naive) {
+        } else if (mech.naive) {
             worst_loss = std::numeric_limits<double>::infinity();
             ldp = false;
         }
@@ -351,26 +386,14 @@ struct FleetRunner::CohortPlan
         // mechanism's exact output model and precompute the unbiased
         // channel-inversion decoder, once, on the main thread. Ideal
         // cohorts have no output grid and skip the layer.
-        if (cfg.agg.enabled &&
-            cfg.mechanism != CohortMechanism::Ideal) {
-            ThresholdCalculator calc(cfg.params);
-            auto pmf = calc.pmf();
+        if (cfg.agg.enabled && !mech.ideal) {
             std::unique_ptr<DiscreteOutputModel> model;
-            switch (cfg.mechanism) {
-              case CohortMechanism::Naive:
+            if (mech.naive) {
+                ThresholdCalculator calc(cfg.params);
                 model = std::make_unique<NaiveOutputModel>(
-                    pmf, calc.span());
-                break;
-              case CohortMechanism::Resampling:
-                model = std::make_unique<ResamplingOutputModel>(
-                    pmf, calc.span(), threshold);
-                break;
-              case CohortMechanism::Thresholding:
-                model = std::make_unique<ThresholdingOutputModel>(
-                    pmf, calc.span(), threshold);
-                break;
-              default:
-                break;
+                    calc.pmf(), calc.span());
+            } else {
+                model = outputModel();
             }
             decoder =
                 std::make_shared<agg::FrequencyDecoder>(*model);
@@ -385,12 +408,21 @@ struct FleetRunner::CohortPlan
         }
     }
 
-    RangeControl
-    kind() const
+    /**
+     * The exact conditional output model of a registry-selected
+     * mechanism, built from the registered factory (never called for
+     * Ideal/Naive). Passing the already-resolved threshold back
+     * through the spec skips a second exact-index search.
+     */
+    std::unique_ptr<DiscreteOutputModel>
+    outputModel() const
     {
-        return cfg.mechanism == CohortMechanism::Resampling
-            ? RangeControl::Resampling
-            : RangeControl::Thresholding;
+        MechanismSpec spec;
+        spec.params = cfg.params;
+        spec.loss_multiple = cfg.loss_multiple;
+        spec.threshold_index = threshold;
+        return MechanismRegistry::instance()
+            .at(mech.registry_name).model(spec);
     }
 
     uint64_t
@@ -401,6 +433,9 @@ struct FleetRunner::CohortPlan
 
     CohortConfig cfg;
     uint32_t index;
+    /** Registry-resolved mechanism (declared before `proto`: the
+     *  prototype RNG is built from the resolved parameter block). */
+    Mech mech;
     FxpLaplaceRng proto;
     /** Shared sampling-table handle (nullptr when no fast path). */
     std::shared_ptr<const LaplaceSampleTable> table;
@@ -437,6 +472,83 @@ struct FleetRunner::CohortPlan
     /** Shared precomputed channel pseudo-inverse. */
     std::shared_ptr<const agg::FrequencyDecoder> decoder;
 };
+
+FleetRunner::CohortPlan::Mech
+FleetRunner::CohortPlan::resolveMechanism(const CohortConfig &c)
+{
+    if (!(c.params.epsilon > 0.0))
+        fatal("FleetRunner: cohort '%s': epsilon must be "
+              "positive, got %g", c.name.c_str(),
+              c.params.epsilon);
+
+    Mech m;
+    m.params = c.params;
+    m.mech_enum = c.mechanism;
+
+    // Name-based selection wins when set; otherwise the enum maps to
+    // its registry name (Ideal/Naive have none and stay legacy).
+    std::string name = c.mechanism_name;
+    if (name.empty()) {
+        const char *n = cohortMechanismRegistryName(c.mechanism);
+        if (n == nullptr) {
+            m.ideal = c.mechanism == CohortMechanism::Ideal;
+            m.naive = c.mechanism == CohortMechanism::Naive;
+            m.label = cohortMechanismName(c.mechanism);
+            return m;
+        }
+        name = n;
+    }
+
+    const MechanismRegistry::Entry *entry =
+        MechanismRegistry::instance().find(name);
+    if (entry == nullptr) {
+        std::string known;
+        for (const std::string &k :
+                 MechanismRegistry::instance().names()) {
+            if (!known.empty())
+                known += ", ";
+            known += k;
+        }
+        fatal("FleetRunner: cohort '%s': unknown mechanism '%s' "
+              "(registered: %s)", c.name.c_str(), name.c_str(),
+              known.c_str());
+    }
+    if (!entry->lower)
+        fatal("FleetRunner: cohort '%s': mechanism '%s' has no "
+              "fleet lowering (it cannot run on the batch hot "
+              "loop); pick one advertising the batch capability",
+              c.name.c_str(), name.c_str());
+
+    MechanismSpec spec;
+    spec.params = c.params;
+    spec.loss_multiple = c.loss_multiple;
+    spec.threshold_index = c.threshold_index;
+    MechanismLowering low = entry->lower(spec);
+    m.params = low.params;
+    m.registry_name = name;
+    m.threshold = low.threshold_index;
+    m.truncated = low.truncated;
+    m.clamp = low.clamp;
+
+    // Mirror known registry names back onto the enum so downstream
+    // consumers switching on CohortResult::mechanism see the truth;
+    // future names without an enum value keep the honest label.
+    if (name == "resampling")
+        m.mech_enum = CohortMechanism::Resampling;
+    else if (name == "thresholding")
+        m.mech_enum = CohortMechanism::Thresholding;
+    else if (name == "bounded-laplace")
+        m.mech_enum = CohortMechanism::BoundedLaplace;
+    else if (name == "discrete-laplace")
+        m.mech_enum = CohortMechanism::DiscreteLaplace;
+    else
+        m.mech_enum = c.mechanism;
+    const char *canon = cohortMechanismRegistryName(m.mech_enum);
+    m.label = (canon != nullptr && name == canon)
+        ? cohortMechanismName(m.mech_enum)
+        : name;
+    return m;
+}
 
 /**
  * Worker-slot scratch that persists across blocks and epochs: the
@@ -722,8 +834,7 @@ FleetRunner::run(unsigned num_threads)
 
             const uint32_t R = cfg.reports_per_node;
             const uint32_t fresh = plan.fresh_per_node;
-            const bool fxp =
-                cfg.mechanism != CohortMechanism::Ideal;
+            const bool fxp = !plan.mech.ideal;
 
             // Streaming aggregation: bump per-block slot deltas in
             // the worker's private buffer and fold them into its
@@ -755,10 +866,10 @@ FleetRunner::run(unsigned num_threads)
                     ++slab->dropped;
                 }
             };
-            const bool truncated =
-                cfg.mechanism == CohortMechanism::Resampling;
-            const bool clamp =
-                cfg.mechanism == CohortMechanism::Thresholding;
+            // Registry-lowered execution shape: the loop never sees
+            // the mechanism's name, only these two booleans.
+            const bool truncated = plan.mech.truncated;
+            const bool clamp = plan.mech.clamp;
 
             // -- Batch path: fill the 16-lane bank with consecutive
             // nodes and draw every fresh report of the group in one
@@ -891,8 +1002,7 @@ FleetRunner::run(unsigned num_threads)
 
             // -- Scalar path: Ideal cohorts, fresh == 0 cohorts,
             // tableless configurations, and batch-fallback redos.
-            const bool batched =
-                cfg.mechanism == CohortMechanism::Naive || clamp;
+            const bool batched = plan.mech.naive || clamp;
             if (fxp && (!rng || rng_cohort != item.cohort ||
                         rng->integrityFault())) {
                 rng.emplace(plan.proto);
@@ -1118,7 +1228,8 @@ FleetRunner::run(unsigned num_threads)
         CohortResult res(Histogram(plan.hist_lo, plan.hist_hi,
                                    plan.cfg.histogram_bins));
         res.name = plan.cfg.name;
-        res.mechanism = plan.cfg.mechanism;
+        res.mechanism = plan.mech.mech_enum;
+        res.mechanism_label = plan.mech.label;
         res.nodes = plan.nodes;
         res.trial_estimate.assign(plan.cfg.reports_per_node, 0.0);
         for (const BlockAccum &acc : accums[c]) {

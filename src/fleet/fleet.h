@@ -76,10 +76,22 @@ enum class CohortMechanism
 
     /** Fixed-point noise clamped to the window. */
     Thresholding,
+
+    /** Variance-corrected bounded Laplace (Holohan et al.): outputs
+     *  confined to the sensor range itself, T = 0. */
+    BoundedLaplace,
+
+    /** Discrete Laplace (Floor-rounded pipeline) with resampling
+     *  window control. */
+    DiscreteLaplace,
 };
 
 /** Human-readable mechanism name. */
 const char *cohortMechanismName(CohortMechanism m);
+
+/** Registry lookup name for an enum value, or nullptr for the two
+ *  legacy non-registered settings (Ideal, Naive). */
+const char *cohortMechanismRegistryName(CohortMechanism m);
 
 /**
  * One cohort: a group of nodes sharing a mechanism configuration.
@@ -94,6 +106,16 @@ struct CohortConfig
 
     /** Mechanism every node of this cohort runs. */
     CohortMechanism mechanism = CohortMechanism::Thresholding;
+
+    /**
+     * Select the mechanism through the registry by name instead of
+     * the enum (e.g. "bounded-laplace"). Empty keeps the enum
+     * selection. The named mechanism must advertise a fleet lowering
+     * (MechanismRegistry::Entry::lower); for the names that mirror
+     * enum values the two selection paths resolve to bit-identical
+     * plans, which the fingerprint-immunity test proves.
+     */
+    std::string mechanism_name;
 
     /** Fixed-point parameters (range, eps, Bu, By, Delta). The
      *  params.seed field is ignored: fleet nodes are seeded per node
@@ -253,6 +275,10 @@ struct CohortResult
 
     /** Mechanism the cohort ran. */
     CohortMechanism mechanism = CohortMechanism::Thresholding;
+
+    /** Display name of the mechanism the cohort ran (authoritative
+     *  for registry-selected cohorts; not part of the fingerprint). */
+    std::string mechanism_label;
 
     /** Nodes simulated. */
     uint64_t nodes = 0;

@@ -41,7 +41,18 @@ FxpLaplaceRng::pipeline(uint64_t m, int sign) const
 
     // Inverse-CDF magnitude, Eq. (7): F^-1(u) = -lambda * ln(u) >= 0.
     double magnitude = -config_.lambda * ln_u;
-    int64_t k = quantizer_.quantizeToIndex(magnitude);
+    int64_t k;
+    if (config_.rounding == FxpLaplaceConfig::Rounding::Floor) {
+        // Truncate to the grid (discrete-Laplace variant): the
+        // saturation stage still clamps to the By-bit index range.
+        double f = std::floor(magnitude / config_.delta);
+        int64_t sat = quantizer_.maxIndex();
+        k = f >= static_cast<double>(sat)
+                ? sat
+                : (f <= 0.0 ? 0 : static_cast<int64_t>(f));
+    } else {
+        k = quantizer_.quantizeToIndex(magnitude);
+    }
     // The magnitude path only uses the non-negative half of the index
     // range; the sign stage produces the negative half.
     return sign > 0 ? k : -k;

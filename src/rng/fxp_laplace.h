@@ -51,6 +51,23 @@ struct FxpLaplaceConfig
     enum class LogMode { Reference, Cordic };
     LogMode log_mode = LogMode::Reference;
 
+    /**
+     * How the magnitude is quantized to the Delta grid.
+     *  - Nearest: round to the nearest multiple of Delta (the paper's
+     *    Fig. 3 pipeline; Eq. (11) boundaries at k -/+ 1/2).
+     *  - Floor: truncate toward zero, k = floor(magnitude / Delta).
+     *    This turns the sampler into an exact two-sided geometric
+     *    (discrete Laplace): Pr[|n| = k Delta] is proportional to
+     *    e^(-a k) (1 - e^(-a)) with a = Delta / lambda, because the
+     *    continuous magnitude is exponential and flooring an
+     *    exponential yields a geometric. Truncation is one bit
+     *    cheaper than round-nearest in the datapath (no half-LSB
+     *    adder), so the variant is ULP-plausible as well as
+     *    analytically convenient.
+     */
+    enum class Rounding { Nearest, Floor };
+    Rounding rounding = Rounding::Nearest;
+
     /** CORDIC micro-rotations (Cordic mode only). */
     int cordic_iterations = 32;
 

@@ -41,17 +41,24 @@ FxpLaplacePmf::FxpLaplacePmf(const FxpLaplaceConfig &config, Mode mode)
 double
 FxpLaplacePmf::m1(int64_t k) const
 {
+    // Bin boundaries follow the quantizer: Nearest puts them at
+    // (k -/+ 1/2) Delta (Eq. (11)); Floor puts them at k Delta and
+    // (k + 1) Delta, making the magnitude law exactly geometric.
     double a = config_.delta / config_.lambda;
-    return std::ldexp(1.0, config_.uniform_bits) *
-           std::exp(-a * (static_cast<double>(k) - 0.5));
+    double edge = config_.rounding == FxpLaplaceConfig::Rounding::Floor
+                      ? static_cast<double>(k)
+                      : static_cast<double>(k) - 0.5;
+    return std::ldexp(1.0, config_.uniform_bits) * std::exp(-a * edge);
 }
 
 double
 FxpLaplacePmf::m2(int64_t k) const
 {
     double a = config_.delta / config_.lambda;
-    return std::ldexp(1.0, config_.uniform_bits) *
-           std::exp(-a * (static_cast<double>(k) + 0.5));
+    double edge = config_.rounding == FxpLaplaceConfig::Rounding::Floor
+                      ? static_cast<double>(k) + 1.0
+                      : static_cast<double>(k) + 0.5;
+    return std::ldexp(1.0, config_.uniform_bits) * std::exp(-a * edge);
 }
 
 uint64_t

@@ -97,6 +97,59 @@ INSTANTIATE_TEST_SUITE_P(
         // branch of Eq. (11).
         std::make_tuple(14, 8, 10.0 / 32.0, 20.0)));
 
+/**
+ * Floor rounding (the discrete-Laplace pipeline): the Eq. (11)
+ * boundary shift from (k -+ 1/2) to (k, k + 1) must keep the closed
+ * form aligned with the enumerated pipeline, same discipline as the
+ * round-to-nearest agreement sweep above.
+ */
+TEST(FxpLaplacePmf, FloorRoundingAnalyticMatchesEnumerated)
+{
+    for (auto [bu, by, delta, lambda] :
+         {std::make_tuple(12, 12, 10.0 / 32.0, 20.0),
+          std::make_tuple(14, 12, 10.0 / 32.0, 20.0),
+          std::make_tuple(10, 12, 1.0, 5.0),
+          std::make_tuple(14, 8, 10.0 / 32.0, 20.0)}) { // saturating
+        FxpLaplaceConfig cfg = configOf(bu, by, delta, lambda);
+        cfg.rounding = FxpLaplaceConfig::Rounding::Floor;
+        FxpLaplacePmf analytic(cfg, FxpLaplacePmf::Mode::Analytic);
+        FxpLaplacePmf enumerated(cfg, FxpLaplacePmf::Mode::Enumerated);
+
+        ASSERT_EQ(analytic.maxIndex(), enumerated.maxIndex());
+        uint64_t total_diff = 0;
+        for (int64_t k = 0; k <= analytic.maxIndex(); ++k) {
+            uint64_t a = analytic.magnitudeCount(k);
+            uint64_t e = enumerated.magnitudeCount(k);
+            uint64_t diff = a > e ? a - e : e - a;
+            EXPECT_LE(diff, 1u) << "Bu=" << bu << " k=" << k;
+            total_diff += diff;
+        }
+        EXPECT_LE(total_diff, (uint64_t{1} << bu) / 1000 + 2)
+            << "Bu=" << bu;
+        EXPECT_NEAR(analytic.totalMass(), 1.0, 1e-12);
+        EXPECT_NEAR(enumerated.totalMass(), 1.0, 1e-12);
+    }
+}
+
+/**
+ * Floor magnitudes follow the two-sided geometric law: consecutive
+ * interior bins decay by e^{-Delta/lambda} wherever the counts are
+ * large enough for the integer rounding to be negligible.
+ */
+TEST(FxpLaplacePmf, FloorRoundingIsGeometric)
+{
+    FxpLaplaceConfig cfg = configOf(17, 12, 10.0 / 32.0, 20.0);
+    cfg.rounding = FxpLaplaceConfig::Rounding::Floor;
+    FxpLaplacePmf pmf(cfg);
+    const double ratio = std::exp(-cfg.delta / cfg.lambda);
+    for (int64_t k = 0; k < 20; ++k) {
+        double c0 = static_cast<double>(pmf.magnitudeCount(k));
+        double c1 = static_cast<double>(pmf.magnitudeCount(k + 1));
+        ASSERT_GT(c0, 1000.0);
+        EXPECT_NEAR(c1 / c0, ratio, 2.0 / 1000.0) << "k=" << k;
+    }
+}
+
 TEST(FxpLaplacePmf, SupportBoundMatchesFormula)
 {
     // max index ~ lambda * Bu * ln 2 / Delta (when the quantizer does

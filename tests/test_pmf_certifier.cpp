@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the exact-PMF privacy certifier: every registered
+ * mechanism certifies at the CI profile, certificates carry sound
+ * margins, and the JSON artifact round-trips the verdict.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/pmf_certifier.h"
+#include "core/privacy_loss.h"
+
+namespace ulpdp {
+namespace {
+
+FxpMechanismParams
+ciProfile(int bu)
+{
+    FxpMechanismParams p;
+    p.range = SensorRange(-20.0, 60.0);
+    // eps = 1 at Bu = 8: 256 URNG states leave no room for the
+    // discrete-Laplace scale correction under a 2 * 0.5 bound (the
+    // ln 2 zero-atom penalty is scale-invariant); see certify tool.
+    p.epsilon = 1.0;
+    p.uniform_bits = bu;
+    p.output_bits = 14;
+    p.delta = p.range.length() / 32.0;
+    return p;
+}
+
+TEST(PmfCertifier, AllRegisteredMechanismsCertifyAtBuEight)
+{
+    PmfCertifier certifier(ciProfile(8), 2.0);
+    auto certs = certifier.certifyAll();
+    ASSERT_EQ(certs.size(),
+              MechanismRegistry::instance().names().size());
+    for (const MechanismCertificate &c : certs) {
+        EXPECT_TRUE(c.certified) << c.mechanism << " worst loss "
+                                 << c.worst_case_loss << " vs bound "
+                                 << c.bound;
+        EXPECT_EQ(c.infinite_outputs, 0u) << c.mechanism;
+        EXPECT_GT(c.worst_case_loss, 0.0) << c.mechanism;
+        EXPECT_LE(c.worst_case_loss, c.bound * (1.0 + 1e-9) + 1e-12)
+            << c.mechanism;
+        EXPECT_EQ(c.uniform_bits, 8) << c.mechanism;
+        EXPECT_EQ(c.states, uint64_t{1} << 8) << c.mechanism;
+        EXPECT_NEAR(c.margin, c.bound - c.worst_case_loss, 1e-12)
+            << c.mechanism;
+    }
+    EXPECT_TRUE(PmfCertifier::allCertified(certs));
+}
+
+TEST(PmfCertifier, CertificateMatchesDirectAnalysis)
+{
+    // The certificate's worst-case loss must be exactly what the
+    // analyzer reports on the registry's own enumerated model -- the
+    // certifier adds bookkeeping, not arithmetic.
+    FxpMechanismParams profile = ciProfile(8);
+    PmfCertifier certifier(profile, 2.0);
+    MechanismCertificate cert = certifier.certify("resampling");
+
+    const auto &entry =
+        MechanismRegistry::instance().at("resampling");
+    MechanismSpec spec;
+    spec.params = profile;
+    spec.loss_multiple = 2.0;
+    spec.threshold_index = cert.threshold_index;
+    spec.enumerate_pmf = true;
+    LossReport rep =
+        PrivacyLossAnalyzer::analyze(*entry.model(spec));
+    ASSERT_TRUE(rep.bounded);
+    EXPECT_EQ(cert.worst_case_loss, rep.worst_case_loss);
+    EXPECT_EQ(cert.worst_output, rep.worst_output);
+}
+
+TEST(PmfCertifier, EmptyCertificateListIsNotCertified)
+{
+    EXPECT_FALSE(PmfCertifier::allCertified({}));
+}
+
+TEST(PmfCertifier, WritesJsonArtifact)
+{
+    PmfCertifier certifier(ciProfile(8), 2.0);
+    auto certs = certifier.certifyAll();
+
+    std::string path = ::testing::TempDir() + "certify_test.json";
+    PmfCertifier::writeJson(certs, path);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string body = ss.str();
+    EXPECT_NE(body.find("\"certificates\""), std::string::npos);
+    EXPECT_NE(body.find("\"all_certified\":true"),
+              std::string::npos);
+    EXPECT_NE(body.find("\"bounded-laplace\""), std::string::npos);
+    EXPECT_NE(body.find("\"discrete-laplace\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(PmfCertifier, RejectsEnumerationsItCannotAfford)
+{
+    // Bu > 24 would enumerate > 16M states per input; the certifier
+    // refuses rather than wedge CI.
+    EXPECT_THROW(PmfCertifier(ciProfile(25), 2.0), FatalError);
+}
+
+} // namespace
+} // namespace ulpdp
