@@ -43,14 +43,21 @@ metrics()
     return m;
 }
 
-/** The PMF of a resolved parameter block, in the spec's mode. */
+/**
+ * The PMF of a resolved parameter block, in the spec's mode, through
+ * the memoized shared cache -- mechanisms sharing a parameter block
+ * (and certifyAll(), which re-specs the same profile per mechanism)
+ * enumerate each distinct configuration exactly once.
+ */
 std::shared_ptr<const FxpLaplacePmf>
-pmfFor(const FxpMechanismParams &params, bool enumerate)
+pmfFor(const FxpMechanismParams &params, const MechanismSpec &spec)
 {
-    return std::make_shared<FxpLaplacePmf>(
-            params.rngConfig(),
-            enumerate ? FxpLaplacePmf::Mode::Enumerated
-                      : FxpLaplacePmf::Mode::Analytic);
+    FxpLaplacePmf::Mode mode = FxpLaplacePmf::Mode::Analytic;
+    if (spec.enumerate_pmf)
+        mode = spec.legacy_enumerate
+                       ? FxpLaplacePmf::Mode::EnumeratedLegacy
+                       : FxpLaplacePmf::Mode::Enumerated;
+    return FxpLaplacePmf::shared(params.rngConfig(), mode);
 }
 
 /**
@@ -80,7 +87,7 @@ resolveThreshold(const MechanismSpec &spec,
 std::shared_ptr<const FxpLaplacePmf>
 MechanismSpec::makePmf() const
 {
-    return pmfFor(params, enumerate_pmf);
+    return pmfFor(params, *this);
 }
 
 MechanismRegistry &
@@ -306,8 +313,7 @@ MechanismRegistry::MechanismRegistry()
                     BoundedLaplaceMechanism::resolveParams(
                             spec.params, spec.loss_multiple);
             return std::make_unique<ResamplingOutputModel>(
-                    pmfFor(p, spec.enumerate_pmf),
-                    p.rangeIndexSpan(), 0);
+                    pmfFor(p, spec), p.rangeIndexSpan(), 0);
         };
         add(std::move(e));
     }
@@ -346,8 +352,7 @@ MechanismRegistry::MechanismRegistry()
             int64_t t = resolveThreshold(spec, p,
                                          RangeControl::Resampling);
             return std::make_unique<ResamplingOutputModel>(
-                    pmfFor(p, spec.enumerate_pmf),
-                    p.rangeIndexSpan(), t);
+                    pmfFor(p, spec), p.rangeIndexSpan(), t);
         };
         add(std::move(e));
     }

@@ -1,9 +1,11 @@
 #include "core/pmf_certifier.h"
 
+#include <chrono>
 #include <cmath>
 
 #include "common/json.h"
 #include "common/logging.h"
+#include "common/parallel_for.h"
 #include "core/privacy_loss.h"
 
 namespace ulpdp {
@@ -36,18 +38,37 @@ PmfCertifier::PmfCertifier(const FxpMechanismParams &profile,
                            double loss_multiple)
     : profile_(profile), loss_multiple_(loss_multiple)
 {
-    if (profile.uniform_bits > 24)
-        fatal("PmfCertifier: exhaustive enumeration needs "
-              "uniform_bits <= 24, got %d (2^Bu pipeline "
-              "evaluations per mechanism)", profile.uniform_bits);
+    if (profile.uniform_bits > kMaxUniformBits)
+        fatal("PmfCertifier: exact enumeration needs "
+              "uniform_bits <= %d, got %d", kMaxUniformBits,
+              profile.uniform_bits);
     if (!(loss_multiple >= 1.0))
         fatal("PmfCertifier: loss multiple must be >= 1, got %g",
               loss_multiple);
 }
 
+void
+PmfCertifier::setJobs(int jobs)
+{
+    jobs_ = jobs <= 0 ? hardwareJobs() : jobs;
+}
+
+void
+PmfCertifier::setLegacyEnumeration(bool legacy)
+{
+    if (legacy && profile_.uniform_bits > kMaxLegacyUniformBits)
+        fatal("PmfCertifier: the legacy per-state enumerator needs "
+              "uniform_bits <= %d, got %d (2^Bu pipeline "
+              "evaluations per mechanism)", kMaxLegacyUniformBits,
+              profile_.uniform_bits);
+    legacy_ = legacy;
+}
+
 MechanismCertificate
 PmfCertifier::certify(const std::string &name) const
 {
+    auto t0 = std::chrono::steady_clock::now();
+
     const MechanismRegistry::Entry &entry =
             MechanismRegistry::instance().at(name);
 
@@ -55,6 +76,7 @@ PmfCertifier::certify(const std::string &name) const
     spec.params = profile_;
     spec.loss_multiple = loss_multiple_;
     spec.enumerate_pmf = true;
+    spec.legacy_enumerate = legacy_;
 
     MechanismCertificate cert;
     cert.mechanism = entry.name;
@@ -64,35 +86,76 @@ PmfCertifier::certify(const std::string &name) const
     cert.loss_multiple = loss_multiple_;
     cert.bound = loss_multiple_ * profile_.epsilon;
     cert.states = uint64_t{1} << profile_.uniform_bits;
-    if (entry.lower)
+    if (entry.lower) {
         cert.threshold_index = entry.lower(spec).threshold_index;
+        // Hand the resolved extension back through the spec override
+        // so the output-model factory reuses it instead of repeating
+        // the exact search.
+        spec.threshold_index = cert.threshold_index;
+    }
 
     // The registered output model over the *enumerated* PMF: every
     // probability in Pr[y | x] traces back to a count of URNG states
-    // that the real pipeline produced, so the analyzer's sup is the
+    // the real pipeline produces, so the analyzer's sup is the
     // implementation's worst case, not the closed form's.
     std::unique_ptr<DiscreteOutputModel> model = entry.model(spec);
-    LossReport report = PrivacyLossAnalyzer::analyze(*model);
+    LossReport report = PrivacyLossAnalyzer::analyze(*model, jobs_);
 
     cert.worst_case_loss = report.worst_case_loss;
     cert.worst_output = report.worst_output;
     cert.infinite_outputs = report.infinite_outputs;
     cert.margin = cert.bound - report.worst_case_loss;
-    // Same tolerance discipline as ThresholdCalculator's exact
-    // search: absorb the float error of summing ~2^Bu state counts.
-    double tolerant = cert.bound * (1.0 + 1e-9) + 1e-12;
+    // Exact comparison, no tolerance: state accounting is uint64 (the
+    // counts sum to exactly 2^Bu) and every probability is
+    // count / 2^Bu, so there is no normalization error to absorb.
     cert.certified =
-            report.bounded && report.worst_case_loss <= tolerant;
+            report.bounded && report.worst_case_loss <= cert.bound;
+
+    auto t1 = std::chrono::steady_clock::now();
+    cert.elapsed_seconds =
+            std::chrono::duration<double>(t1 - t0).count();
+    cert.states_per_second =
+            cert.elapsed_seconds > 0.0
+                    ? static_cast<double>(cert.states) /
+                              cert.elapsed_seconds
+                    : 0.0;
     return cert;
 }
 
 std::vector<MechanismCertificate>
 PmfCertifier::certifyAll() const
 {
-    std::vector<MechanismCertificate> out;
-    for (const std::string &name :
-         MechanismRegistry::instance().names())
-        out.push_back(certify(name));
+    std::vector<std::string> names =
+            MechanismRegistry::instance().names();
+    std::vector<MechanismCertificate> out(names.size());
+    if (jobs_ <= 1) {
+        for (size_t i = 0; i < names.size(); ++i)
+            out[i] = certify(names[i]);
+        return out;
+    }
+    // Parallel across mechanisms; each certificate's inner loss sup
+    // then runs serially (jobs = 1) to avoid oversubscription. The
+    // output slot is fixed by registration order, so the result is
+    // independent of scheduling. Warm the PMF cache first so the
+    // workers hit the memoized base PMF instead of racing to build
+    // the same table (they would still agree -- the cache returns one
+    // object per configuration -- this just keeps the timing honest).
+    {
+        MechanismSpec warm;
+        warm.params = profile_;
+        warm.loss_multiple = loss_multiple_;
+        warm.enumerate_pmf = true;
+        warm.legacy_enumerate = legacy_;
+        warm.makePmf();
+    }
+    PmfCertifier inner(*this);
+    inner.jobs_ = 1;
+    parallelFor(0, static_cast<int64_t>(names.size()), jobs_, 1,
+                [&](int64_t lo, int64_t hi) {
+                    for (int64_t i = lo; i < hi; ++i)
+                        out[static_cast<size_t>(i)] = inner.certify(
+                                names[static_cast<size_t>(i)]);
+                });
     return out;
 }
 
@@ -109,7 +172,7 @@ PmfCertifier::allCertified(
 
 void
 PmfCertifier::writeJson(const std::vector<MechanismCertificate> &certs,
-                        const std::string &path)
+                        const std::string &path, bool include_timing)
 {
     if (path.empty())
         return;
@@ -131,6 +194,10 @@ PmfCertifier::writeJson(const std::vector<MechanismCertificate> &certs,
         json.field("infinite_outputs", c.infinite_outputs);
         json.field("margin", c.margin);
         json.field("certified", c.certified);
+        if (include_timing) {
+            json.field("elapsed_seconds", c.elapsed_seconds);
+            json.field("states_per_second", c.states_per_second);
+        }
         json.endObject();
     }
     json.endArray();

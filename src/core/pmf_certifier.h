@@ -1,31 +1,44 @@
 /**
  * @file
  * Exact-PMF privacy certifier: machine-checks Eq. (4) for every
- * registered mechanism by exhaustive enumeration.
+ * registered mechanism by exact enumeration of the output law.
  *
  * The paper argues the n * eps worst-case loss bound analytically;
  * Gazeau et al. ("Preserving differential privacy under
  * finite-precision semantics") show why analytic arguments are not
  * enough -- finite-precision rounding can inflate the true loss of a
  * correctly-derived mechanism without bound. The certifier closes
- * that gap for small URNG widths, where no approximation is needed:
+ * that gap exactly, at real silicon URNG widths:
  *
- *  1. every URNG state (all 2^Bu of them) is pushed through the real
- *     Fig. 3 pipeline (FxpLaplacePmf::Mode::Enumerated), so the
- *     noise PMF is the implementation's, not the closed form's;
+ *  1. the noise PMF is derived as exact per-URNG-state counts by
+ *     segment-rank accumulation (FxpLaplacePmf::Mode::Enumerated):
+ *     the Fig. 3 pipeline is monotone in the URNG index, so each
+ *     output bin is one contiguous state interval whose boundary a
+ *     few exact pipeline probes pin down. Cost is O(support bins),
+ *     not O(2^Bu), so Bu up to kMaxUniformBits (32) is affordable --
+ *     the legacy per-state walk survives as a cross-check mode
+ *     (setLegacyEnumeration, Bu <= kMaxLegacyUniformBits);
  *  2. the mechanism's registered output model applies its range
- *     control to that PMF, giving the exact conditional distribution
- *     Pr[y | x] for every input on the grid;
- *  3. PrivacyLossAnalyzer enumerates every (output, input-pair)
- *     triple and takes the sup -- Eq. (4) evaluated exactly, with
- *     infinite loss detected structurally (an output producible by
- *     one input and not another).
+ *     control to that PMF (memoized per parameter block, so
+ *     certifyAll() enumerates each distinct configuration once),
+ *     giving the exact conditional distribution Pr[y | x];
+ *  3. PrivacyLossAnalyzer takes, per output y, the min and max of
+ *     Pr[y | x] over inputs in one pass -- Eq. (4) evaluated exactly,
+ *     with infinite loss detected structurally (an output producible
+ *     by one input and not another) -- parallelized over outputs
+ *     and/or mechanisms (setJobs).
  *
- * A mechanism is *certified* when that sup is <= loss_multiple * eps
+ * All accounting is exact: per-bin uint64 state counts sum to 2^Bu
+ * with zero slack, every probability is count / 2^Bu (an exact double
+ * for Bu <= 32), and the certification comparison is a plain <= with
+ * no normalization tolerance.
+ *
+ * A mechanism is *certified* when the sup is <= loss_multiple * eps
  * for one query (hence <= n * loss_multiple * eps over n queries, by
  * composition). Certificates serialize to JSON; the CI certify job
- * runs the suite at Bu = 8 and Bu = 10 and fails if any registered
- * mechanism misses its bound.
+ * runs the suite at Bu = 8/10 (byte-compat working points) and
+ * Bu = 16 (silicon-width gate) and fails if any registered mechanism
+ * misses its bound.
  */
 
 #ifndef ULPDP_CORE_PMF_CERTIFIER_H
@@ -36,6 +49,7 @@
 #include <vector>
 
 #include "core/mechanism_registry.h"
+#include "rng/fxp_laplace_pmf.h"
 
 namespace ulpdp {
 
@@ -64,7 +78,7 @@ struct MechanismCertificate
      *  no fleet lowering to report one through. */
     int64_t threshold_index = -1;
 
-    /** URNG states enumerated (2^Bu). */
+    /** URNG states accounted for (2^Bu). */
     uint64_t states = 0;
 
     /** Exact worst-case per-query loss (may be +infinity). */
@@ -81,19 +95,51 @@ struct MechanismCertificate
 
     /** True iff the worst case is finite and within the bound. */
     bool certified = false;
+
+    /** Wall-clock time this certificate took (PMF + model + sup). */
+    double elapsed_seconds = 0.0;
+
+    /** states / elapsed_seconds: URNG states accounted for per
+     *  second. The segment engine's headline rate -- it accounts for
+     *  states without visiting them. */
+    double states_per_second = 0.0;
 };
 
 /** Runs the enumeration suite over the mechanism registry. */
 class PmfCertifier
 {
   public:
+    /** Largest Bu the certifier accepts (segment-rank engine). The
+     *  ctor guard and its fatal message both derive from this one
+     *  constant, so they cannot drift apart again. */
+    static constexpr int kMaxUniformBits =
+            FxpLaplacePmf::kMaxEnumeratedBits;
+
+    /** Largest Bu the legacy cross-check enumeration accepts. */
+    static constexpr int kMaxLegacyUniformBits =
+            FxpLaplacePmf::kMaxLegacyEnumeratedBits;
+
     /**
      * @param profile Parameter block to certify at. uniform_bits
-     *        must be <= 24 (the enumeration is exhaustive).
+     *        must be <= kMaxUniformBits (32).
      * @param loss_multiple Per-query loss target, multiple of eps.
      */
     explicit PmfCertifier(const FxpMechanismParams &profile,
                           double loss_multiple = 2.0);
+
+    /**
+     * Worker threads for the loss sup (and for certifyAll() across
+     * mechanisms). 1 = serial (default); 0 = all hardware threads.
+     * Certificates are identical for every job count.
+     */
+    void setJobs(int jobs);
+
+    /**
+     * Use the legacy per-state enumerator instead of the segment
+     * engine (cross-check mode; tests and CI diff the two). Fatal if
+     * the profile's uniform_bits exceeds kMaxLegacyUniformBits.
+     */
+    void setLegacyEnumeration(bool legacy);
 
     /** Certify one registered mechanism (fatal on unknown names). */
     MechanismCertificate certify(const std::string &name) const;
@@ -108,14 +154,19 @@ class PmfCertifier
     /**
      * Serialize certificates to a JSON document ({"certificates":
      * [...], "all_certified": bool}); empty path writes nothing.
+     * @p include_timing appends the elapsed_seconds /
+     * states_per_second fields; byte-compat diffs pass false to get
+     * output comparable across engines and machines.
      */
     static void
     writeJson(const std::vector<MechanismCertificate> &certs,
-              const std::string &path);
+              const std::string &path, bool include_timing = true);
 
   private:
     FxpMechanismParams profile_;
     double loss_multiple_;
+    int jobs_ = 1;
+    bool legacy_ = false;
 };
 
 } // namespace ulpdp

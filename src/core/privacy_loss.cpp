@@ -1,15 +1,23 @@
 #include "core/privacy_loss.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "common/logging.h"
+#include "common/parallel_for.h"
 
 namespace ulpdp {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Outputs per parallel chunk: large enough to amortize the claim,
+ *  small enough to balance the skewed per-output cost (interior
+ *  outputs see more reachable inputs than edge outputs). */
+constexpr int64_t kAnalyzeChunk = 64;
 
 } // anonymous namespace
 
@@ -33,15 +41,16 @@ PrivacyLossAnalyzer::lossAtOutput(const DiscreteOutputModel &model,
     return std::log(p_max / p_min);
 }
 
-LossReport
-PrivacyLossAnalyzer::analyze(const DiscreteOutputModel &model)
-{
-    LossReport report;
-    report.worst_case_loss = 0.0;
-    report.worst_output = model.outputLo();
+namespace {
 
-    for (int64_t j = model.outputLo(); j <= model.outputHi(); ++j) {
-        double loss = lossAtOutput(model, j);
+/** Serial sweep over [lo, hi], accumulating into @p report with the
+ *  strict-greater argmax (first output wins ties). */
+void
+sweepOutputs(const DiscreteOutputModel &model, int64_t lo, int64_t hi,
+             LossReport &report)
+{
+    for (int64_t j = lo; j <= hi; ++j) {
+        double loss = PrivacyLossAnalyzer::lossAtOutput(model, j);
         if (loss == -kInf)
             continue; // unreachable by every input: not an output
         if (loss == kInf)
@@ -49,6 +58,65 @@ PrivacyLossAnalyzer::analyze(const DiscreteOutputModel &model)
         if (loss > report.worst_case_loss) {
             report.worst_case_loss = loss;
             report.worst_output = j;
+        }
+    }
+}
+
+} // anonymous namespace
+
+LossReport
+PrivacyLossAnalyzer::analyze(const DiscreteOutputModel &model,
+                             int jobs)
+{
+    LossReport report;
+    report.worst_case_loss = 0.0;
+    report.worst_output = model.outputLo();
+
+    int64_t lo = model.outputLo();
+    int64_t hi = model.outputHi();
+    if (jobs == 1 || hi - lo < kAnalyzeChunk) {
+        sweepOutputs(model, lo, hi, report);
+        report.bounded = std::isfinite(report.worst_case_loss);
+        return report;
+    }
+
+    // Parallel sweep: each chunk accumulates its own partial report,
+    // then the partials are merged in output order with the same
+    // strict-greater argmax the serial loop uses -- so the result
+    // (including the tie-broken worst_output) is identical for every
+    // job count.
+    int64_t span = hi - lo + 1;
+    int64_t nchunks = (span + kAnalyzeChunk - 1) / kAnalyzeChunk;
+    std::vector<LossReport> partials(static_cast<size_t>(nchunks));
+    for (auto &p : partials) {
+        p.worst_case_loss = -kInf; // "no reachable output seen"
+        p.worst_output = lo;
+    }
+    parallelFor(0, nchunks, jobs, 1,
+                [&](int64_t cbegin, int64_t cend) {
+                    for (int64_t c = cbegin; c < cend; ++c) {
+                        int64_t clo = lo + c * kAnalyzeChunk;
+                        int64_t chi =
+                            std::min(hi, clo + kAnalyzeChunk - 1);
+                        auto &p = partials[static_cast<size_t>(c)];
+                        for (int64_t j = clo; j <= chi; ++j) {
+                            double loss = lossAtOutput(model, j);
+                            if (loss == -kInf)
+                                continue;
+                            if (loss == kInf)
+                                ++p.infinite_outputs;
+                            if (loss > p.worst_case_loss) {
+                                p.worst_case_loss = loss;
+                                p.worst_output = j;
+                            }
+                        }
+                    }
+                });
+    for (const auto &p : partials) {
+        report.infinite_outputs += p.infinite_outputs;
+        if (p.worst_case_loss > report.worst_case_loss) {
+            report.worst_case_loss = p.worst_case_loss;
+            report.worst_output = p.worst_output;
         }
     }
     report.bounded = std::isfinite(report.worst_case_loss);

@@ -63,8 +63,20 @@ class PrivacyLossAnalyzer
     static double lossAtOutput(const DiscreteOutputModel &model,
                                int64_t j);
 
-    /** Full worst-case analysis over the model's output support. */
-    static LossReport analyze(const DiscreteOutputModel &model);
+    /**
+     * Full worst-case analysis over the model's output support.
+     *
+     * @param jobs Worker threads for the sweep over outputs: 1 (the
+     *        default) analyzes serially; 0 uses every hardware
+     *        thread. The result is identical for every job count --
+     *        per-chunk partial reports are merged in output order
+     *        with the same strict-greater argmax the serial loop
+     *        uses, so ties resolve to the same output index. Requires
+     *        model.prob() to be safe for concurrent calls (all
+     *        registry models are immutable after construction).
+     */
+    static LossReport analyze(const DiscreteOutputModel &model,
+                              int jobs = 1);
 
     /**
      * Loss as a function of the output index over the whole output

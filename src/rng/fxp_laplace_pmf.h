@@ -13,18 +13,36 @@
  * infinite-loss detection, the resampling/thresholding thresholds of
  * Eqs. (13)/(15), the Fig. 8 budget segments -- is driven by this PMF.
  *
- * Two construction modes are provided:
+ * Three construction modes are provided:
  *  - Analytic: evaluates the closed form above. O(1) per query.
- *  - Enumerated: runs the actual RNG pipeline over all 2^Bu URNG
- *    states and tallies the outputs. This is exact by construction
- *    (no floating-point boundary ambiguity) and is what the privacy
- *    loss analyzer uses whenever Bu is small enough to enumerate.
+ *  - Enumerated: exact per-bin URNG state counts via segment-rank
+ *    accumulation. The pipeline magnitude -lambda * ln(m / 2^Bu) is
+ *    monotone non-increasing in the URNG index m, and every
+ *    quantization stage (round-nearest, floor, saturation) preserves
+ *    that monotonicity, so the states mapping to output bin k form
+ *    one contiguous URNG interval. The builder locates each
+ *    interval's boundary with an Eq. (11) analytic guess corrected by
+ *    a handful of exact pipeline probes (galloping + bisection), so
+ *    the cost is O(support bins * log correction), not O(2^Bu) --
+ *    exact up to Bu = 32 in microseconds. Bit-identical to the
+ *    per-state walk below wherever both are affordable (tests
+ *    cross-check every registered mechanism configuration).
+ *  - EnumeratedLegacy: runs the actual RNG pipeline over all 2^Bu
+ *    URNG states and tallies the outputs, one state at a time. This
+ *    is the original exhaustive enumerator, kept as the cross-check
+ *    oracle for the segment engine (and as the only exact mode for a
+ *    hypothetical non-monotone pipeline); it refuses Bu > 24.
+ *
+ * All state accounting is exact uint64 arithmetic: per-bin counts sum
+ * to exactly 2^Bu (totalCount(), zero slack), and every probability
+ * is count / 2^Bu -- an exact double for Bu <= 32.
  */
 
 #ifndef ULPDP_RNG_FXP_LAPLACE_PMF_H
 #define ULPDP_RNG_FXP_LAPLACE_PMF_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "rng/fxp_laplace.h"
@@ -39,22 +57,50 @@ namespace ulpdp {
 class FxpLaplacePmf : public NoisePmf
 {
   public:
+    /** Largest Bu the segment-rank enumerator accepts. Bounded by
+     *  FxpLaplaceRng's own URNG width cap, not by cost: the builder
+     *  touches O(support bins) states, not 2^Bu. */
+    static constexpr int kMaxEnumeratedBits = 32;
+
+    /** Largest Bu the legacy per-state enumerator accepts (2^Bu
+     *  pipeline evaluations; 24 is ~16M per construction). */
+    static constexpr int kMaxLegacyEnumeratedBits = 24;
+
     /** How the PMF is computed. */
     enum class Mode
     {
         /** Closed form, Eq. (11). */
         Analytic,
-        /** Tally the pipeline over all 2^Bu URNG states. */
+        /** Exact state counts by segment-rank accumulation over the
+         *  monotone URNG-to-bin map (Bu <= 32). */
         Enumerated,
+        /** Exact state counts by walking all 2^Bu URNG states through
+         *  the pipeline (Bu <= 24); the cross-check oracle. */
+        EnumeratedLegacy,
     };
 
     /**
      * @param config RNG configuration the PMF describes.
      * @param mode Computation mode. Enumerated requires
-     *        config.uniform_bits <= 24 (2^24 pipeline evaluations).
+     *        config.uniform_bits <= kMaxEnumeratedBits (32);
+     *        EnumeratedLegacy requires <= kMaxLegacyEnumeratedBits
+     *        (24).
      */
     explicit FxpLaplacePmf(const FxpLaplaceConfig &config,
                            Mode mode = Mode::Analytic);
+
+    /**
+     * Memoized construction: one shared immutable PMF per distinct
+     * (PMF-relevant configuration, mode) pair, so repeated
+     * certification of mechanisms sharing a parameter block
+     * enumerates once. Thread-safe; the cache holds strong references
+     * (the distinct configurations of a process are few).
+     */
+    static std::shared_ptr<const FxpLaplacePmf>
+    shared(const FxpLaplaceConfig &config, Mode mode = Mode::Analytic);
+
+    /** Drop every memoized PMF (benches re-measuring construction). */
+    static void clearSharedCache();
 
     /** Configuration described. */
     const FxpLaplaceConfig &config() const { return config_; }
@@ -64,6 +110,13 @@ class FxpLaplacePmf : public NoisePmf
 
     /** Number of URNG states mapping to magnitude index k (k >= 0). */
     uint64_t magnitudeCount(int64_t k) const;
+
+    /**
+     * Exact total of the per-bin state counts (enumerated modes).
+     * Always exactly 2^Bu -- the uint64 accounting admits no
+     * normalization slack; tests assert equality, not closeness.
+     */
+    uint64_t totalCount() const;
 
     /** Pr[n = k * Delta] for a signed index k. */
     double pmf(int64_t k) const override;
@@ -102,14 +155,25 @@ class FxpLaplacePmf : public NoisePmf
     /** Closed-form magnitude count. */
     uint64_t analyticCount(int64_t k) const;
 
+    /** Segment-rank accumulation (Mode::Enumerated). */
+    void buildSegmentCounts();
+
+    /** Per-state walk (Mode::EnumeratedLegacy). */
+    void buildLegacyCounts();
+
+    /** Tail suffix sums over counts_, for O(1) enumerated tailMass. */
+    void buildTailCounts();
+
     FxpLaplaceConfig config_;
     Mode mode_;
     /** Saturation index: the quantizer's largest magnitude index. */
     int64_t sat_index_;
     /** Largest index with positive probability. */
     int64_t max_index_;
-    /** Enumerated counts per magnitude index (Enumerated mode). */
+    /** Enumerated counts per magnitude index (enumerated modes). */
     std::vector<uint64_t> counts_;
+    /** tail_[k] = sum of counts_[k..sat]; tail_[0] = 2^Bu exactly. */
+    std::vector<uint64_t> tail_;
 };
 
 } // namespace ulpdp

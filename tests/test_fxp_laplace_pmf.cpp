@@ -44,9 +44,136 @@ TEST(FxpLaplacePmf, TotalMassIsOneEnumerated)
 
 TEST(FxpLaplacePmf, EnumeratedRejectsHugeBu)
 {
-    EXPECT_THROW(FxpLaplacePmf(configOf(25, 12, 0.3, 20.0),
+    // The segment engine covers the RNG's full width range (<= 32);
+    // only the legacy per-state walk keeps the 2^24 affordability cap.
+    EXPECT_THROW(FxpLaplacePmf(configOf(33, 12, 0.3, 20.0),
                                FxpLaplacePmf::Mode::Enumerated),
                  FatalError);
+    EXPECT_THROW(FxpLaplacePmf(configOf(25, 12, 0.3, 20.0),
+                               FxpLaplacePmf::Mode::EnumeratedLegacy),
+                 FatalError);
+    EXPECT_NO_THROW(FxpLaplacePmf(configOf(25, 12, 0.3, 20.0),
+                                  FxpLaplacePmf::Mode::Enumerated));
+}
+
+/**
+ * The property the segment-rank engine rests on: the Fig. 3 pipeline
+ * magnitude is monotone non-increasing in the URNG index, for every
+ * log mode and rounding mode. A violation here invalidates the
+ * interval-arithmetic enumeration (and the engine's bit-identity
+ * test below would be expected to fail with it).
+ */
+TEST(FxpLaplacePmf, PipelineIsMonotoneInUrngIndex)
+{
+    for (auto log_mode : {FxpLaplaceConfig::LogMode::Reference,
+                          FxpLaplaceConfig::LogMode::Cordic}) {
+        for (auto rounding : {FxpLaplaceConfig::Rounding::Nearest,
+                              FxpLaplaceConfig::Rounding::Floor}) {
+            FxpLaplaceConfig cfg =
+                configOf(12, 12, 10.0 / 32.0, 20.0);
+            cfg.log_mode = log_mode;
+            cfg.rounding = rounding;
+            FxpLaplaceRng rng(cfg);
+            int64_t prev = rng.pipeline(1, 1);
+            for (uint64_t m = 2; m <= (uint64_t{1} << 12); ++m) {
+                int64_t k = rng.pipeline(m, 1);
+                ASSERT_LE(k, prev)
+                    << "m=" << m << " log=" << static_cast<int>(log_mode)
+                    << " rounding=" << static_cast<int>(rounding);
+                prev = k;
+            }
+        }
+    }
+}
+
+/**
+ * The segment-rank engine must reproduce the per-state walk exactly
+ * -- every bin count, every tail sum -- across widths, log modes,
+ * rounding modes and scales. This is the cross-check that lets the
+ * fast engine replace the walk in certification.
+ */
+TEST(FxpLaplacePmf, SegmentEngineBitIdenticalToLegacyWalk)
+{
+    for (int bu : {8, 10, 12}) {
+        for (double lambda : {20.0, 40.0, 26.0}) {
+            for (auto log_mode : {FxpLaplaceConfig::LogMode::Reference,
+                                  FxpLaplaceConfig::LogMode::Cordic}) {
+                for (auto rounding :
+                     {FxpLaplaceConfig::Rounding::Nearest,
+                      FxpLaplaceConfig::Rounding::Floor}) {
+                    FxpLaplaceConfig cfg =
+                        configOf(bu, 12, 10.0 / 32.0, lambda);
+                    cfg.log_mode = log_mode;
+                    cfg.rounding = rounding;
+                    FxpLaplacePmf fast(
+                        cfg, FxpLaplacePmf::Mode::Enumerated);
+                    FxpLaplacePmf legacy(
+                        cfg, FxpLaplacePmf::Mode::EnumeratedLegacy);
+                    ASSERT_EQ(fast.maxIndex(), legacy.maxIndex())
+                        << "Bu=" << bu << " lambda=" << lambda;
+                    for (int64_t k = 0; k <= fast.maxIndex() + 2;
+                         ++k) {
+                        ASSERT_EQ(fast.magnitudeCount(k),
+                                  legacy.magnitudeCount(k))
+                            << "Bu=" << bu << " lambda=" << lambda
+                            << " k=" << k;
+                    }
+                    for (int64_t k = 1; k <= fast.maxIndex() + 2;
+                         ++k) {
+                        ASSERT_EQ(fast.tailMass(k),
+                                  legacy.tailMass(k))
+                            << "Bu=" << bu << " k=" << k;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(FxpLaplacePmf, EnumeratedCountsSumExactlyToStateSpace)
+{
+    // uint64 accounting admits no slack: the per-bin counts sum to
+    // exactly 2^Bu, tested as integer equality, including at widths
+    // the legacy walk could never afford.
+    for (int bu : {8, 12, 16, 20, 24, 28, 32}) {
+        FxpLaplacePmf fast(configOf(bu, 14, 2.5, 80.0),
+                           FxpLaplacePmf::Mode::Enumerated);
+        EXPECT_EQ(fast.totalCount(), uint64_t{1} << bu)
+            << "Bu=" << bu;
+    }
+    FxpLaplacePmf legacy(configOf(12, 14, 2.5, 80.0),
+                         FxpLaplacePmf::Mode::EnumeratedLegacy);
+    EXPECT_EQ(legacy.totalCount(), uint64_t{1} << 12);
+}
+
+TEST(FxpLaplacePmf, SharedCacheMemoizesPerConfigAndMode)
+{
+    FxpLaplacePmf::clearSharedCache();
+    FxpLaplaceConfig cfg = configOf(12, 12, 0.3125, 20.0);
+    auto a = FxpLaplacePmf::shared(cfg,
+                                   FxpLaplacePmf::Mode::Enumerated);
+    auto b = FxpLaplacePmf::shared(cfg,
+                                   FxpLaplacePmf::Mode::Enumerated);
+    EXPECT_EQ(a.get(), b.get()); // one object per configuration
+
+    auto analytic = FxpLaplacePmf::shared(
+        cfg, FxpLaplacePmf::Mode::Analytic);
+    EXPECT_NE(a.get(), analytic.get()); // mode is part of the key
+
+    FxpLaplaceConfig other = cfg;
+    other.lambda = 21.0;
+    auto c = FxpLaplacePmf::shared(other,
+                                   FxpLaplacePmf::Mode::Enumerated);
+    EXPECT_NE(a.get(), c.get());
+
+    FxpLaplacePmf::clearSharedCache();
+    auto d = FxpLaplacePmf::shared(cfg,
+                                   FxpLaplacePmf::Mode::Enumerated);
+    EXPECT_NE(a.get(), d.get()); // cache was dropped
+    // The old shared_ptr stays valid -- the cache holds strong refs,
+    // clearing only unpins them.
+    EXPECT_EQ(a->magnitudeCount(0), d->magnitudeCount(0));
+    FxpLaplacePmf::clearSharedCache();
 }
 
 /**

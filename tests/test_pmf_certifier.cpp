@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -106,9 +107,118 @@ TEST(PmfCertifier, WritesJsonArtifact)
 
 TEST(PmfCertifier, RejectsEnumerationsItCannotAfford)
 {
-    // Bu > 24 would enumerate > 16M states per input; the certifier
-    // refuses rather than wedge CI.
-    EXPECT_THROW(PmfCertifier(ciProfile(25), 2.0), FatalError);
+    // The segment engine accepts the full RNG width range, Bu <= 32;
+    // beyond that the certifier refuses rather than wedge CI.
+    EXPECT_THROW(PmfCertifier(ciProfile(33), 2.0), FatalError);
+    EXPECT_NO_THROW(PmfCertifier(ciProfile(32), 2.0));
+    // The legacy per-state cross-check engine keeps the old 2^24
+    // affordability cap.
+    PmfCertifier wide(ciProfile(25), 2.0);
+    EXPECT_THROW(wide.setLegacyEnumeration(true), FatalError);
+    PmfCertifier narrow(ciProfile(10), 2.0);
+    EXPECT_NO_THROW(narrow.setLegacyEnumeration(true));
+}
+
+TEST(PmfCertifier, CertifiesAtBuThirtyTwo)
+{
+    // The raised ceiling is usable, not just accepted: the full
+    // registry certifies at the silicon-unreachable-by-walking width
+    // (2^32 states accounted for without visiting them).
+    PmfCertifier certifier(ciProfile(32), 2.0);
+    auto certs = certifier.certifyAll();
+    ASSERT_EQ(certs.size(),
+              MechanismRegistry::instance().names().size());
+    for (const MechanismCertificate &c : certs) {
+        EXPECT_TRUE(c.certified) << c.mechanism;
+        EXPECT_EQ(c.states, uint64_t{1} << 32) << c.mechanism;
+    }
+}
+
+TEST(PmfCertifier, FastAndLegacyCertificatesBitIdentical)
+{
+    // The segment-rank engine must reproduce the per-state walk's
+    // certificates exactly -- same doubles, not just same verdicts --
+    // for every registered mechanism at both CI working points.
+    struct Point
+    {
+        int bu;
+        double eps;
+    };
+    for (const Point &pt :
+         {Point{8, 1.0}, Point{10, 0.5}, Point{12, 1.0}}) {
+        FxpMechanismParams profile = ciProfile(pt.bu);
+        profile.epsilon = pt.eps;
+        PmfCertifier fast(profile, 2.0);
+        PmfCertifier legacy(profile, 2.0);
+        legacy.setLegacyEnumeration(true);
+        auto fc = fast.certifyAll();
+        auto lc = legacy.certifyAll();
+        ASSERT_EQ(fc.size(), lc.size());
+        for (size_t i = 0; i < fc.size(); ++i) {
+            SCOPED_TRACE(fc[i].mechanism + " at Bu=" +
+                         std::to_string(pt.bu));
+            EXPECT_EQ(fc[i].mechanism, lc[i].mechanism);
+            EXPECT_EQ(fc[i].threshold_index, lc[i].threshold_index);
+            EXPECT_EQ(fc[i].worst_case_loss, lc[i].worst_case_loss);
+            EXPECT_EQ(fc[i].worst_output, lc[i].worst_output);
+            EXPECT_EQ(fc[i].infinite_outputs, lc[i].infinite_outputs);
+            EXPECT_EQ(fc[i].margin, lc[i].margin);
+            EXPECT_EQ(fc[i].certified, lc[i].certified);
+        }
+    }
+}
+
+TEST(PmfCertifier, CertifyAllIndependentOfJobCount)
+{
+    FxpMechanismParams profile = ciProfile(10);
+    PmfCertifier serial(profile, 2.0);
+    auto base = serial.certifyAll();
+    for (int jobs : {2, 3, 8}) {
+        PmfCertifier parallel(profile, 2.0);
+        parallel.setJobs(jobs);
+        auto certs = parallel.certifyAll();
+        ASSERT_EQ(certs.size(), base.size()) << "jobs=" << jobs;
+        for (size_t i = 0; i < certs.size(); ++i) {
+            SCOPED_TRACE(base[i].mechanism + " jobs=" +
+                         std::to_string(jobs));
+            EXPECT_EQ(certs[i].worst_case_loss,
+                      base[i].worst_case_loss);
+            EXPECT_EQ(certs[i].worst_output, base[i].worst_output);
+            EXPECT_EQ(certs[i].threshold_index,
+                      base[i].threshold_index);
+            EXPECT_EQ(certs[i].infinite_outputs,
+                      base[i].infinite_outputs);
+            EXPECT_EQ(certs[i].margin, base[i].margin);
+            EXPECT_EQ(certs[i].certified, base[i].certified);
+        }
+    }
+}
+
+TEST(PmfCertifier, TimingFieldsPopulatedAndOptionalInJson)
+{
+    PmfCertifier certifier(ciProfile(8), 2.0);
+    auto certs = certifier.certifyAll();
+    for (const MechanismCertificate &c : certs) {
+        EXPECT_GT(c.elapsed_seconds, 0.0) << c.mechanism;
+        EXPECT_GT(c.states_per_second, 0.0) << c.mechanism;
+    }
+
+    auto slurp = [](const std::string &path) {
+        std::ifstream in(path);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        return ss.str();
+    };
+    std::string timed = ::testing::TempDir() + "certify_timed.json";
+    std::string bare = ::testing::TempDir() + "certify_bare.json";
+    PmfCertifier::writeJson(certs, timed);
+    PmfCertifier::writeJson(certs, bare, false);
+    EXPECT_NE(slurp(timed).find("\"elapsed_seconds\""),
+              std::string::npos);
+    EXPECT_EQ(slurp(bare).find("\"elapsed_seconds\""),
+              std::string::npos);
+    std::remove(timed.c_str());
+    std::remove(bare.c_str());
 }
 
 } // namespace

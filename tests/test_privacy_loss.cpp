@@ -175,6 +175,37 @@ TEST(PrivacyLoss, SatisfiesLdpHelper)
     EXPECT_FALSE(PrivacyLossAnalyzer::satisfiesLdp(bad, 100.0));
 }
 
+TEST(PrivacyLoss, AnalyzeIndependentOfJobCount)
+{
+    // The chunked parallel sweep must return the serial result
+    // exactly -- same sup, same tie-broken argmax output, same
+    // infinite-output census -- for every job count, on both a
+    // bounded model and one with infinite-loss outputs.
+    FxpMechanismParams p = paperParams();
+    ThresholdCalculator calc(p);
+    int64_t t = calc.exactIndex(RangeControl::Resampling, 2.0);
+    ResamplingOutputModel good(calc.pmf(), calc.span(), t);
+    NaiveOutputModel bad(calc.pmf(), calc.span());
+
+    for (const DiscreteOutputModel *model :
+         {static_cast<const DiscreteOutputModel *>(&good),
+          static_cast<const DiscreteOutputModel *>(&bad)}) {
+        LossReport serial = PrivacyLossAnalyzer::analyze(*model, 1);
+        for (int jobs : {0, 2, 3, 7}) {
+            LossReport par =
+                PrivacyLossAnalyzer::analyze(*model, jobs);
+            EXPECT_EQ(par.worst_case_loss, serial.worst_case_loss)
+                << "jobs=" << jobs;
+            EXPECT_EQ(par.worst_output, serial.worst_output)
+                << "jobs=" << jobs;
+            EXPECT_EQ(par.bounded, serial.bounded)
+                << "jobs=" << jobs;
+            EXPECT_EQ(par.infinite_outputs, serial.infinite_outputs)
+                << "jobs=" << jobs;
+        }
+    }
+}
+
 /** Parameterized sweep: the exact threshold keeps every
  *  configuration bounded across Bu / eps / resolution. */
 class LossSweep

@@ -3,14 +3,24 @@
  * CLI driver for the exact-PMF privacy certifier (the CI certify
  * gate).
  *
- * Enumerates every registered mechanism's output distribution at a
- * small URNG width and machine-checks the Eq. (4) worst-case loss
- * against loss_multiple * eps. Exit status 0 iff every mechanism
- * certifies, so CI can gate on the process result; --json writes the
+ * Derives every registered mechanism's exact output distribution at a
+ * chosen URNG width (segment-rank engine, Bu <= 32) and
+ * machine-checks the Eq. (4) worst-case loss against
+ * loss_multiple * eps. Exit status 0 iff every mechanism certifies,
+ * so CI can gate on the process result; --json writes the
  * certificates for the artifact upload.
  *
  *   ulpdp_certify [--bu N] [--epsilon E] [--multiple M]
- *                 [--range LO HI] [--json PATH]
+ *                 [--range LO HI] [--json PATH] [--jobs N]
+ *                 [--mechanism NAME] [--legacy-enumerate]
+ *                 [--no-timing]
+ *
+ * --jobs 0 uses every hardware thread; certificates are identical
+ * for every job count. --legacy-enumerate switches to the per-state
+ * cross-check enumerator (Bu <= 24); CI diffs its output against the
+ * fast engine's at the byte-compat working points. --no-timing omits
+ * the per-certificate elapsed_seconds / states_per_second JSON
+ * fields, for byte-stable diffs.
  */
 
 #include <cinttypes>
@@ -32,7 +42,9 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--bu N] [--epsilon E] [--multiple M] "
-                 "[--range LO HI] [--json PATH]\n", argv0);
+                 "[--range LO HI] [--json PATH] [--jobs N] "
+                 "[--mechanism NAME] [--legacy-enumerate] "
+                 "[--no-timing]\n", argv0);
     std::exit(2);
 }
 
@@ -52,6 +64,10 @@ main(int argc, char **argv)
     profile.uniform_bits = 8;
     double multiple = 2.0;
     std::string json_path;
+    std::string mechanism;
+    int jobs = 1;
+    bool legacy = false;
+    bool timing = true;
 
     for (int i = 1; i < argc; ++i) {
         auto want = [&](int n) {
@@ -75,28 +91,47 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--json") == 0) {
             want(1);
             json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--jobs") == 0) {
+            want(1);
+            jobs = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--mechanism") == 0) {
+            want(1);
+            mechanism = argv[++i];
+        } else if (std::strcmp(argv[i], "--legacy-enumerate") == 0) {
+            legacy = true;
+        } else if (std::strcmp(argv[i], "--no-timing") == 0) {
+            timing = false;
         } else {
             usage(argv[0]);
         }
     }
 
     std::printf("Exact-PMF certification: Bu=%d eps=%g bound=%g*eps "
-                "range=[%g, %g]\n",
+                "range=[%g, %g] engine=%s jobs=%d\n",
                 profile.uniform_bits, profile.epsilon, multiple,
-                profile.range.lo, profile.range.hi);
+                profile.range.lo, profile.range.hi,
+                legacy ? "legacy-per-state" : "segment-rank", jobs);
 
     PmfCertifier certifier(profile, multiple);
-    std::vector<MechanismCertificate> certs = certifier.certifyAll();
+    certifier.setJobs(jobs);
+    certifier.setLegacyEnumeration(legacy);
+    std::vector<MechanismCertificate> certs;
+    if (mechanism.empty())
+        certs = certifier.certifyAll();
+    else
+        certs.push_back(certifier.certify(mechanism));
 
     for (const MechanismCertificate &c : certs) {
         std::printf("  %-26s T=%-4" PRId64 " worst=%-12.9g "
-                    "margin=%-12.9g inf=%" PRIu64 "  %s\n",
+                    "margin=%-12.9g inf=%" PRIu64 "  %s  "
+                    "(%.3fs, %.3g states/s)\n",
                     c.mechanism.c_str(), c.threshold_index,
                     c.worst_case_loss, c.margin, c.infinite_outputs,
-                    c.certified ? "CERTIFIED" : "FAILED");
+                    c.certified ? "CERTIFIED" : "FAILED",
+                    c.elapsed_seconds, c.states_per_second);
     }
 
-    PmfCertifier::writeJson(certs, json_path);
+    PmfCertifier::writeJson(certs, json_path, timing);
     if (!json_path.empty())
         std::printf("certificates written to %s\n",
                     json_path.c_str());
